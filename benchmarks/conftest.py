@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables/figures at a reduced
+scale (see DESIGN.md section 4 for the experiment index) and prints the
+resulting series, so a ``pytest benchmarks/ --benchmark-only -s`` run shows
+the same rows/curves the paper reports alongside the timing numbers.
+
+``BENCH_SCALE`` can be raised via the ``REPRO_BENCH_SCALE`` environment
+variable for higher-fidelity (slower) runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Dataset scale multiplier used by all figure benchmarks.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer (the harnesses are
+    deterministic end-to-end experiments, not microbenchmarks)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

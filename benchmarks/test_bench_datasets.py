@@ -1,0 +1,22 @@
+"""E0 — dataset statistics table (paper section 4.1's dataset description).
+
+Regenerates the node/edge/reciprocity/clustering table for the synthetic
+twitter-like and flickr-like presets, checking the structural contrasts the
+real crawls exhibit (twitter larger and less reciprocal than flickr).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.experiments.datasets import dataset_table
+
+
+def test_bench_dataset_table(benchmark, bench_scale):
+    rows = run_once(benchmark, lambda: dataset_table(scale=bench_scale))
+    print()
+    print(format_table(rows, title="E0: dataset statistics"))
+    by_name = {row["dataset"]: row for row in rows}
+    assert by_name["twitter"]["nodes"] > by_name["flickr"]["nodes"]
+    assert by_name["twitter"]["reciprocity"] < by_name["flickr"]["reciprocity"]
+    assert all(row["avg_clustering"] > 0.02 for row in rows)

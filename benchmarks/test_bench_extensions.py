@@ -1,0 +1,93 @@
+"""E11 — extension analyses grounded in the paper's discussion sections.
+
+1. **Accumulation frontier** (§2.2): asynchronous stores coalesce pushes
+   over a period T; cost falls, staleness (Θ = 2Δ + T) rises.  The bench
+   sweeps T and prints the frontier plus the heuristic knee.
+2. **Partitioning argument** (§4.3): the paper deliberately keeps the
+   DISSEMINATION problem placement-agnostic.  The bench measures (a) the
+   advantage a placement-aware hybrid extracts at each cluster size —
+   which vanishes as servers grow — and (b) what is left of that advantage
+   after one re-partitioning — nothing, vindicating the design choice.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.partitioning import placement_advantage, repartitioning_penalty
+from repro.analysis.reporting import format_table
+from repro.core.async_model import frontier, knee_period
+from repro.core.baselines import hybrid_schedule  # noqa: F401 (used by E11a)
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.experiments.datasets import load_dataset
+
+
+def test_bench_accumulation_frontier(benchmark, bench_scale):
+    dataset = load_dataset("flickr", scale=min(bench_scale, 0.3))
+    graph, workload = dataset.graph, dataset.workload
+    schedule = parallel_nosy_schedule(graph, workload, 8)
+
+    def work():
+        periods = [0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0]
+        points = frontier(schedule, workload, periods, delta=0.05)
+        knee = knee_period(schedule, workload, max_period=15.0, delta=0.05)
+        return points, knee
+
+    points, knee = run_once(benchmark, work)
+    rows = [
+        {
+            "period": p.period,
+            "cost": round(p.cost, 1),
+            "staleness bound": p.staleness,
+        }
+        for p in points
+    ]
+    print()
+    print(format_table(rows, title="E11a: accumulation cost/staleness frontier"))
+    print(f"knee period (90% of reduction): {knee:.2f}")
+
+    costs = [p.cost for p in points]
+    staleness = [p.staleness for p in points]
+    assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+    assert all(b >= a for a, b in zip(staleness, staleness[1:]))
+    assert 0.0 < knee <= 15.0
+
+
+def test_bench_partitioning_argument(benchmark, bench_scale):
+    # Placement knowledge cannot improve *direct* scheduling (co-located
+    # edges are free under batching either way) but it can improve *hub
+    # selection*: compare placement-aware PARALLELNOSY against the
+    # agnostic one across cluster sizes.
+    dataset = load_dataset("flickr", scale=min(bench_scale, 0.3))
+    graph, workload = dataset.graph, dataset.workload
+    agnostic = parallel_nosy_schedule(graph, workload, 10)
+
+    def work():
+        rows = []
+        for n in (2, 8, 32, 128, 1024):
+            adv = placement_advantage(graph, agnostic, workload, n)
+            pen = repartitioning_penalty(graph, workload, n, old_seed=0, new_seed=5)
+            rows.append(
+                {
+                    "servers": n,
+                    "aware advantage": round(adv.advantage, 4),
+                    "after repartition": round(pen.penalty, 4),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, work)
+    print()
+    print(
+        format_table(
+            rows,
+            title="E11b: value of placement-aware hub selection (and its decay)",
+        )
+    )
+    advantages = [row["aware advantage"] for row in rows]
+    # placement-aware hub selection helps on small clusters ...
+    assert advantages[0] > 1.02
+    # ... and its advantage vanishes as servers multiply (§4.3's argument)
+    assert advantages[-1] <= advantages[0]
+    assert advantages[-1] < 1.02
+    # re-partitioning erases the tuning on small clusters (penalty > 1)
+    assert rows[0]["after repartition"] > 1.01

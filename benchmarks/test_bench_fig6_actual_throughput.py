@@ -1,0 +1,35 @@
+"""E3 / Figure 6 — actual per-client throughput of the prototype.
+
+Paper: per-client throughput decreases with cluster size for both
+schedules; FF ties/wins on small clusters, PARALLELNOSY wins past a
+crossover (~200 servers on their workload; earlier here because the graph
+is smaller), with the ratio growing toward the placement-free factor.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_actual_throughput import Fig6Config, run
+
+
+def test_bench_fig6(benchmark, bench_scale):
+    config = Fig6Config(
+        scale=bench_scale,
+        num_requests=12_000,
+        server_counts=(1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
+    )
+    result = run_once(benchmark, lambda: run(config))
+    print()
+    print(result.to_text())
+
+    pn = [m.requests_per_second for m in result.parallelnosy]
+    ff = [m.requests_per_second for m in result.feedingfrenzy]
+    # absolute per-client throughput decays with cluster size
+    assert pn[0] >= pn[-1] and ff[0] >= ff[-1]
+    # parity on one server (every request is one message either way)
+    assert abs(result.ratio[0] - 1.0) < 1e-6
+    # a crossover exists: PN behind (or tied) early, ahead at full scale
+    assert min(result.ratio) <= 1.0 + 1e-6
+    assert result.ratio[-1] > 1.1
+    # the improvement ratio trend is upward over the sweep
+    assert result.ratio[-1] >= max(result.ratio[:3])

@@ -1,0 +1,48 @@
+"""E4 / Figure 7 — partition-aware predicted throughput vs cluster size.
+
+Paper: the analytic predictor reproduces the prototype's measured behavior
+("the consistency ... is striking") and converges, as servers grow, to the
+placement-free improvement ratio of Figure 4.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_actual_throughput import Fig6Config
+from repro.experiments.fig6_actual_throughput import run as run_fig6
+from repro.experiments.fig7_predicted_throughput import Fig7Config, run
+
+
+def test_bench_fig7(benchmark, bench_scale):
+    config = Fig7Config(scale=bench_scale)
+    result = run_once(benchmark, lambda: run(config))
+    print()
+    print(result.to_text())
+
+    # normalized to 1.0 on one server by construction
+    assert abs(result.parallelnosy[0] - 1.0) < 1e-9
+    assert abs(result.feedingfrenzy[0] - 1.0) < 1e-9
+    # curves decay monotonically with cluster size
+    assert all(
+        b <= a + 1e-9 for a, b in zip(result.parallelnosy, result.parallelnosy[1:])
+    )
+    # ratio converges to the placement-free asymptote
+    assert abs(result.ratio[-1] - result.asymptotic_ratio) < 0.05
+
+
+def test_bench_fig7_matches_fig6(benchmark, bench_scale):
+    """The headline cross-check: predicted vs actual ratios agree."""
+    counts = (1, 10, 100, 1000)
+
+    def both():
+        actual = run_fig6(
+            Fig6Config(scale=bench_scale, num_requests=8000, server_counts=counts)
+        )
+        predicted = run(Fig7Config(scale=bench_scale, server_counts=counts))
+        return actual, predicted
+
+    actual, predicted = run_once(benchmark, both)
+    print()
+    for n, a, p in zip(counts, actual.ratio, predicted.ratio):
+        print(f"servers={n:5d}  actual={a:.4f}  predicted={p:.4f}")
+        assert abs(a - p) <= 0.12 * max(a, p)

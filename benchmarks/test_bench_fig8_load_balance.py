@@ -1,0 +1,30 @@
+"""E5 / Figure 8 — load balancing: normalized query rate per server.
+
+Paper: both PARALLELNOSY and FF produce well-balanced query loads; the mean
+decays as ~1/n and the variance shrinks on larger clusters.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_load_balance import Fig8Config, run
+
+
+def test_bench_fig8(benchmark, bench_scale):
+    config = Fig8Config(scale=bench_scale)
+    result = run_once(benchmark, lambda: run(config))
+    print()
+    print(result.to_text())
+
+    for series in (result.parallelnosy, result.feedingfrenzy):
+        means = [r.mean for r in series]
+        # mean load decays with cluster size
+        assert all(b <= a + 1e-9 for a, b in zip(means, means[1:]))
+        # single server takes the whole load
+        assert abs(means[0] - 1.0) < 1e-9
+        # ~1/n decay: mean at the largest cluster is within 3x of 1/n
+        n_last = result.server_counts[-1]
+        assert means[-1] <= 3.0 / n_last
+    # both schedules reasonably balanced at scale (max/mean bounded)
+    for r in (result.parallelnosy[-1], result.feedingfrenzy[-1]):
+        assert r.imbalance < 60.0

@@ -1,0 +1,46 @@
+"""E6+E7 / Figure 9 — CHITCHAT vs PARALLELNOSY on graph samples.
+
+Paper: CHITCHAT beats PARALLELNOSY on 5M-edge samples (the headroom of
+social piggybacking); gains decay toward 1.0 as the read/write ratio grows
+to 100; breadth-first samples (hub structure preserved) show larger gains
+than random-walk samples.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9_chitchat_vs_nosy import Fig9Config, run
+
+
+def test_bench_fig9(benchmark, bench_scale):
+    config = Fig9Config(
+        scale=min(bench_scale, 0.3),  # CHITCHAT on samples is the slow part
+        sample_edge_fraction=0.12,
+        num_samples=2,
+        read_write_ratios=(1.0, 5.0, 20.0, 100.0),
+        nosy_iterations=8,
+    )
+    result = run_once(benchmark, lambda: run(config))
+    print()
+    print(result.to_text())
+
+    ratios = result.read_write_ratios
+    for (method, dataset, algorithm), series in result.series.items():
+        # improvement over FF is never below parity
+        assert all(v >= 1.0 - 1e-9 for v in series), (method, dataset, algorithm)
+        # gains decay as reads dominate (r/w -> 100 pushes FF toward optimal)
+        assert series[0] >= series[-1] - 1e-9
+        # at r/w = 100 the hybrid is near-optimal: ratio close to 1
+        assert series[ratios.index(100.0)] < 1.2
+
+    # CHITCHAT leads PARALLELNOSY at the write-heavy end on BFS samples
+    for dataset in ("flickr", "twitter"):
+        cc = result.series[("bfs", dataset, "ChitChat")]
+        pn = result.series[("bfs", dataset, "ParallelNosy")]
+        assert cc[0] >= pn[0] - 0.05, dataset
+
+    # BFS samples yield gains at least comparable to random-walk samples
+    for dataset in ("flickr", "twitter"):
+        bfs = result.series[("bfs", dataset, "ChitChat")][0]
+        rw = result.series[("random_walk", dataset, "ChitChat")][0]
+        assert bfs >= rw - 0.15, dataset

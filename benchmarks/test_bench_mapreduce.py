@@ -1,0 +1,80 @@
+"""E8 — MapReduce PARALLELNOSY: iteration volumes and cross-edge bound.
+
+Paper section 4.2 reports per-iteration behavior of the Hadoop
+implementation: the first iteration is the heaviest and later iterations
+shrink as optimization opportunities are consumed; the cross-edge bound
+``b`` keeps worker memory bounded at the cost of missed opportunities.
+This bench reproduces both effects with the in-process engine's counters
+standing in for cluster time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.cost import schedule_cost
+from repro.experiments.datasets import load_dataset
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import MapReduceParallelNosy
+
+
+def test_bench_mapreduce_iterations(benchmark, bench_scale):
+    dataset = load_dataset("twitter", scale=min(bench_scale, 0.3))
+
+    def work():
+        engine = MapReduceEngine()
+        driver = MapReduceParallelNosy(dataset.graph, dataset.workload, engine=engine)
+        driver._prepare()
+        rows = []
+        for iteration in range(1, 9):
+            before = engine.total_shuffled_records()
+            covered = driver.run_iteration()
+            rows.append(
+                {
+                    "iteration": iteration,
+                    "edges_covered": covered,
+                    "shuffled_records": engine.total_shuffled_records() - before,
+                }
+            )
+            if covered == 0:
+                break
+        return driver, rows
+
+    driver, rows = run_once(benchmark, work)
+    print()
+    print(format_table(rows, title="E8: MapReduce PARALLELNOSY per-iteration volume"))
+
+    # optimization opportunities dry up: the last productive iteration
+    # covers far fewer edges than the first
+    assert rows[0]["edges_covered"] > 0
+    productive = [r["edges_covered"] for r in rows if r["edges_covered"] > 0]
+    assert productive[-1] <= productive[0]
+    assert driver.stats.hub_graph_records > 0
+
+
+def test_bench_cross_edge_bound_tradeoff(benchmark, bench_scale):
+    dataset = load_dataset("twitter", scale=min(bench_scale, 0.3))
+
+    def work():
+        rows = []
+        for bound in (2, 8, 64, None):
+            driver = MapReduceParallelNosy(
+                dataset.graph, dataset.workload, cross_edge_bound=bound
+            )
+            schedule = driver.run(max_iterations=6)
+            rows.append(
+                {
+                    "bound": "inf" if bound is None else bound,
+                    "truncated_hubs": driver.stats.truncated_hubs,
+                    "cost": schedule_cost(schedule, dataset.workload),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, work)
+    print()
+    print(format_table(rows, title="E8b: cross-edge bound b vs schedule quality"))
+
+    # tighter bounds truncate more hubs and can only cost more
+    assert rows[0]["truncated_hubs"] >= rows[-2]["truncated_hubs"]
+    assert rows[-1]["cost"] <= rows[0]["cost"] + 1e-9

@@ -1,0 +1,83 @@
+"""E10 — the paper's future-work direction: scaling CHITCHAT.
+
+Section 4.4 concludes that the CHITCHAT/PARALLELNOSY gap "suggests
+interesting future work on the design of techniques to scale the CHITCHAT
+algorithm".  This bench evaluates BATCHEDCHITCHAT (see
+``repro.core.batched``) against both published algorithms on a sample
+graph: schedule quality (improvement over FF), oracle-call volume (the
+scalability currency), and wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.baselines import hybrid_schedule
+from repro.core.batched import batched_chitchat_with_stats
+from repro.core.chitchat import ChitchatScheduler
+from repro.core.cost import schedule_cost
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.experiments.datasets import load_dataset
+from repro.graph.sampling import breadth_first_sample
+from repro.workload.rates import log_degree_workload
+
+
+def test_bench_scalable_chitchat(benchmark, bench_scale):
+    dataset = load_dataset("twitter", scale=min(bench_scale, 0.3))
+    sample = breadth_first_sample(
+        dataset.graph, target_edges=dataset.graph.num_edges // 4, seed=0
+    )
+    workload = log_degree_workload(sample, read_write_ratio=2.0)
+    ff_cost = schedule_cost(hybrid_schedule(sample, workload), workload)
+
+    def work():
+        rows = []
+
+        started = time.perf_counter()
+        cc = ChitchatScheduler(sample, workload)
+        cc_schedule = cc.run()
+        rows.append(
+            {
+                "algorithm": "ChitChat (sequential)",
+                "vs hybrid": ff_cost / schedule_cost(cc_schedule, workload),
+                "oracle calls": cc.stats.oracle_calls,
+                "seconds": round(time.perf_counter() - started, 2),
+            }
+        )
+
+        started = time.perf_counter()
+        bc_schedule, bc_stats = batched_chitchat_with_stats(sample, workload)
+        rows.append(
+            {
+                "algorithm": "BatchedChitChat (rounds)",
+                "vs hybrid": ff_cost / schedule_cost(bc_schedule, workload),
+                "oracle calls": bc_stats.oracle_calls,
+                "seconds": round(time.perf_counter() - started, 2),
+            }
+        )
+
+        started = time.perf_counter()
+        pn_schedule = parallel_nosy_schedule(sample, workload, max_iterations=10)
+        rows.append(
+            {
+                "algorithm": "ParallelNosy",
+                "vs hybrid": ff_cost / schedule_cost(pn_schedule, workload),
+                "oracle calls": 0,
+                "seconds": round(time.perf_counter() - started, 2),
+            }
+        )
+        return rows
+
+    rows = run_once(benchmark, work)
+    print()
+    print(format_table(rows, title="E10: scaling CHITCHAT (future work of §4.4)"))
+
+    by_name = {row["algorithm"]: row for row in rows}
+    cc = by_name["ChitChat (sequential)"]
+    bc = by_name["BatchedChitChat (rounds)"]
+    # batched keeps most of CHITCHAT's quality with far fewer oracle calls
+    assert bc["oracle calls"] < cc["oracle calls"]
+    assert bc["vs hybrid"] >= 0.9 * cc["vs hybrid"]
+    assert all(row["vs hybrid"] >= 1.0 - 1e-9 for row in rows)

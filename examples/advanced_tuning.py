@@ -1,0 +1,79 @@
+"""Advanced tuning: accumulation periods and placement-aware hubs.
+
+Two knobs beyond the paper's headline algorithms, both grounded in its
+discussion sections:
+
+* **asynchronous accumulation** (§2.2): coalescing pushes over a period T
+  trades staleness (Θ = 2Δ + T) for throughput — this example sweeps the
+  frontier and picks the knee;
+* **placement-aware hub selection** (§4.3): on small clusters, hubs placed
+  on remote servers turn free co-located edges into paid traffic; a
+  placement-aware PARALLELNOSY avoids them, at the price of re-tuning
+  whenever the cluster is re-partitioned.
+
+Run:  python examples/advanced_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.partitioning import (
+    agnostic_vs_aware_sweep,
+    repartitioning_penalty,
+)
+from repro.analysis.reporting import format_table
+from repro.core import parallel_nosy_schedule
+from repro.core.async_model import frontier, knee_period
+from repro.experiments.datasets import flickr_like
+
+DELTA = 0.05  # request service-time bound of the staleness model
+
+
+def main() -> None:
+    dataset = flickr_like(scale=0.3)
+    graph, workload = dataset.graph, dataset.workload
+    print(f"graph: {graph.num_nodes} users / {graph.num_edges} edges\n")
+
+    # --- 1. accumulation frontier -----------------------------------
+    schedule = parallel_nosy_schedule(graph, workload, max_iterations=10)
+    periods = [0.0, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0]
+    points = frontier(schedule, workload, periods, delta=DELTA)
+    rows = [
+        {
+            "period T": p.period,
+            "cost (req/s)": round(p.cost, 1),
+            "staleness bound": round(p.staleness, 2),
+        }
+        for p in points
+    ]
+    print(format_table(rows, title="Accumulation: cost vs staleness"))
+    knee = knee_period(schedule, workload, max_period=15.0, delta=DELTA)
+    print(
+        f"suggested accumulation period: {knee:.2f} time units "
+        "(90% of the available reduction)\n"
+    )
+
+    # --- 2. placement-aware hub selection ----------------------------
+    sweep = agnostic_vs_aware_sweep(graph, workload, [2, 8, 32, 128, 1024])
+    print(
+        format_table(
+            [
+                {k: round(v, 3) if isinstance(v, float) else v for k, v in row.items()}
+                for row in sweep
+            ],
+            title="Throughput vs hybrid: agnostic vs placement-aware PN",
+        )
+    )
+    penalty = repartitioning_penalty(graph, workload, 8, old_seed=0, new_seed=5)
+    print(
+        f"\nre-partitioning penalty of the aware schedule on 8 servers: "
+        f"{penalty.penalty:.3f}x"
+    )
+    print(
+        "The aware optimizer wins small clusters but loses its edge the"
+        "\nmoment the placement changes — the paper's reason for keeping"
+        "\nthe DISSEMINATION problem placement-agnostic (§4.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

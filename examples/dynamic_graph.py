@@ -1,0 +1,80 @@
+"""Living with a dynamic social graph: incremental schedule maintenance.
+
+Social graphs churn constantly; re-running the optimizer on every follow is
+absurd.  Section 3.3's policy: serve new edges directly (cheaper of
+push/pull), repair covers broken by unfollows, and re-optimize only
+periodically.  This example simulates a day of follow/unfollow churn,
+tracking how far the incrementally-maintained schedule drifts from a fresh
+re-optimization — the operational version of Figure 5.
+
+Run:  python examples/dynamic_graph.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import format_table
+from repro.core import (
+    IncrementalMaintainer,
+    hybrid_schedule,
+    parallel_nosy_schedule,
+    schedule_cost,
+)
+from repro.experiments.datasets import flickr_like
+from repro.workload.rates import log_degree_workload
+
+CHURN_STEPS = 6
+EDGES_PER_STEP = 400
+
+
+def main() -> None:
+    dataset = flickr_like(scale=0.4)
+    graph, workload = dataset.graph, dataset.workload
+    rng = random.Random(11)
+    nodes = list(graph.nodes())
+
+    print(f"start: {graph.num_nodes} users / {graph.num_edges} edges")
+    schedule = parallel_nosy_schedule(graph, workload, max_iterations=10)
+    maintainer = IncrementalMaintainer(graph, workload, schedule)
+
+    rows = []
+    for step in range(1, CHURN_STEPS + 1):
+        # 80% follows, 20% unfollows — growing-graph churn
+        for _ in range(EDGES_PER_STEP):
+            if rng.random() < 0.8:
+                u, v = rng.choice(nodes), rng.choice(nodes)
+                if u != v:
+                    maintainer.add_edge(u, v)
+            else:
+                edges = list(graph.edges())
+                maintainer.remove_edge(*edges[rng.randrange(len(edges))])
+
+        assert maintainer.is_feasible(), "maintenance must never break coverage"
+        ff_cost = schedule_cost(hybrid_schedule(graph, workload), workload)
+        incremental_ratio = ff_cost / maintainer.cost()
+        reoptimized = parallel_nosy_schedule(graph, workload, max_iterations=10)
+        static_ratio = ff_cost / schedule_cost(reoptimized, workload)
+        rows.append(
+            {
+                "step": step,
+                "edges": graph.num_edges,
+                "covers broken": maintainer.covers_broken,
+                "incremental ratio": round(incremental_ratio, 4),
+                "re-optimized ratio": round(static_ratio, 4),
+                "drift %": round(
+                    100 * (static_ratio - incremental_ratio) / static_ratio, 2
+                ),
+            }
+        )
+
+    print(format_table(rows, title="Incremental maintenance under churn"))
+    print(
+        "\n'drift %' is what periodic re-optimization would win back; the"
+        "\npaper (Figure 5) finds one re-optimization per ~1/3 of the graph"
+        "\nadded is enough to keep drift negligible."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Analytics: predicted throughput, load balance, report formatting."""
+
+from repro.analysis.loadbalance import (
+    LoadBalanceResult,
+    load_balance,
+    per_server_query_load,
+)
+from repro.analysis.partitioning import (
+    PlacementAdvantage,
+    RepartitioningPenalty,
+    partition_aware_hybrid,
+    placement_advantage,
+    repartitioning_penalty,
+)
+from repro.analysis.predicted import (
+    PartitionedCost,
+    normalized_predicted_throughput,
+    partition_free_ratio,
+    partitioned_cost,
+    predicted_improvement_vs_servers,
+)
+from repro.analysis.reporting import format_series, format_table, format_value, sparkline
+
+__all__ = [
+    "LoadBalanceResult",
+    "PartitionedCost",
+    "PlacementAdvantage",
+    "RepartitioningPenalty",
+    "partition_aware_hybrid",
+    "placement_advantage",
+    "repartitioning_penalty",
+    "format_series",
+    "format_table",
+    "format_value",
+    "load_balance",
+    "normalized_predicted_throughput",
+    "partition_free_ratio",
+    "partitioned_cost",
+    "per_server_query_load",
+    "predicted_improvement_vs_servers",
+    "sparkline",
+]

@@ -1,0 +1,89 @@
+"""Load-balance analytics (paper Figure 8).
+
+Beyond aggregate throughput, a schedule must not concentrate load: Figure 8
+plots the normalized query rate per server (mean with variance bars) for
+PARALLELNOSY and FF across cluster sizes.  The per-server query rate of a
+schedule is::
+
+    load(s) = Σ_u rc(u) · [s hosts a view in {u} ∪ l[u]]
+
+normalized by the total query rate so curves at different cluster sizes are
+comparable; both axes of the paper's figure are logarithmic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import SocialGraph
+from repro.store.partition import HashPartitioner
+from repro.workload.rates import Workload
+
+
+@dataclass(frozen=True)
+class LoadBalanceResult:
+    """Per-server normalized query-load distribution summary."""
+
+    num_servers: int
+    mean: float
+    variance: float
+    maximum: float
+    minimum: float
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean ratio: 1.0 is perfectly balanced."""
+        if self.mean == 0:
+            return 0.0
+        return self.maximum / self.mean
+
+
+def per_server_query_load(
+    graph: SocialGraph,
+    schedule: RequestSchedule,
+    workload: Workload,
+    num_servers: int,
+    seed: int = 0,
+) -> list[float]:
+    """Normalized query rate hitting each server under the schedule."""
+    partitioner = HashPartitioner(num_servers, seed)
+    _push_map, pull_map = schedule.build_user_maps(graph.nodes())
+    load = [0.0] * num_servers
+    total = 0.0
+    for user in graph.nodes():
+        rate = workload.rc(user)
+        total += rate
+        servers = {partitioner.server_of(v) for v in pull_map.get(user, ())}
+        servers.add(partitioner.server_of(user))
+        for s in servers:
+            load[s] += rate
+    if total > 0:
+        load = [value / total for value in load]
+    return load
+
+
+def load_balance(
+    graph: SocialGraph,
+    schedule: RequestSchedule,
+    workload: Workload,
+    num_servers: int,
+    seed: int = 0,
+) -> LoadBalanceResult:
+    """Summarize the per-server query-load distribution (Figure 8 point)."""
+    load = per_server_query_load(graph, schedule, workload, num_servers, seed)
+    n = len(load)
+    mean = sum(load) / n
+    variance = sum((value - mean) ** 2 for value in load) / n
+    return LoadBalanceResult(
+        num_servers=num_servers,
+        mean=mean,
+        variance=variance,
+        maximum=max(load),
+        minimum=min(load),
+    )

@@ -1,0 +1,241 @@
+"""Partition-aware scheduling: quantifying the paper's design decision.
+
+Section 4.3 argues that the DISSEMINATION problem should *not* take data
+partitioning as input: placement "might be hidden as internal logic of the
+data store layer", and it is "highly dynamic ... modified often during the
+lifetime of a system".  The prototype then shows partition-agnostic
+schedules still win once clusters are reasonably large.
+
+Two observations make this measurable:
+
+* For *direct* service the choice of push vs pull is irrelevant on
+  co-located edges — the message to that server is sent anyway for the own
+  view, so batching makes both free.  Placement knowledge therefore cannot
+  improve the hybrid baseline at all (:func:`partition_aware_hybrid`
+  exists to demonstrate that it degenerates, and tests assert its cost
+  equals the agnostic hybrid's).
+* Where placement knowledge *does* matter is **hub selection**: a hub `w`
+  on a different server than both `x` and `y` turns a free co-located
+  cross-edge into paid remote traffic — this is exactly why FF beats
+  PARALLELNOSY on small clusters in Figure 6.
+  :class:`PlacementAwareParallelNosy` prices candidate hub-graphs with
+  placement-aware marginal message costs, recovering that loss; its
+  advantage vanishes as servers grow and evaporates after re-partitioning,
+  which is the paper's argument for staying agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.predicted import partitioned_cost
+from repro.core.baselines import hybrid_schedule
+from repro.core.cost import hybrid_edge_cost
+from repro.core.parallelnosy import ParallelNosyOptimizer
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import Node, SocialGraph
+from repro.store.partition import HashPartitioner
+from repro.workload.rates import Workload
+
+
+def partition_aware_hybrid(
+    graph: SocialGraph,
+    workload: Workload,
+    num_servers: int,
+    seed: int = 0,
+) -> RequestSchedule:
+    """Per-edge hybrid forcing pushes on co-located edges.
+
+    Under own-view-inclusive batching this schedule's partitioned cost is
+    provably identical to the agnostic hybrid's (a co-located push and a
+    co-located pull are both free); it is kept as the degenerate case the
+    §4.3 analysis starts from.
+    """
+    partitioner = HashPartitioner(num_servers, seed)
+    schedule = RequestSchedule()
+    for u, v in graph.edges():
+        if partitioner.server_of(u) == partitioner.server_of(v):
+            schedule.add_push((u, v))  # free either way: same server
+        elif workload.rp(u) <= workload.rc(v):
+            schedule.add_push((u, v))
+        else:
+            schedule.add_pull((u, v))
+    return schedule
+
+
+class PlacementAwareParallelNosy(ParallelNosyOptimizer):
+    """PARALLELNOSY whose candidate gains use placement-aware costs.
+
+    Marginal message pricing under batching:
+
+    * a push leg ``x -> w`` costs nothing extra when ``w``'s view lives on
+      ``x``'s own server (the update message is sent there anyway);
+    * a pull leg ``w -> y`` costs nothing when ``w`` is on ``y``'s server;
+    * covering a cross-edge ``x -> y`` saves nothing when ``x`` and ``y``
+      are co-located (the edge was free already).
+
+    Only the candidate *gain* changes; locking, application, and
+    finalization are inherited unchanged, so the result is a feasible
+    schedule directly comparable to the agnostic optimizer's.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        workload: Workload,
+        num_servers: int,
+        seed: int = 0,
+        max_candidate_producers: int | None = None,
+    ) -> None:
+        super().__init__(graph, workload, max_candidate_producers)
+        self.partitioner = HashPartitioner(num_servers, seed)
+
+    def _colocated(self, a: Node, b: Node) -> bool:
+        return self.partitioner.server_of(a) == self.partitioner.server_of(b)
+
+    def _aware_edge_cost(self, u: Node, v: Node) -> float:
+        """Message cost of serving ``u -> v`` directly under batching."""
+        if self._colocated(u, v):
+            return 0.0
+        return hybrid_edge_cost((u, v), self.workload)
+
+    def _gain(self, x_nodes, hub: Node, consumer: Node) -> float:
+        schedule = self.state.schedule
+        saved = sum(self._aware_edge_cost(x, consumer) for x in x_nodes)
+
+        # pull leg w -> y
+        pull_edge = (hub, consumer)
+        if pull_edge in schedule.pull or self._colocated(hub, consumer):
+            pull_cost = 0.0
+        elif pull_edge in schedule.push:
+            pull_cost = self.workload.rc(consumer)
+        else:
+            pull_cost = self.workload.rc(consumer) - self._aware_edge_cost(
+                hub, consumer
+            )
+
+        push_cost = 0.0
+        for x in x_nodes:
+            push_edge = (x, hub)
+            if push_edge in schedule.push or self._colocated(x, hub):
+                continue
+            if push_edge in schedule.pull:
+                push_cost += self.workload.rp(x)
+            else:
+                push_cost += self.workload.rp(x) - self._aware_edge_cost(x, hub)
+        return saved - pull_cost - push_cost
+
+
+def placement_aware_schedule(
+    graph: SocialGraph,
+    workload: Workload,
+    num_servers: int,
+    seed: int = 0,
+    max_iterations: int = 10,
+) -> RequestSchedule:
+    """One-shot placement-aware PARALLELNOSY run."""
+    optimizer = PlacementAwareParallelNosy(graph, workload, num_servers, seed)
+    return optimizer.run(max_iterations)
+
+
+@dataclass(frozen=True)
+class PlacementAdvantage:
+    """Partitioned-cost comparison of aware vs agnostic schedules."""
+
+    num_servers: int
+    agnostic_cost: float
+    aware_cost: float
+
+    @property
+    def advantage(self) -> float:
+        """``agnostic / aware`` : > 1 when placement knowledge paid off."""
+        if self.aware_cost <= 0:
+            return 1.0
+        return self.agnostic_cost / self.aware_cost
+
+
+def placement_advantage(
+    graph: SocialGraph,
+    agnostic: RequestSchedule,
+    workload: Workload,
+    num_servers: int,
+    seed: int = 0,
+    max_iterations: int = 10,
+) -> PlacementAdvantage:
+    """Aware-PN vs the given agnostic schedule on one placement."""
+    aware = placement_aware_schedule(
+        graph, workload, num_servers, seed, max_iterations
+    )
+    return PlacementAdvantage(
+        num_servers=num_servers,
+        agnostic_cost=partitioned_cost(
+            graph, agnostic, workload, num_servers, seed
+        ).total,
+        aware_cost=partitioned_cost(graph, aware, workload, num_servers, seed).total,
+    )
+
+
+@dataclass(frozen=True)
+class RepartitioningPenalty:
+    """Aware-schedule cost on its tuned placement vs after re-placement."""
+
+    tuned_cost: float
+    repartitioned_cost: float
+
+    @property
+    def penalty(self) -> float:
+        """``repartitioned / tuned``: what a placement change destroys."""
+        if self.tuned_cost <= 0:
+            return 1.0
+        return self.repartitioned_cost / self.tuned_cost
+
+
+def repartitioning_penalty(
+    graph: SocialGraph,
+    workload: Workload,
+    num_servers: int,
+    old_seed: int = 0,
+    new_seed: int = 1,
+    max_iterations: int = 10,
+) -> RepartitioningPenalty:
+    """Price a placement-aware schedule before/after a re-partitioning.
+
+    The schedule is optimized against ``old_seed``'s placement and priced
+    against both placements; a penalty > 1 is the paper's dynamism
+    argument made concrete.
+    """
+    aware = placement_aware_schedule(
+        graph, workload, num_servers, old_seed, max_iterations
+    )
+    tuned = partitioned_cost(graph, aware, workload, num_servers, old_seed).total
+    moved = partitioned_cost(graph, aware, workload, num_servers, new_seed).total
+    return RepartitioningPenalty(tuned_cost=tuned, repartitioned_cost=moved)
+
+
+def agnostic_vs_aware_sweep(
+    graph: SocialGraph,
+    workload: Workload,
+    server_counts: list[int],
+    seed: int = 0,
+    max_iterations: int = 10,
+) -> list[dict[str, float]]:
+    """Rows comparing agnostic-PN, aware-PN, and hybrid across sizes."""
+    from repro.core.parallelnosy import parallel_nosy_schedule
+
+    agnostic = parallel_nosy_schedule(graph, workload, max_iterations)
+    ff = hybrid_schedule(graph, workload)
+    rows: list[dict[str, float]] = []
+    for n in server_counts:
+        aware = placement_aware_schedule(graph, workload, n, seed, max_iterations)
+        ff_cost = partitioned_cost(graph, ff, workload, n, seed).total
+        rows.append(
+            {
+                "servers": n,
+                "hybrid": 1.0,
+                "agnostic PN": ff_cost
+                / partitioned_cost(graph, agnostic, workload, n, seed).total,
+                "aware PN": ff_cost
+                / partitioned_cost(graph, aware, workload, n, seed).total,
+            }
+        )
+    return rows

@@ -1,0 +1,121 @@
+"""Predicted-throughput analytics (paper sections 4.2–4.3).
+
+Two predictors are used by the evaluation:
+
+* the **partition-free** predictor — throughput is the inverse of the cost
+  function ``c(H, L)`` (Figure 4's improvement ratios); and
+* the **partition-aware** predictor (Figure 7) — with the views placed on
+  ``n`` servers and batched messaging, a request by ``u`` costs one message
+  per *distinct server* hosting a touched view, the own view included (with
+  one server every request is exactly one message, which normalizes the
+  curves).
+
+The partition-aware predicted cost of a schedule is therefore::
+
+    cost_n = Σ_u rp(u) · |servers({u} ∪ h[u])| + Σ_u rc(u) · |servers({u} ∪ l[u])|
+
+As ``n`` grows the co-location probability vanishes and the predictor
+converges to the partition-free cost (plus the constant own-view term) —
+the convergence the paper points out between Figures 7 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import schedule_cost
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import SocialGraph
+from repro.store.partition import HashPartitioner
+from repro.workload.rates import Workload
+
+
+@dataclass(frozen=True)
+class PartitionedCost:
+    """Partition-aware predicted cost of one schedule at one cluster size."""
+
+    num_servers: int
+    update_cost: float
+    query_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.update_cost + self.query_cost
+
+
+def partitioned_cost(
+    graph: SocialGraph,
+    schedule: RequestSchedule,
+    workload: Workload,
+    num_servers: int,
+    seed: int = 0,
+) -> PartitionedCost:
+    """Message-rate cost with batching on an ``n``-server hash placement."""
+    partitioner = HashPartitioner(num_servers, seed)
+    push_map, pull_map = schedule.build_user_maps(graph.nodes())
+    update_cost = 0.0
+    query_cost = 0.0
+    for user in graph.nodes():
+        own = partitioner.server_of(user)
+        push_servers = {partitioner.server_of(v) for v in push_map.get(user, ())}
+        push_servers.add(own)
+        update_cost += workload.rp(user) * len(push_servers)
+        pull_servers = {partitioner.server_of(v) for v in pull_map.get(user, ())}
+        pull_servers.add(own)
+        query_cost += workload.rc(user) * len(pull_servers)
+    return PartitionedCost(num_servers, update_cost, query_cost)
+
+
+def normalized_predicted_throughput(
+    graph: SocialGraph,
+    schedule: RequestSchedule,
+    workload: Workload,
+    num_servers: int,
+    seed: int = 0,
+) -> float:
+    """Predicted throughput normalized by the one-server optimum (Figure 7).
+
+    With one server every request costs one message, so the normalizer is
+    the total request rate; values are in ``(0, 1]`` and decrease as the
+    cluster grows.
+    """
+    one_server_cost = workload.total_production + workload.total_consumption
+    cost = partitioned_cost(graph, schedule, workload, num_servers, seed).total
+    if cost <= 0:
+        return 0.0
+    return one_server_cost / cost
+
+
+def predicted_improvement_vs_servers(
+    graph: SocialGraph,
+    schedule: RequestSchedule,
+    baseline: RequestSchedule,
+    workload: Workload,
+    server_counts: list[int],
+    seed: int = 0,
+) -> list[tuple[int, float]]:
+    """Partition-aware predicted improvement ratio per cluster size."""
+    out: list[tuple[int, float]] = []
+    for n in server_counts:
+        cost = partitioned_cost(graph, schedule, workload, n, seed).total
+        base = partitioned_cost(graph, baseline, workload, n, seed).total
+        out.append((n, base / cost if cost > 0 else float("inf")))
+    return out
+
+
+def partition_free_ratio(
+    schedule: RequestSchedule,
+    baseline: RequestSchedule,
+    workload: Workload,
+) -> float:
+    """The ``n -> ∞`` limit of the partition-aware ratio (Figure 4's value).
+
+    As servers multiply, co-location vanishes, the constant own-view terms
+    stay on both sides, and the ratio converges to
+    ``(own + c(baseline)) / (own + c(schedule))`` where ``own`` is the total
+    request rate.
+    """
+    own = workload.total_production + workload.total_consumption
+    return (own + schedule_cost(baseline, workload)) / (
+        own + schedule_cost(schedule, workload)
+    )

@@ -1,0 +1,79 @@
+"""Plain-text report formatting for experiment results.
+
+Every experiment harness produces rows (dicts) and series (x/y lists); this
+module renders them as aligned text tables so benchmark runs print the same
+shape of output the paper's figures encode.  No plotting dependency is used
+— the repository is built to run on a bare offline Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_value(value) -> str:
+    """Human-friendly cell rendering (floats to 4 significant digits)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[format_value(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render several aligned y-series against a shared x axis."""
+    rows = []
+    for i, xv in enumerate(x):
+        row: dict[str, object] = {x_label: xv}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A crude ASCII trend line (useful in benchmark console output)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    blocks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    picked = list(values)[::step][:width]
+    return "".join(
+        blocks[min(len(blocks) - 1, int((v - lo) / span * (len(blocks) - 1)))]
+        for v in picked
+    )

@@ -1,0 +1,239 @@
+"""``repro-schedule`` — operational CLI for computing and inspecting
+request schedules.
+
+The workflow the paper implies for a production deployment:
+
+1. export the social graph as an edge list;
+2. compute per-user rates (or synthesize the log-degree model);
+3. run a scheduler offline (PARALLELNOSY for big graphs, CHITCHAT for
+   quality on samples);
+4. ship the schedule file to the application servers.
+
+Commands::
+
+    repro-schedule optimize GRAPH -o schedule.json [--algorithm ...] [...]
+    repro-schedule validate GRAPH schedule.json
+    repro-schedule cost GRAPH schedule.json [workload options]
+    repro-schedule compare GRAPH [workload options]
+    repro-schedule stats GRAPH
+
+``GRAPH`` is a whitespace edge-list file (``producer consumer`` per line,
+``.gz`` supported).  Workload options: ``--read-write-ratio`` (default 5),
+``--workload-file`` to load explicit rates instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.reporting import format_table
+from repro.core.baselines import hybrid_schedule, pull_all_schedule, push_all_schedule
+from repro.core.chitchat import chitchat_schedule
+from repro.core.cost import schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.core.serialize import load_schedule, load_workload, save_schedule
+from repro.errors import ReproError
+from repro.graph.io import read_edge_list
+from repro.graph.stats import summarize
+from repro.workload.rates import log_degree_workload
+
+ALGORITHMS = {
+    "parallelnosy": lambda g, w, args: parallel_nosy_schedule(
+        g, w, max_iterations=args.iterations
+    ),
+    "chitchat": lambda g, w, args: chitchat_schedule(
+        g, w, max_cross_edges=args.cross_edge_bound
+    ),
+    "hybrid": lambda g, w, args: hybrid_schedule(g, w),
+    "push-all": lambda g, w, args: push_all_schedule(g),
+    "pull-all": lambda g, w, args: pull_all_schedule(g),
+}
+
+
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--read-write-ratio",
+        type=float,
+        default=5.0,
+        help="average consumption/production ratio for the synthetic "
+        "log-degree workload (default 5, the paper's reference)",
+    )
+    parser.add_argument(
+        "--workload-file",
+        help="load explicit per-user rates (repro-workload JSON) instead "
+        "of synthesizing the log-degree model",
+    )
+
+
+def _load_workload(graph, args):
+    if args.workload_file:
+        return load_workload(args.workload_file)
+    return log_degree_workload(graph, read_write_ratio=args.read_write_ratio)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the repro-schedule argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-schedule",
+        description="Compute, validate, and compare social-piggybacking "
+        "request schedules",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("optimize", help="compute a schedule and save it")
+    opt.add_argument("graph", help="edge-list file")
+    opt.add_argument("-o", "--output", required=True, help="schedule output path")
+    opt.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="parallelnosy",
+    )
+    opt.add_argument("--iterations", type=int, default=15, help="PARALLELNOSY cap")
+    opt.add_argument(
+        "--cross-edge-bound",
+        type=int,
+        default=None,
+        help="CHITCHAT per-hub cross-edge bound b",
+    )
+    _add_workload_options(opt)
+
+    val = sub.add_parser("validate", help="check Theorem 1 coverage of a schedule")
+    val.add_argument("graph")
+    val.add_argument("schedule")
+
+    cost = sub.add_parser("cost", help="print the cost of a stored schedule")
+    cost.add_argument("graph")
+    cost.add_argument("schedule")
+    _add_workload_options(cost)
+
+    cmp_ = sub.add_parser("compare", help="compare all algorithms on a graph")
+    cmp_.add_argument("graph")
+    cmp_.add_argument("--iterations", type=int, default=15)
+    cmp_.add_argument("--cross-edge-bound", type=int, default=None)
+    cmp_.add_argument(
+        "--skip-chitchat",
+        action="store_true",
+        help="skip CHITCHAT (slow on large graphs)",
+    )
+    _add_workload_options(cmp_)
+
+    stats = sub.add_parser("stats", help="structural statistics of a graph")
+    stats.add_argument("graph")
+    return parser
+
+
+def cmd_optimize(args) -> int:
+    """Run an optimizer on an edge-list graph and save the schedule."""
+    graph = read_edge_list(args.graph)
+    workload = _load_workload(graph, args)
+    started = time.perf_counter()
+    schedule = ALGORITHMS[args.algorithm](graph, workload, args)
+    elapsed = time.perf_counter() - started
+    validate_schedule(graph, schedule)
+    records = save_schedule(
+        schedule,
+        args.output,
+        metadata={
+            "algorithm": args.algorithm,
+            "graph": str(args.graph),
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "cost": schedule_cost(schedule, workload),
+        },
+    )
+    print(
+        f"{args.algorithm}: cost={schedule_cost(schedule, workload):.1f} "
+        f"({records} records -> {args.output}, {elapsed:.1f}s)"
+    )
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Check Theorem 1 coverage of a stored schedule."""
+    graph = read_edge_list(args.graph)
+    schedule, metadata = load_schedule(args.schedule)
+    report = validate_schedule(graph, schedule, strict=False)
+    print(
+        f"edges={report.total_edges} push={report.push_served} "
+        f"pull={report.pull_served} hub={report.hub_served} "
+        f"uncovered={len(report.uncovered)}"
+    )
+    if metadata:
+        print(f"metadata: {metadata}")
+    if not report.feasible:
+        print("INFEASIBLE: schedule violates bounded staleness (Theorem 1)")
+        return 1
+    print("OK: schedule is feasible")
+    return 0
+
+
+def cmd_cost(args) -> int:
+    """Price a stored schedule against a workload."""
+    graph = read_edge_list(args.graph)
+    schedule, _metadata = load_schedule(args.schedule)
+    workload = _load_workload(graph, args)
+    baseline = schedule_cost(hybrid_schedule(graph, workload), workload)
+    cost = schedule_cost(schedule, workload)
+    print(f"cost={cost:.1f} hybrid={baseline:.1f} improvement={baseline / cost:.3f}x")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Compare all algorithms on one graph and print a table."""
+    graph = read_edge_list(args.graph)
+    workload = _load_workload(graph, args)
+    rows = []
+    baseline = schedule_cost(hybrid_schedule(graph, workload), workload)
+    for name, factory in ALGORITHMS.items():
+        if args.skip_chitchat and name == "chitchat":
+            continue
+        started = time.perf_counter()
+        schedule = factory(graph, workload, args)
+        elapsed = time.perf_counter() - started
+        validate_schedule(graph, schedule)
+        cost = schedule_cost(schedule, workload)
+        rows.append(
+            {
+                "algorithm": name,
+                "cost": round(cost, 1),
+                "vs hybrid": round(baseline / cost, 3),
+                "piggybacked": len(schedule.hub_cover),
+                "seconds": round(elapsed, 2),
+            }
+        )
+    print(format_table(rows, title=f"{args.graph}: schedule comparison"))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Print structural statistics of an edge-list graph."""
+    graph = read_edge_list(args.graph)
+    stats = summarize(graph)
+    print(format_table([stats.as_row()], title=f"{args.graph}: structure"))
+    return 0
+
+
+COMMANDS = {
+    "optimize": cmd_optimize,
+    "validate": cmd_validate,
+    "cost": cmd_cost,
+    "compare": cmd_compare,
+    "stats": cmd_stats,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Active-store schedules and the equivalence with passive stores.
+
+Most of the paper assumes *passive* stores — data-store servers act only
+when a client pushes or pulls.  Section 2.2 generalizes to *active* stores,
+whose servers can forward events among themselves: each edge ``w -> u`` may
+carry a propagation set ``P_u(w)`` of users to whose views ``u``'s server
+pushes an event by ``w`` when it first arrives (Definition 5).  Propagation
+targets must be common subscribers of ``w`` and ``u`` so views never store
+events their owners did not subscribe to.
+
+Theorem 3 shows active stores add no power: any active schedule can be
+simulated by a passive one — replace every push chain
+``w -> u_1 -> ... -> u_k`` by direct pushes ``w -> u_i`` — at equal or lower
+cost and equal or lower latency.  :func:`to_passive` implements that
+construction and :func:`active_cost` / tests verify the cost inequality,
+which is why the rest of the package only ever optimizes passive schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.schedule import RequestSchedule
+from repro.errors import ScheduleError
+from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.workload.rates import Workload
+
+
+@dataclass
+class ActiveSchedule:
+    """A passive schedule plus server-side propagation sets.
+
+    ``propagation[(w, u)]`` is ``P_u(w)``: when ``u``'s view first stores an
+    event produced by ``w``, the server pushes it to every view in the set.
+    """
+
+    push: set[Edge] = field(default_factory=set)
+    pull: set[Edge] = field(default_factory=set)
+    propagation: dict[Edge, set[Node]] = field(default_factory=dict)
+
+    def validate(self, graph: SocialGraph) -> None:
+        """Check Definition 5's constraints.
+
+        Every propagation key must be a social edge, and every target must
+        subscribe to both the producer ``w`` and the relay ``u`` (so the
+        target's view only ever holds events from its own subscriptions).
+        """
+        for (w, u), targets in self.propagation.items():
+            if not graph.has_edge(w, u):
+                raise ScheduleError(f"propagation on non-edge {(w, u)!r}")
+            for v in targets:
+                if not graph.has_edge(w, v):
+                    raise ScheduleError(
+                        f"propagation target {v!r} does not subscribe to {w!r}"
+                    )
+                if not graph.has_edge(u, v):
+                    raise ScheduleError(
+                        f"propagation target {v!r} does not subscribe to relay {u!r}"
+                    )
+
+
+def reachable_views(schedule: ActiveSchedule, producer: Node) -> set[Node]:
+    """Views that end up storing ``producer``'s events.
+
+    Seeds are the direct pushes; propagation sets then forward along server
+    chains.  The producer's own view is excluded (it is implicit).
+    """
+    reached: set[Node] = set()
+    queue: deque[Node] = deque()
+    for w, v in schedule.push:
+        if w == producer and v not in reached:
+            reached.add(v)
+            queue.append(v)
+    while queue:
+        u = queue.popleft()
+        targets = schedule.propagation.get((producer, u))
+        if not targets:
+            continue
+        for v in targets:
+            if v != producer and v not in reached:
+                reached.add(v)
+                queue.append(v)
+    return reached
+
+
+def serves_edge(schedule: ActiveSchedule, graph: SocialGraph, edge: Edge) -> bool:
+    """Whether the active schedule delivers ``edge`` with bounded staleness.
+
+    ``u -> v`` is served when ``v``'s view receives the events (push or
+    propagation chain), or ``v`` pulls a view that stores them — either
+    ``u``'s own view or any reached relay view.
+    """
+    u, v = edge
+    reached = reachable_views(schedule, u)
+    if v in reached:
+        return True
+    if (u, v) in schedule.pull:
+        return True
+    return any((w, v) in schedule.pull for w in reached)
+
+
+def is_feasible(schedule: ActiveSchedule, graph: SocialGraph) -> bool:
+    """Whether every social edge is served (active analogue of Theorem 1)."""
+    return all(serves_edge(schedule, graph, e) for e in graph.edges())
+
+
+def active_cost(schedule: ActiveSchedule, workload: Workload) -> float:
+    """Request-rate cost of an active schedule.
+
+    Client pushes and pulls cost as usual; each propagation hop for events
+    of ``w`` fires at rate ``rp(w)`` per target (the server pushes every new
+    event onward).  Propagation entries are charged per producer ``w`` of
+    the carrying edge ``(w, u)``.
+    """
+    cost = 0.0
+    for w, _v in schedule.push:
+        cost += workload.rp(w)
+    for _u, v in schedule.pull:
+        cost += workload.rc(v)
+    for (w, _u), targets in schedule.propagation.items():
+        cost += workload.rp(w) * len(targets)
+    return cost
+
+
+def to_passive(schedule: ActiveSchedule, graph: SocialGraph) -> RequestSchedule:
+    """Theorem 3 construction: flatten propagation chains into direct pushes.
+
+    For each producer ``w``, every view reachable through pushes and
+    propagation becomes a direct push ``w -> v``; pulls are kept unchanged.
+    The result serves every edge the active schedule served, at equal or
+    lower cost (each reachable view is paid once, whereas a chain may pay a
+    relay multiple times), and with lower or equal latency (one hop instead
+    of a chain).
+    """
+    passive = RequestSchedule(pull=set(schedule.pull))
+    producers = {w for w, _ in schedule.push} | {w for (w, _u) in schedule.propagation}
+    for w in producers:
+        for v in reachable_views(schedule, w):
+            if not graph.has_edge(w, v):
+                raise ScheduleError(
+                    f"active schedule reaches non-subscriber view {v!r} of {w!r}"
+                )
+            passive.add_push((w, v))
+    # Record hub covers for edges served indirectly, for introspection.
+    for edge in graph.edges():
+        if edge in passive.push or edge in passive.pull:
+            continue
+        u, v = edge
+        for w in graph.successors_view(u):
+            if (u, w) in passive.push and (w, v) in passive.pull:
+                passive.cover_via_hub(edge, w)
+                break
+    return passive

@@ -1,0 +1,58 @@
+"""Baseline request schedules: push-all, pull-all, and the hybrid
+FEEDINGFRENZY schedule of Silberstein et al. (SIGMOD 2010).
+
+These are the schedules commercial systems used before social piggybacking
+(paper section 1):
+
+* **push-all** — every edge is a push; one query per feed request, one
+  update fan-out per share.  Optimal for read-dominated workloads.
+* **pull-all** — every edge is a pull; shares are cheap, feed requests fan
+  out.  Optimal for write-dominated workloads.
+* **hybrid (FF)** — per edge, the cheaper of push and pull:
+  ``c*(u→v) = min(rp(u), rc(v))``.  This is the state of the art the paper
+  compares against and the baseline of every figure.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import SocialGraph
+from repro.workload.rates import Workload
+
+
+def push_all_schedule(graph: SocialGraph) -> RequestSchedule:
+    """Every edge served by push (section 1's push-all)."""
+    schedule = RequestSchedule()
+    schedule.push.update(graph.edges())
+    return schedule
+
+
+def pull_all_schedule(graph: SocialGraph) -> RequestSchedule:
+    """Every edge served by pull (section 1's pull-all)."""
+    schedule = RequestSchedule()
+    schedule.pull.update(graph.edges())
+    return schedule
+
+
+def hybrid_schedule(graph: SocialGraph, workload: Workload) -> RequestSchedule:
+    """The FEEDINGFRENZY hybrid: per edge, cheaper of push and pull.
+
+    Ties break toward push, matching the paper's convention that production
+    rates are typically the smaller side (read-dominated workloads) and
+    keeping the choice deterministic.
+    """
+    schedule = RequestSchedule()
+    for u, v in graph.edges():
+        if workload.rp(u) <= workload.rc(v):
+            schedule.push.add((u, v))
+        else:
+            schedule.pull.add((u, v))
+    return schedule
+
+
+#: Name -> factory map used by the experiment harness and the CLI.
+BASELINES = {
+    "push_all": lambda graph, workload: push_all_schedule(graph),
+    "pull_all": lambda graph, workload: pull_all_schedule(graph),
+    "hybrid": hybrid_schedule,
+}

@@ -1,0 +1,232 @@
+"""CHITCHAT: the O(log n)-approximation algorithm (paper section 3.1).
+
+The DISSEMINATION problem maps to SET-COVER: the ground set is the edge set
+``E``; candidates are (a) singleton edges served directly at the hybrid cost
+``c*(e) = min(rp(u), rc(v))`` and (b) hub-graphs, which cover their push
+legs, pull legs, and cross-edges at the cost of the not-yet-paid legs.
+
+The greedy SET-COVER step — "pick the candidate with minimum cost per newly
+covered element" — cannot enumerate the exponentially many hub-graphs, so
+Algorithm 1 uses an oracle: for every hub ``w``, the weighted
+densest-subgraph peeling of :mod:`repro.core.densest` finds the best
+sub-hub-graph of ``G(w)``; a priority queue keeps the per-hub champions and
+the champions of hubs touched by a selection are recomputed (lines 14–18).
+
+Combined guarantee (Theorem 4): ``O(2 ln n) = O(ln n)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from repro.core.baselines import hybrid_schedule
+from repro.core.cost import hybrid_edge_cost, schedule_cost
+from repro.core.densest import DensestResult, densest_subgraph
+from repro.core.hubgraph import HubGraph, build_hub_graph
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.workload.rates import Workload
+
+
+@dataclass
+class ChitchatStats:
+    """Diagnostics accumulated during a CHITCHAT run."""
+
+    hub_selections: int = 0
+    singleton_selections: int = 0
+    oracle_calls: int = 0
+    edges_covered_by_hubs: int = 0
+    final_cost: float = 0.0
+    selection_log: list[tuple[str, float, int]] = field(default_factory=list)
+
+
+class ChitchatScheduler:
+    """Stateful CHITCHAT runner (use :func:`chitchat_schedule` for one-shots).
+
+    Parameters
+    ----------
+    graph, workload:
+        The DISSEMINATION instance.
+    max_cross_edges:
+        Optional per-hub cross-edge bound (the MapReduce ``b`` of section
+        3.2), trading optimization opportunities for memory/time on dense
+        hubs.
+    record_log:
+        When True, every greedy selection is appended to
+        ``stats.selection_log`` as ``(kind, cost_per_element, covered)``.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        workload: Workload,
+        max_cross_edges: int | None = None,
+        record_log: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.workload = workload
+        self.max_cross_edges = max_cross_edges
+        self.stats = ChitchatStats()
+        self._record_log = record_log
+        self.schedule = RequestSchedule()
+        self._uncovered: set[Edge] = set(graph.edges())
+        self._hub_version: dict[Node, int] = {}
+        self._hub_cache: dict[Node, HubGraph] = {}
+        # heap of (cost_per_element, tiebreak, hub, version, result)
+        self._hub_heap: list[tuple[float, str, Node, int, DensestResult]] = []
+        self._singleton_heap: list[tuple[float, str, Edge]] = [
+            (hybrid_edge_cost(e, workload), repr(e), e) for e in self._uncovered
+        ]
+        heapq.heapify(self._singleton_heap)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RequestSchedule:
+        """Execute the greedy loop until every edge is covered."""
+        for node in self.graph.nodes():
+            self._refresh_hub(node)
+        while self._uncovered:
+            hub_entry = self._best_hub_entry()
+            singleton = self._best_singleton()
+            if hub_entry is not None and (
+                singleton is None or hub_entry[0] <= singleton[0]
+            ):
+                heapq.heappop(self._hub_heap)
+                self._apply_hub(hub_entry[4])
+            elif singleton is not None:
+                heapq.heappop(self._singleton_heap)
+                self._apply_singleton(singleton[2])
+            else:  # pragma: no cover - defensive; singletons always exist
+                raise RuntimeError("no candidate available but edges remain uncovered")
+        self.stats.final_cost = schedule_cost(self.schedule, self.workload)
+        return self.schedule
+
+    # ------------------------------------------------------------------
+    # Candidate maintenance
+    # ------------------------------------------------------------------
+    def _refresh_hub(self, hub: Node) -> None:
+        """Recompute hub ``w``'s champion sub-hub-graph and (re)queue it."""
+        version = self._hub_version.get(hub, 0) + 1
+        self._hub_version[hub] = version
+        if self.graph.in_degree(hub) == 0 or self.graph.out_degree(hub) == 0:
+            return  # cannot relay anything
+        hub_graph = self._hub_cache.get(hub)
+        if hub_graph is None:
+            hub_graph = build_hub_graph(self.graph, hub, self.max_cross_edges)
+            self._hub_cache[hub] = hub_graph
+        self.stats.oracle_calls += 1
+        result = densest_subgraph(hub_graph, self.workload, self.schedule, self._uncovered)
+        if result is None or not result.covered:
+            return
+        heapq.heappush(
+            self._hub_heap,
+            (result.cost_per_element, repr(hub), hub, version, result),
+        )
+
+    def _best_hub_entry(self) -> tuple[float, str, Node, int, DensestResult] | None:
+        """Peek the freshest hub champion, discarding stale heap entries."""
+        while self._hub_heap:
+            entry = self._hub_heap[0]
+            _, _, hub, version, _ = entry
+            if version == self._hub_version.get(hub, 0):
+                return entry
+            heapq.heappop(self._hub_heap)
+        return None
+
+    def _best_singleton(self) -> tuple[float, str, Edge] | None:
+        while self._singleton_heap:
+            entry = self._singleton_heap[0]
+            if entry[2] in self._uncovered:
+                return entry
+            heapq.heappop(self._singleton_heap)
+        return None
+
+    # ------------------------------------------------------------------
+    # Selection application
+    # ------------------------------------------------------------------
+    def _apply_hub(self, result: DensestResult) -> None:
+        hub = result.hub
+        newly = result.covered & self._uncovered
+        if not newly:  # stale despite version match; defensive
+            self._refresh_hub(hub)
+            return
+        for x in result.x_selected:
+            self.schedule.add_push((x, hub))
+        for y in result.y_selected:
+            self.schedule.add_pull((hub, y))
+        for edge in result.covered:
+            u, v = edge
+            if u != hub and v != hub:  # cross-edge: piggybacked through hub
+                self.schedule.cover_via_hub(edge, hub)
+        self._uncovered -= result.covered
+        self.stats.hub_selections += 1
+        self.stats.edges_covered_by_hubs += len(newly)
+        if self._record_log:
+            self.stats.selection_log.append(
+                ("hub", result.cost_per_element, len(newly))
+            )
+        self._refresh_affected(result.covered)
+
+    def _apply_singleton(self, edge: Edge) -> None:
+        u, v = edge
+        if self.workload.rp(u) <= self.workload.rc(v):
+            self.schedule.add_push(edge)
+        else:
+            self.schedule.add_pull(edge)
+        self._uncovered.discard(edge)
+        self.stats.singleton_selections += 1
+        if self._record_log:
+            self.stats.selection_log.append(
+                ("singleton", hybrid_edge_cost(edge, self.workload), 1)
+            )
+        self._refresh_affected([edge])
+
+    def _refresh_affected(self, covered_edges) -> None:
+        """Recompute every hub whose hub-graph contains a covered element.
+
+        Edge ``a -> b`` appears in ``G(b)`` (as a push leg), ``G(a)`` (as a
+        pull leg), and ``G(w)`` for every wedge ``a -> w -> b`` (as a
+        cross-edge) — Algorithm 1 line 14.
+        """
+        affected: set[Node] = set()
+        for a, b in covered_edges:
+            affected.add(a)
+            affected.add(b)
+            succ_a = self.graph.successors_view(a)
+            pred_b = self.graph.predecessors_view(b)
+            if len(succ_a) <= len(pred_b):
+                affected.update(w for w in succ_a if w in pred_b)
+            else:
+                affected.update(w for w in pred_b if w in succ_a)
+        for hub in affected:
+            self._refresh_hub(hub)
+
+
+def chitchat_schedule(
+    graph: SocialGraph,
+    workload: Workload,
+    max_cross_edges: int | None = None,
+) -> RequestSchedule:
+    """Run CHITCHAT on a DISSEMINATION instance and return the schedule."""
+    return ChitchatScheduler(graph, workload, max_cross_edges).run()
+
+
+def chitchat_with_stats(
+    graph: SocialGraph,
+    workload: Workload,
+    max_cross_edges: int | None = None,
+) -> tuple[RequestSchedule, ChitchatStats]:
+    """Like :func:`chitchat_schedule` but also returns run diagnostics."""
+    scheduler = ChitchatScheduler(graph, workload, max_cross_edges, record_log=True)
+    schedule = scheduler.run()
+    return schedule, scheduler.stats
+
+
+def greedy_upper_bound(graph: SocialGraph, workload: Workload) -> float:
+    """Cost of the hybrid schedule — CHITCHAT can never do worse.
+
+    CHITCHAT's candidate pool contains every hybrid singleton, so its greedy
+    solution is upper-bounded by the hybrid cost; tests assert this bound.
+    """
+    return schedule_cost(hybrid_schedule(graph, workload), workload)

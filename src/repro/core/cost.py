@@ -1,0 +1,92 @@
+"""The throughput cost model of section 2.1.
+
+The cost of a request schedule ``(H, L)`` is the aggregate rate of data-store
+requests it induces::
+
+    c(H, L) = Σ_{u→v ∈ H} rp(u)  +  Σ_{u→v ∈ L} rc(v)
+
+Pushing over ``u -> v`` costs one view update per event ``u`` shares
+(rate ``rp(u)``); pulling costs one view query per feed request by ``v``
+(rate ``rc(v)``).  Hub-covered edges are free — that is the whole point of
+social piggybacking.  A user's own view is excluded by convention (updating
+and querying it is implicit in every schedule, so it cancels in comparisons).
+
+*Predicted throughput* (section 4.2) is the inverse of the cost, and the
+*predicted improvement ratio* of algorithm A over baseline B is
+``c_B / c_A``.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import RequestSchedule
+from repro.errors import ScheduleError
+from repro.graph.digraph import Edge
+from repro.workload.rates import Workload
+
+
+def push_edge_cost(edge: Edge, workload: Workload) -> float:
+    """Rate cost of serving ``edge`` by push: ``rp(producer)``."""
+    return workload.rp(edge[0])
+
+
+def pull_edge_cost(edge: Edge, workload: Workload) -> float:
+    """Rate cost of serving ``edge`` by pull: ``rc(consumer)``."""
+    return workload.rc(edge[1])
+
+
+def hybrid_edge_cost(edge: Edge, workload: Workload) -> float:
+    """``c*(u -> v) = min(rp(u), rc(v))``.
+
+    The per-edge cost of the hybrid schedule of Silberstein et al. (the
+    FEEDINGFRENZY baseline), which serves each edge with the cheaper of a
+    push and a pull.  CHITCHAT uses it to price singleton set-cover
+    candidates and PARALLELNOSY as the opportunity cost of a hub.
+    """
+    return min(workload.rp(edge[0]), workload.rc(edge[1]))
+
+
+def schedule_cost(schedule: RequestSchedule, workload: Workload) -> float:
+    """Total cost ``c(H, L)`` of a schedule under ``workload``.
+
+    An edge present in both ``H`` and ``L`` pays both costs — this happens
+    when piggybacking needs a push on an edge that an earlier decision
+    already serves by pull (PARALLELNOSY's ``cX`` case analysis, section 3.2).
+    """
+    cost = 0.0
+    for edge in schedule.push:
+        cost += workload.rp(edge[0])
+    for edge in schedule.pull:
+        cost += workload.rc(edge[1])
+    return cost
+
+
+def predicted_throughput(schedule: RequestSchedule, workload: Workload) -> float:
+    """Inverse cost (section 4.2's throughput estimate)."""
+    cost = schedule_cost(schedule, workload)
+    if cost <= 0:
+        raise ScheduleError("schedule has zero cost; predicted throughput undefined")
+    return 1.0 / cost
+
+
+def improvement_ratio(
+    schedule: RequestSchedule,
+    baseline: RequestSchedule,
+    workload: Workload,
+) -> float:
+    """Predicted improvement ratio ``t_A / t_baseline = c_baseline / c_A``."""
+    cost = schedule_cost(schedule, workload)
+    base = schedule_cost(baseline, workload)
+    if cost <= 0:
+        raise ScheduleError("schedule has zero cost; ratio undefined")
+    return base / cost
+
+
+def cost_breakdown(schedule: RequestSchedule, workload: Workload) -> dict[str, float]:
+    """Split the total cost into its push and pull components."""
+    push_cost = sum(workload.rp(u) for (u, _v) in schedule.push)
+    pull_cost = sum(workload.rc(v) for (_u, v) in schedule.pull)
+    return {
+        "push_cost": push_cost,
+        "pull_cost": pull_cost,
+        "total_cost": push_cost + pull_cost,
+    }

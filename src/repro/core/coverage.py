@@ -1,0 +1,104 @@
+"""Schedule feasibility validation (Theorem 1 compliance).
+
+Theorem 1 of the paper proves that a request schedule guarantees bounded
+staleness if and only if every social edge is served by a direct push, a
+direct pull, or piggybacking through a hub whose push and pull legs are both
+scheduled.  These validators check that condition structurally; the dynamic
+counterpart — replaying a trace and checking staleness of actual query
+results — lives in :mod:`repro.prototype.staleness`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import RequestSchedule
+from repro.errors import InfeasibleScheduleError, ScheduleError
+from repro.graph.digraph import Edge, SocialGraph
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Outcome of a feasibility check."""
+
+    total_edges: int
+    push_served: int
+    pull_served: int
+    hub_served: int
+    uncovered: list[Edge] = field(default_factory=list)
+    broken_hubs: list[Edge] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        """True when every edge is served and every hub cover is intact."""
+        return not self.uncovered and not self.broken_hubs
+
+
+def check_coverage(graph: SocialGraph, schedule: RequestSchedule) -> CoverageReport:
+    """Classify how each edge of ``graph`` is served by ``schedule``.
+
+    An edge recorded in ``hub_cover`` whose push or pull leg is missing is
+    reported in ``broken_hubs`` (and counts as uncovered unless it is also
+    directly pushed or pulled).
+    """
+    push_served = pull_served = hub_served = 0
+    uncovered: list[Edge] = []
+    broken: list[Edge] = []
+    for edge in graph.edges():
+        if edge in schedule.push:
+            push_served += 1
+        elif edge in schedule.pull:
+            pull_served += 1
+        elif edge in schedule.hub_cover:
+            if schedule.piggyback_valid(edge):
+                hub_served += 1
+            else:
+                broken.append(edge)
+                uncovered.append(edge)
+        else:
+            uncovered.append(edge)
+    return CoverageReport(
+        total_edges=graph.num_edges,
+        push_served=push_served,
+        pull_served=pull_served,
+        hub_served=hub_served,
+        uncovered=uncovered,
+        broken_hubs=broken,
+    )
+
+
+def validate_schedule(
+    graph: SocialGraph,
+    schedule: RequestSchedule,
+    strict: bool = True,
+) -> CoverageReport:
+    """Validate ``schedule`` against ``graph``.
+
+    Checks, in order:
+
+    1. every push/pull edge is an actual social edge;
+    2. every hub cover is a genuine wedge of the graph with both legs
+       scheduled (Definition 4);
+    3. every edge is served (Theorem 1).
+
+    With ``strict=True`` (the default), failures raise; otherwise the report
+    is returned for inspection.
+    """
+    for edge in schedule.push:
+        if not graph.has_edge(*edge):
+            raise ScheduleError(f"push edge {edge!r} is not in the social graph")
+    for edge in schedule.pull:
+        if not graph.has_edge(*edge):
+            raise ScheduleError(f"pull edge {edge!r} is not in the social graph")
+    for edge, hub in schedule.hub_cover.items():
+        u, v = edge
+        if not graph.has_edge(u, v):
+            raise ScheduleError(f"hub-covered edge {edge!r} is not in the social graph")
+        if not graph.has_edge(u, hub) or not graph.has_edge(hub, v):
+            raise ScheduleError(
+                f"hub {hub!r} for edge {edge!r} is not a wedge of the graph"
+            )
+    report = check_coverage(graph, schedule)
+    if strict and not report.feasible:
+        raise InfeasibleScheduleError(len(report.uncovered), report.uncovered)
+    return report

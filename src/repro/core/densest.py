@@ -1,0 +1,239 @@
+"""Weighted densest-subgraph oracle (paper section 3.1, Lemma 1).
+
+CHITCHAT's greedy SET-COVER step must find, inside the maximal hub-graph of a
+node ``w``, the sub-hub-graph with the best *cost per newly covered edge*:
+
+    maximize  d_w(S) = |E(S) ∩ Z| / g(S)
+
+where ``E(S)`` are the social edges the sub-hub-graph serves (its push legs,
+pull legs, and cross-edges), ``Z`` the still-uncovered edges, and ``g`` the
+vertex weights (production rates on the X side, consumption rates on the Y
+side, zero for legs already paid for).
+
+The paper solves this with the Asahiro/Charikar greedy adapted to weights:
+iteratively delete the vertex minimizing the *weighted degree*
+``d(u) / g(u)``, and return the best intermediate subgraph.  Lemma 1 proves
+this is a factor-2 approximation.  This module implements that peeling with a
+lazy heap, giving ``O(m log m)`` per oracle call.
+
+Hypergraph note: a leg element touches a single weighted vertex (the hub
+itself has weight zero and is structurally always present), while a
+cross-edge touches one X-vertex and one Y-vertex.  The peeling treats both
+uniformly: an element stays alive while all its weighted endpoints are alive.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.core.hubgraph import X_SIDE, Y_SIDE, HubGraph, HubVertex
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import Edge, Node
+from repro.workload.rates import Workload
+
+
+@dataclass(frozen=True)
+class DensestResult:
+    """Best sub-hub-graph found for one hub.
+
+    ``cost_per_element`` is ``g(S) / |covered|`` — the SET-COVER selection
+    key (0.0 when the subgraph is free, ``inf`` when it covers nothing).
+    """
+
+    hub: Node
+    x_selected: tuple[Node, ...]
+    y_selected: tuple[Node, ...]
+    covered: frozenset[Edge]
+    weight: float
+
+    @property
+    def density(self) -> float:
+        """``|covered| / g(S)`` (``inf`` for free subgraphs)."""
+        if not self.covered:
+            return 0.0
+        if self.weight <= 0.0:
+            return math.inf
+        return len(self.covered) / self.weight
+
+    @property
+    def cost_per_element(self) -> float:
+        """``g(S) / |covered|``, the greedy SET-COVER priority."""
+        if not self.covered:
+            return math.inf
+        return self.weight / len(self.covered)
+
+
+def densest_subgraph(
+    hub_graph: HubGraph,
+    workload: Workload,
+    schedule: RequestSchedule,
+    uncovered: set[Edge],
+) -> DensestResult | None:
+    """Run the weighted peeling on ``hub_graph`` against ``uncovered``.
+
+    Returns ``None`` when no sub-hub-graph covers any uncovered element.
+    Deterministic: ties in the weighted degree break by vertex ordering.
+    """
+    hub = hub_graph.hub
+
+    # --- Build the element incidence restricted to uncovered elements.
+    vertices: list[HubVertex] = [(X_SIDE, x) for x in hub_graph.x_nodes]
+    vertices += [(Y_SIDE, y) for y in hub_graph.y_nodes]
+    incident: dict[HubVertex, list[int]] = {v: [] for v in vertices}
+
+    elements: list[tuple[Edge, tuple[HubVertex, ...]]] = []
+
+    def add_element(edge: Edge, endpoints: tuple[HubVertex, ...]) -> None:
+        if edge not in uncovered:
+            return
+        index = len(elements)
+        elements.append((edge, endpoints))
+        for vertex in endpoints:
+            incident[vertex].append(index)
+
+    for x in hub_graph.x_nodes:
+        add_element((x, hub), ((X_SIDE, x),))
+    for y in hub_graph.y_nodes:
+        add_element((hub, y), ((Y_SIDE, y),))
+    for x, y in hub_graph.cross_edges:
+        add_element((x, y), ((X_SIDE, x), (Y_SIDE, y)))
+
+    if not elements:
+        return None
+
+    weight = {v: hub_graph.vertex_weight(v, workload, schedule) for v in vertices}
+
+    # --- Peeling state.
+    alive_vertex = {v: True for v in vertices}
+    alive_element = [True] * len(elements)
+    degree = {v: len(incident[v]) for v in vertices}
+    total_weight = sum(weight.values())
+    alive_count = len(elements)
+
+    def ratio(v: HubVertex) -> float:
+        if weight[v] <= 0.0:
+            return math.inf  # free vertices are never peeled
+        return degree[v] / weight[v]
+
+    heap: list[tuple[float, HubVertex]] = [(ratio(v), v) for v in vertices]
+    heapq.heapify(heap)
+
+    # Track the best intermediate subgraph.  `removal_order` reconstructs it.
+    # The initial (full) subgraph is the first candidate; `elements` is
+    # non-empty here, so alive_count > 0.
+    best_cost = 0.0 if total_weight <= 0.0 else total_weight / alive_count
+    best_covered = alive_count
+    best_removed = 0  # prefix length of removal_order giving the best set
+    removal_order: list[HubVertex] = []
+
+    while heap:
+        r, v = heapq.heappop(heap)
+        if not alive_vertex[v] or r != ratio(v):
+            continue  # stale heap entry
+        if math.isinf(r):
+            break  # only free vertices remain; peeling them never helps
+        alive_vertex[v] = False
+        removal_order.append(v)
+        total_weight -= weight[v]
+        for ei in incident[v]:
+            if not alive_element[ei]:
+                continue
+            alive_element[ei] = False
+            alive_count -= 1
+            for other in elements[ei][1]:
+                if other != v and alive_vertex[other]:
+                    degree[other] -= 1
+                    heapq.heappush(heap, (ratio(other), other))
+        if alive_count > 0:
+            cost = 0.0 if total_weight <= 0.0 else total_weight / alive_count
+            if cost < best_cost or (
+                cost == best_cost and alive_count > best_covered
+            ):
+                best_cost = cost
+                best_covered = alive_count
+                best_removed = len(removal_order)
+
+    if best_covered <= 0 or math.isinf(best_cost):
+        return None
+
+    # --- Reconstruct the best subgraph: everything not in the removed prefix.
+    removed = set(removal_order[:best_removed])
+    selected = [v for v in vertices if v not in removed]
+    selected_set = set(selected)
+    covered: set[Edge] = set()
+    for edge, endpoints in elements:
+        if all(p in selected_set for p in endpoints):
+            covered.add(edge)
+    # Drop selected vertices that contribute nothing: positive weight but no
+    # covered element.  (The peel usually removes them, but free-vertex early
+    # exit can leave them behind.)
+    useful: set[HubVertex] = set()
+    for edge, endpoints in elements:
+        if edge in covered:
+            useful.update(endpoints)
+    selected = [v for v in selected if v in useful]
+    if not covered:
+        return None
+    xs = tuple(sorted((n for s, n in selected if s == X_SIDE), key=repr))
+    ys = tuple(sorted((n for s, n in selected if s == Y_SIDE), key=repr))
+    final_weight = sum(weight[v] for v in selected)
+    return DensestResult(
+        hub=hub,
+        x_selected=xs,
+        y_selected=ys,
+        covered=frozenset(covered),
+        weight=final_weight,
+    )
+
+
+def unweighted_densest_subgraph(
+    adjacency: dict[Node, set[Node]],
+) -> tuple[set[Node], float]:
+    """Charikar's classic 2-approximation on an undirected graph.
+
+    Provided as the reference implementation the weighted variant
+    generalizes; used by tests to cross-check the peeling machinery (with all
+    weights 1 the two must agree) and exposed for reuse.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric adjacency: ``b in adjacency[a]`` iff ``a in adjacency[b]``.
+
+    Returns
+    -------
+    (nodes, density):
+        The best subset found and its density ``|E(S)| / |S|``.
+    """
+    nodes = list(adjacency)
+    if not nodes:
+        return set(), 0.0
+    degree = {v: len(adjacency[v]) for v in nodes}
+    alive = {v: True for v in nodes}
+    edge_count = sum(degree.values()) // 2
+    node_count = len(nodes)
+    heap = [(degree[v], repr(v), v) for v in nodes]
+    heapq.heapify(heap)
+    best_density = edge_count / node_count
+    best_removed = 0
+    removal_order: list[Node] = []
+    while node_count > 1:
+        d, _, v = heapq.heappop(heap)
+        if not alive[v] or d != degree[v]:
+            continue
+        alive[v] = False
+        removal_order.append(v)
+        node_count -= 1
+        edge_count -= degree[v]
+        for u in adjacency[v]:
+            if alive[u]:
+                degree[u] -= 1
+                heapq.heappush(heap, (degree[u], repr(u), u))
+        density = edge_count / node_count
+        if density > best_density:
+            best_density = density
+            best_removed = len(removal_order)
+    removed = set(removal_order[:best_removed])
+    return {v for v in nodes if v not in removed}, best_density

@@ -1,0 +1,150 @@
+"""Exact solver for tiny DISSEMINATION instances.
+
+The DISSEMINATION problem is NP-hard (paper Theorem 2, by reduction from
+SET-COVER), so no polynomial exact algorithm is expected — but on instances
+with a handful of edges, exhaustive search is feasible and gives the ground
+truth against which the CHITCHAT approximation and the PARALLELNOSY
+heuristic are measured in tests.
+
+The search exploits the structure of Theorem 1: a schedule is determined by
+the pair ``(H, L)``, an edge is served iff it is pushed, pulled, or closes a
+wedge ``u -> w -> v`` with ``u -> w ∈ H`` and ``w -> v ∈ L``.  Given ``H``,
+the optimal ``L`` decomposes per consumer: for each node ``v``, the pulls
+into ``v`` must cover every in-edge of ``v`` not already served, and each
+pull costs the same ``rc(v)`` — a tiny per-consumer set-cover solved by
+brute force over subsets of in-edges.  The outer loop enumerates ``H``
+subsets, so the overall complexity is ``O(2^|E| · Σ_v 2^{indeg(v)})`` —
+fine for the ≤ 14-edge instances used in tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.cost import schedule_cost
+from repro.core.schedule import RequestSchedule
+from repro.errors import ScheduleError
+from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.workload.rates import Workload
+
+#: Refuse instances bigger than this (the enumeration is exponential).
+MAX_EDGES = 16
+
+
+def optimal_schedule(
+    graph: SocialGraph, workload: Workload
+) -> tuple[RequestSchedule, float]:
+    """Exhaustively find a minimum-cost feasible schedule.
+
+    Returns the schedule and its cost.  Raises :class:`ScheduleError` when
+    the instance exceeds :data:`MAX_EDGES` edges.
+    """
+    edges = sorted(graph.edges(), key=repr)
+    if len(edges) > MAX_EDGES:
+        raise ScheduleError(
+            f"exact solver limited to {MAX_EDGES} edges, got {len(edges)}"
+        )
+    if not edges:
+        return RequestSchedule(), 0.0
+
+    consumers: dict[Node, list[Edge]] = {}
+    for edge in edges:
+        consumers.setdefault(edge[1], []).append(edge)
+
+    best_cost = float("inf")
+    best: RequestSchedule | None = None
+
+    for h_size in range(len(edges) + 1):
+        for h_subset in combinations(edges, h_size):
+            push = set(h_subset)
+            push_cost = sum(workload.rp(u) for u, _ in push)
+            if push_cost >= best_cost:
+                continue
+            pull, pull_cost, ok = _optimal_pulls(graph, workload, push, consumers)
+            if not ok:
+                continue
+            total = push_cost + pull_cost
+            if total < best_cost:
+                best_cost = total
+                best = _assemble(graph, push, pull)
+
+    assert best is not None  # the all-push schedule is always feasible
+    return best, best_cost
+
+
+def _optimal_pulls(
+    graph: SocialGraph,
+    workload: Workload,
+    push: set[Edge],
+    consumers: dict[Node, list[Edge]],
+) -> tuple[set[Edge], float, bool]:
+    """Cheapest pull set completing ``push``, solved per consumer."""
+    pull: set[Edge] = set()
+    total = 0.0
+    for v, in_edges in consumers.items():
+        need = [e for e in in_edges if e not in push]
+        if not need:
+            continue
+        # A pull on (w, v) covers edge (w, v) and every (u, v) with a pushed
+        # wedge u -> w.  Choose the fewest pulls covering all needed edges.
+        coverage: dict[Edge, set[Edge]] = {}
+        for w_edge in in_edges:  # candidate pull legs (w, v)
+            w = w_edge[0]
+            covered = {w_edge}
+            for u_edge in need:
+                u = u_edge[0]
+                if u != w and graph.has_edge(u, w) and (u, w) in push:
+                    covered.add(u_edge)
+            coverage[w_edge] = covered
+        chosen = _min_cover(need, in_edges, coverage)
+        if chosen is None:
+            return set(), 0.0, False
+        pull.update(chosen)
+        total += len(chosen) * workload.rc(v)
+    return pull, total, True
+
+
+def _min_cover(
+    need: list[Edge],
+    candidates: list[Edge],
+    coverage: dict[Edge, set[Edge]],
+) -> tuple[Edge, ...] | None:
+    """Smallest subset of ``candidates`` whose coverage includes ``need``."""
+    need_set = set(need)
+    for size in range(len(candidates) + 1):
+        for combo in combinations(candidates, size):
+            covered: set[Edge] = set()
+            for item in combo:
+                covered |= coverage[item]
+            if need_set <= covered:
+                return combo
+    return None
+
+
+def _assemble(
+    graph: SocialGraph, push: set[Edge], pull: set[Edge]
+) -> RequestSchedule:
+    """Build a RequestSchedule, recording hub covers for indirect edges."""
+    schedule = RequestSchedule(push=set(push), pull=set(pull))
+    for edge in graph.edges():
+        if edge in push or edge in pull:
+            continue
+        u, v = edge
+        for w in graph.successors_view(u):
+            if (u, w) in push and (w, v) in pull:
+                schedule.cover_via_hub(edge, w)
+                break
+    return schedule
+
+
+def optimality_gap(
+    graph: SocialGraph,
+    workload: Workload,
+    schedule: RequestSchedule,
+) -> float:
+    """Ratio ``cost(schedule) / cost(optimal)`` (≥ 1) on a tiny instance."""
+    _, opt_cost = optimal_schedule(graph, workload)
+    cost = schedule_cost(schedule, workload)
+    if opt_cost == 0:
+        return 1.0 if cost == 0 else float("inf")
+    return cost / opt_cost

@@ -1,0 +1,172 @@
+"""Hub-graph construction (paper section 3.1, Figure 3).
+
+A *hub-graph* ``G(X, w, Y)`` centered on a node ``w`` consists of
+
+* a producer side ``X`` ⊆ predecessors of ``w`` (users ``w`` subscribes to),
+* a consumer side ``Y`` ⊆ successors of ``w`` (users subscribing to ``w``),
+* the solid legs ``x -> w`` (candidate pushes) and ``w -> y`` (candidate
+  pulls), and
+* the *cross-edges* ``x -> y`` present in the social graph, which the hub
+  covers indirectly once both legs are scheduled.
+
+CHITCHAT's oracle searches inside the *maximal* hub-graph (all predecessors
+and successors) for the weighted-densest subgraph; PARALLELNOSY restricts
+itself to single-consumer hub-graphs ``G(X, w, {y})``.
+
+Because a node can be both a predecessor and a successor of ``w`` (mutual
+follows), hub-graph vertices are role-tagged ``(side, node)`` pairs: the same
+user contributes an X-vertex weighted by its production rate and an
+independent Y-vertex weighted by its consumption rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.workload.rates import Workload
+
+#: Role tags for hub-graph vertices.
+X_SIDE = "x"
+Y_SIDE = "y"
+
+HubVertex = tuple[str, Node]
+
+
+@dataclass
+class HubGraph:
+    """Materialized maximal hub-graph centered on ``hub``.
+
+    Attributes
+    ----------
+    hub:
+        The relay node ``w``.
+    x_nodes, y_nodes:
+        Producer-side and consumer-side node lists.
+    cross_edges:
+        Social edges ``x -> y`` between the two sides (possibly truncated to
+        the ``max_cross_edges`` bound, mirroring the MapReduce bound ``b``).
+    truncated:
+        True when the cross-edge bound clipped the enumeration.
+    """
+
+    hub: Node
+    x_nodes: list[Node]
+    y_nodes: list[Node]
+    cross_edges: list[Edge]
+    truncated: bool = False
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices excluding the hub itself (which has zero weight)."""
+        return len(self.x_nodes) + len(self.y_nodes)
+
+    def elements(self) -> list[Edge]:
+        """All social edges this hub-graph can serve (legs + cross-edges)."""
+        legs_in = [(x, self.hub) for x in self.x_nodes]
+        legs_out = [(self.hub, y) for y in self.y_nodes]
+        return legs_in + legs_out + list(self.cross_edges)
+
+    def vertex_weight(
+        self,
+        vertex: HubVertex,
+        workload: Workload,
+        schedule: RequestSchedule,
+    ) -> float:
+        """The set-cover weight ``g`` of a hub-graph vertex.
+
+        ``g(x) = rp(x)`` unless the push ``x -> w`` is already paid for
+        (``∈ H``), and ``g(y) = rc(y)`` unless the pull ``w -> y`` is already
+        paid for (``∈ L``) — exactly the weight updates of Algorithm 1.
+        """
+        side, node = vertex
+        if side == X_SIDE:
+            if (node, self.hub) in schedule.push:
+                return 0.0
+            return workload.rp(node)
+        if (self.hub, node) in schedule.pull:
+            return 0.0
+        return workload.rc(node)
+
+
+def build_hub_graph(
+    graph: SocialGraph,
+    hub: Node,
+    max_cross_edges: int | None = None,
+) -> HubGraph:
+    """Materialize the maximal hub-graph centered on ``hub``.
+
+    Parameters
+    ----------
+    max_cross_edges:
+        Optional cap on enumerated cross-edges, the counterpart of the
+        paper's MapReduce bound ``b`` (section 3.2): hubs of very dense
+        graphs can have quadratically many cross-edges, so production runs
+        bound the enumeration and accept missing some optimization
+        opportunities.  ``None`` means unbounded.
+
+    Notes
+    -----
+    Cross-edge enumeration iterates, for each producer ``x``, over the
+    smaller of ``successors(x)`` and ``Y`` — the same neighborhood
+    intersection the MapReduce job performs with ``x``'s out-list shipped to
+    the hub's reducer.
+    """
+    x_nodes = sorted(graph.predecessors_view(hub), key=repr)
+    y_nodes = sorted(graph.successors_view(hub), key=repr)
+    y_set = set(y_nodes)
+    cross: list[Edge] = []
+    truncated = False
+    for x in x_nodes:
+        succ = graph.successors_view(x)
+        if len(succ) <= len(y_set):
+            hits = [y for y in succ if y in y_set and y != x]
+        else:
+            hits = [y for y in y_set if y in succ and y != x]
+        for y in sorted(hits, key=repr):
+            if max_cross_edges is not None and len(cross) >= max_cross_edges:
+                truncated = True
+                break
+            cross.append((x, y))
+        if truncated:
+            break
+    return HubGraph(
+        hub=hub, x_nodes=x_nodes, y_nodes=y_nodes, cross_edges=cross, truncated=truncated
+    )
+
+
+def single_consumer_hub_graph(
+    graph: SocialGraph,
+    hub: Node,
+    consumer: Node,
+    schedule: RequestSchedule,
+    covered: dict[Edge, Node],
+) -> list[Node]:
+    """The producer set ``X`` of PARALLELNOSY's hub-graph ``G(X, w, {y})``.
+
+    Selection conditions from section 3.2, phase 1:
+
+    * ``x -> w`` must not already be covered through some other hub
+      (pushing over it would undo a previous optimization);
+    * the cross-edge ``x -> y`` must exist and be neither covered nor
+      already scheduled as a push or pull (covering it again is useless).
+    """
+    preds_w = graph.predecessors_view(hub)
+    preds_y = graph.predecessors_view(consumer)
+    if len(preds_y) <= len(preds_w):
+        candidates = (x for x in preds_y if x in preds_w)
+    else:
+        candidates = (x for x in preds_w if x in preds_y)
+    xs: list[Node] = []
+    for x in candidates:
+        if x == consumer:
+            continue
+        if (x, hub) in covered:
+            continue
+        cross = (x, consumer)
+        if cross in covered or cross in schedule.push or cross in schedule.pull:
+            continue
+        xs.append(x)
+    xs.sort(key=repr)
+    return xs

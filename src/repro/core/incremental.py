@@ -1,0 +1,175 @@
+"""Incremental schedule maintenance under graph updates (paper section 3.3).
+
+CHITCHAT and PARALLELNOSY optimize a *static* graph.  Real social graphs
+gain and lose edges continuously; re-running the optimizer on every change
+would be absurd.  The paper's incremental policy is deliberately simple:
+
+* **edge added** — serve it directly, picking the cheaper of push and pull
+  (the hybrid rule); no attempt to piggyback it.
+* **pull edge ``w -> y`` removed** where ``w`` is a hub — every cross-edge
+  into ``y`` covered through ``w`` loses its relay and is downgraded to
+  direct service.
+* **push edge ``x -> w`` removed** — symmetric: every cross-edge out of
+  ``x`` covered through ``w`` is downgraded.
+
+Quality degrades slowly (Figure 5): the experiment shows one re-optimization
+per ~10⁷ added edges suffices on Flickr.  :class:`IncrementalMaintainer`
+implements the rules and keeps reverse indexes so removals repair in time
+proportional to the broken covers, not the schedule size.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.cost import schedule_cost
+from repro.core.schedule import RequestSchedule
+from repro.errors import ScheduleError
+from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.workload.rates import Workload
+
+
+class IncrementalMaintainer:
+    """Keeps a feasible schedule in sync with a mutating social graph.
+
+    The maintainer owns the graph and schedule it is given: mutate the graph
+    only through :meth:`add_edge` / :meth:`remove_edge` so the schedule and
+    the reverse indexes stay consistent.
+
+    Parameters
+    ----------
+    graph:
+        The social graph, already scheduled.
+    workload:
+        Rates used to price direct service of new/broken edges.  New users
+        unknown to the workload default to rate floors of the workload's
+        minimum positive rates.
+    schedule:
+        A feasible schedule for ``graph`` (validated on construction).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        workload: Workload,
+        schedule: RequestSchedule,
+    ) -> None:
+        self.graph = graph
+        self.workload = workload
+        self.schedule = schedule
+        self.edges_added = 0
+        self.edges_removed = 0
+        self.covers_broken = 0
+        # hub -> cross-edges relayed through it (reverse index of hub_cover)
+        self._by_hub: dict[Node, set[Edge]] = defaultdict(set)
+        for edge, hub in schedule.hub_cover.items():
+            self._by_hub[hub].add(edge)
+
+    # ------------------------------------------------------------------
+    # Rate access tolerant to users outside the original workload
+    # ------------------------------------------------------------------
+    def _rp(self, user: Node) -> float:
+        try:
+            return self.workload.rp(user)
+        except Exception:
+            positives = [r for r in self.workload.production.values() if r > 0]
+            return min(positives) if positives else 1.0
+
+    def _rc(self, user: Node) -> float:
+        try:
+            return self.workload.rc(user)
+        except Exception:
+            positives = [r for r in self.workload.consumption.values() if r > 0]
+            return min(positives) if positives else 1.0
+
+    def _serve_directly(self, edge: Edge) -> None:
+        u, v = edge
+        if self._rp(u) <= self._rc(v):
+            self.schedule.add_push(edge)
+        else:
+            self.schedule.add_pull(edge)
+
+    # ------------------------------------------------------------------
+    # Update rules
+    # ------------------------------------------------------------------
+    def add_edge(self, producer: Node, consumer: Node) -> bool:
+        """Insert a social edge and serve it directly (hybrid rule).
+
+        Returns False (and changes nothing) when the edge already exists.
+        """
+        if not self.graph.add_edge(producer, consumer):
+            return False
+        self._serve_directly((producer, consumer))
+        self.edges_added += 1
+        return True
+
+    def remove_edge(self, producer: Node, consumer: Node) -> None:
+        """Remove a social edge, repairing any covers that relied on it."""
+        edge = (producer, consumer)
+        if not self.graph.has_edge(producer, consumer):
+            raise ScheduleError(f"cannot remove non-existent edge {edge!r}")
+        self.graph.remove_edge(producer, consumer)
+        self.edges_removed += 1
+
+        # The edge itself no longer needs service.
+        self.schedule.remove_push(edge)
+        self.schedule.remove_pull(edge)
+        hub = self.schedule.hub_cover.pop(edge, None)
+        if hub is not None:
+            self._by_hub[hub].discard(edge)
+
+        # Covers relayed over this edge break.  The edge can be the push leg
+        # (x -> w: every covered x -> y with hub w) or the pull leg
+        # (w -> y: every covered x -> y with hub w into this consumer).
+        broken: list[Edge] = []
+        for covered in self._by_hub.get(consumer, ()):  # consumer acts as hub w
+            if covered[0] == producer:  # push leg x -> w removed
+                broken.append(covered)
+        for covered in self._by_hub.get(producer, ()):  # producer acts as hub w
+            if covered[1] == consumer:  # pull leg w -> y removed
+                broken.append(covered)
+        for covered in broken:
+            victim_hub = self.schedule.hub_cover.get(covered)
+            if victim_hub is None:
+                continue
+            self.schedule.hub_cover.pop(covered, None)
+            self._by_hub[victim_hub].discard(covered)
+            self.covers_broken += 1
+            if self.graph.has_edge(*covered):
+                self._serve_directly(covered)
+
+    def add_edges(self, edges) -> int:
+        """Bulk :meth:`add_edge`; returns how many were new."""
+        return sum(1 for u, v in edges if self.add_edge(u, v))
+
+    # ------------------------------------------------------------------
+    def cost(self) -> float:
+        """Current schedule cost under the maintainer's workload.
+
+        Users added after construction are priced with the floor rates, so
+        costs remain comparable across a batch of insertions.
+        """
+        total = 0.0
+        for u, _v in self.schedule.push:
+            total += self._rp(u)
+        for _u, v in self.schedule.pull:
+            total += self._rc(v)
+        return total
+
+    def is_feasible(self) -> bool:
+        """Whether the maintained schedule still serves every edge."""
+        return self.schedule.is_feasible(self.graph)
+
+
+def reoptimized_cost(
+    graph: SocialGraph,
+    workload: Workload,
+    optimizer_factory,
+) -> float:
+    """Cost after re-running an optimizer from scratch (Figure 5's 'static').
+
+    ``optimizer_factory(graph, workload) -> RequestSchedule`` is typically
+    :func:`repro.core.parallelnosy.parallel_nosy_schedule`.
+    """
+    schedule = optimizer_factory(graph, workload)
+    return schedule_cost(schedule, workload)

@@ -1,0 +1,185 @@
+"""Request schedules: the central object of the DISSEMINATION problem.
+
+A request schedule (paper Definition 3) is a pair of edge sets: the push set
+``H`` and the pull set ``L``.  By Theorem 1, a schedule guarantees bounded
+staleness exactly when every social edge ``u -> v`` is
+
+* a **push** (``u -> v ∈ H``): events by ``u`` are written into ``v``'s view
+  at share time;
+* a **pull** (``u -> v ∈ L``): ``v``'s feed queries read ``u``'s view; or
+* **covered by piggybacking** through a hub ``w`` with ``u -> w ∈ H`` and
+  ``w -> v ∈ L`` (Definition 4), at zero additional request cost.
+
+:class:`RequestSchedule` tracks all three sets explicitly.  The hub cover is
+stored as a map ``edge -> hub`` rather than a bare set because the
+incremental-update rules of section 3.3 need to know *which* hub serves a
+covered edge when a push or pull edge disappears.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+from repro.graph.digraph import Edge, Node, SocialGraph
+
+
+@dataclass
+class RequestSchedule:
+    """Mutable push/pull/hub-cover assignment over a social graph's edges.
+
+    Attributes
+    ----------
+    push:
+        The set ``H`` of edges served by pushing at share time.
+    pull:
+        The set ``L`` of edges served by pulling at query time.
+    hub_cover:
+        Map from covered edge ``u -> v`` to the hub node ``w`` relaying it.
+    """
+
+    push: set[Edge] = field(default_factory=set)
+    pull: set[Edge] = field(default_factory=set)
+    hub_cover: dict[Edge, Node] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "RequestSchedule":
+        """Independent deep copy."""
+        return RequestSchedule(
+            push=set(self.push),
+            pull=set(self.pull),
+            hub_cover=dict(self.hub_cover),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_push(self, edge: Edge) -> None:
+        """Serve ``edge`` by push (idempotent)."""
+        self.push.add(edge)
+
+    def add_pull(self, edge: Edge) -> None:
+        """Serve ``edge`` by pull (idempotent)."""
+        self.pull.add(edge)
+
+    def cover_via_hub(self, edge: Edge, hub: Node) -> None:
+        """Record that ``edge`` is covered by piggybacking through ``hub``.
+
+        The caller is responsible for having placed ``u -> hub`` in the push
+        set and ``hub -> v`` in the pull set; :meth:`piggyback_valid` and the
+        validators in :mod:`repro.core.coverage` check the invariant.
+        """
+        u, v = edge
+        if hub == u or hub == v:
+            raise ScheduleError(f"hub {hub!r} cannot be an endpoint of {edge!r}")
+        self.hub_cover[edge] = hub
+
+    def uncover(self, edge: Edge) -> None:
+        """Drop the hub cover of ``edge`` (no-op if not hub-covered)."""
+        self.hub_cover.pop(edge, None)
+
+    def remove_push(self, edge: Edge) -> None:
+        """Remove ``edge`` from the push set (no-op if absent)."""
+        self.push.discard(edge)
+
+    def remove_pull(self, edge: Edge) -> None:
+        """Remove ``edge`` from the pull set (no-op if absent)."""
+        self.pull.discard(edge)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def piggyback_valid(self, edge: Edge) -> bool:
+        """Whether ``edge``'s recorded hub has its push and pull legs in place."""
+        hub = self.hub_cover.get(edge)
+        if hub is None:
+            return False
+        u, v = edge
+        return (u, hub) in self.push and (hub, v) in self.pull
+
+    def serves(self, edge: Edge) -> bool:
+        """Whether ``edge`` is served (push, pull, or valid hub cover)."""
+        return edge in self.push or edge in self.pull or self.piggyback_valid(edge)
+
+    def mechanism(self, edge: Edge) -> str:
+        """How ``edge`` is served: ``push``/``pull``/``hub``/``unserved``.
+
+        Push wins ties for reporting purposes (an edge can be in both sets).
+        """
+        if edge in self.push:
+            return "push"
+        if edge in self.pull:
+            return "pull"
+        if self.piggyback_valid(edge):
+            return "hub"
+        return "unserved"
+
+    def uncovered_edges(self, graph: SocialGraph) -> Iterator[Edge]:
+        """Edges of ``graph`` not served by this schedule."""
+        for edge in graph.edges():
+            if not self.serves(edge):
+                yield edge
+
+    def is_feasible(self, graph: SocialGraph) -> bool:
+        """Whether every edge of ``graph`` is served (Theorem 1 condition)."""
+        return next(self.uncovered_edges(graph), None) is None
+
+    # ------------------------------------------------------------------
+    # Per-user views of the schedule (what the prototype consumes)
+    # ------------------------------------------------------------------
+    def push_set_of(self, user: Node) -> set[Node]:
+        """Views updated when ``user`` shares: ``{v : user -> v ∈ H}``.
+
+        This is the ``h[u]`` of Algorithm 3 in the paper (the user's own view
+        is implicit and always updated).
+        """
+        return {v for (u, v) in self.push if u == user}
+
+    def pull_set_of(self, user: Node) -> set[Node]:
+        """Views queried when ``user`` reads its feed: ``{u : u -> user ∈ L}``.
+
+        This is the ``l[u]`` of Algorithm 3 (own view implicit).
+        """
+        return {u for (u, v) in self.pull if v == user}
+
+    def build_user_maps(
+        self, users: Iterable[Node]
+    ) -> tuple[dict[Node, set[Node]], dict[Node, set[Node]]]:
+        """Materialize ``h[u]`` and ``l[u]`` for every user in one pass.
+
+        Much faster than calling :meth:`push_set_of` per user on large
+        schedules; this is what the prototype's application servers load into
+        memory at startup.
+        """
+        push_map: dict[Node, set[Node]] = {u: set() for u in users}
+        pull_map: dict[Node, set[Node]] = {u: set() for u in push_map}
+        for u, v in self.push:
+            push_map.setdefault(u, set()).add(v)
+        for u, v in self.pull:
+            pull_map.setdefault(v, set()).add(u)
+        return push_map, pull_map
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Edge counts per mechanism (for reports)."""
+        return {
+            "push_edges": len(self.push),
+            "pull_edges": len(self.pull),
+            "hub_covered_edges": len(self.hub_cover),
+            "push_and_pull_edges": len(self.push & self.pull),
+        }
+
+    def hubs(self) -> set[Node]:
+        """Distinct hub nodes used by the cover."""
+        return set(self.hub_cover.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestSchedule(push={len(self.push)}, pull={len(self.pull)}, "
+            f"hub_covered={len(self.hub_cover)})"
+        )

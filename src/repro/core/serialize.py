@@ -1,0 +1,192 @@
+"""Persistence for request schedules and workloads.
+
+A request schedule is an operational artifact: it is computed offline
+(possibly on a Hadoop cluster, as in the paper) and then *deployed* to the
+application servers, which keep the per-user push/pull sets in memory.
+This module defines the interchange format — line-oriented JSON with an
+explicit version header — plus save/load round-trips for schedules and
+workloads, so schedules can be computed by one process (or the
+``repro-schedule`` CLI) and served by another.
+
+Format (one JSON object per line, ``.gz`` transparently supported)::
+
+    {"kind": "header", "format": "repro-schedule", "version": 1, ...}
+    {"kind": "push", "edge": [u, v]}
+    {"kind": "pull", "edge": [u, v]}
+    {"kind": "cover", "edge": [u, v], "hub": w}
+
+Node ids must be JSON-representable (ints or strings); tuples round-trip
+as lists, so integer-id graphs — the generators' output — are exact.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from pathlib import Path
+
+from repro.core.schedule import RequestSchedule
+from repro.errors import ScheduleError, WorkloadError
+from repro.workload.rates import Workload
+
+SCHEDULE_FORMAT = "repro-schedule"
+WORKLOAD_FORMAT = "repro-workload"
+FORMAT_VERSION = 1
+
+
+def _open_text(path: str | Path, mode: str) -> io.TextIOBase:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
+
+
+def _edge_key(edge) -> list:
+    return [edge[0], edge[1]]
+
+
+def _edge_from(value) -> tuple:
+    if not isinstance(value, list) or len(value) != 2:
+        raise ScheduleError(f"malformed edge record {value!r}")
+    return (value[0], value[1])
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def save_schedule(
+    schedule: RequestSchedule,
+    path: str | Path,
+    metadata: dict | None = None,
+) -> int:
+    """Write ``schedule`` to ``path``; returns the number of records.
+
+    ``metadata`` (e.g. the generating algorithm and graph fingerprint) is
+    stored in the header and returned by :func:`load_schedule`.
+    """
+    records = 0
+    with _open_text(path, "w") as handle:
+        header = {
+            "kind": "header",
+            "format": SCHEDULE_FORMAT,
+            "version": FORMAT_VERSION,
+            "push_edges": len(schedule.push),
+            "pull_edges": len(schedule.pull),
+            "hub_covers": len(schedule.hub_cover),
+            "metadata": metadata or {},
+        }
+        handle.write(json.dumps(header) + "\n")
+        for edge in sorted(schedule.push, key=repr):
+            handle.write(json.dumps({"kind": "push", "edge": _edge_key(edge)}) + "\n")
+            records += 1
+        for edge in sorted(schedule.pull, key=repr):
+            handle.write(json.dumps({"kind": "pull", "edge": _edge_key(edge)}) + "\n")
+            records += 1
+        for edge, hub in sorted(schedule.hub_cover.items(), key=repr):
+            handle.write(
+                json.dumps({"kind": "cover", "edge": _edge_key(edge), "hub": hub})
+                + "\n"
+            )
+            records += 1
+    return records
+
+
+def load_schedule(path: str | Path) -> tuple[RequestSchedule, dict]:
+    """Read a schedule file; returns ``(schedule, header_metadata)``.
+
+    Raises :class:`ScheduleError` on a missing/mismatched header, an
+    unknown record kind, or record counts that disagree with the header
+    (truncated file detection).
+    """
+    schedule = RequestSchedule()
+    with _open_text(path, "r") as handle:
+        first = handle.readline()
+        if not first:
+            raise ScheduleError(f"{path}: empty schedule file")
+        header = json.loads(first)
+        if header.get("format") != SCHEDULE_FORMAT:
+            raise ScheduleError(
+                f"{path}: not a {SCHEDULE_FORMAT} file (format={header.get('format')!r})"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise ScheduleError(
+                f"{path}: unsupported version {header.get('version')!r}"
+            )
+        for lineno, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "push":
+                schedule.add_push(_edge_from(record["edge"]))
+            elif kind == "pull":
+                schedule.add_pull(_edge_from(record["edge"]))
+            elif kind == "cover":
+                schedule.cover_via_hub(_edge_from(record["edge"]), record["hub"])
+            else:
+                raise ScheduleError(f"{path}:{lineno}: unknown record kind {kind!r}")
+    if (
+        len(schedule.push) != header["push_edges"]
+        or len(schedule.pull) != header["pull_edges"]
+        or len(schedule.hub_cover) != header["hub_covers"]
+    ):
+        raise ScheduleError(f"{path}: record counts disagree with header (truncated?)")
+    return schedule, header.get("metadata", {})
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def save_workload(workload: Workload, path: str | Path) -> int:
+    """Write per-user rates as line JSON; returns the number of users."""
+    users = sorted(workload.users, key=repr)
+    with _open_text(path, "w") as handle:
+        header = {
+            "kind": "header",
+            "format": WORKLOAD_FORMAT,
+            "version": FORMAT_VERSION,
+            "users": len(users),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for user in users:
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "rates",
+                        "user": user,
+                        "rp": workload.rp(user),
+                        "rc": workload.rc(user),
+                    }
+                )
+                + "\n"
+            )
+    return len(users)
+
+
+def load_workload(path: str | Path) -> Workload:
+    """Read a workload file written by :func:`save_workload`."""
+    production: dict = {}
+    consumption: dict = {}
+    with _open_text(path, "r") as handle:
+        first = handle.readline()
+        if not first:
+            raise WorkloadError(f"{path}: empty workload file")
+        header = json.loads(first)
+        if header.get("format") != WORKLOAD_FORMAT:
+            raise WorkloadError(
+                f"{path}: not a {WORKLOAD_FORMAT} file (format={header.get('format')!r})"
+            )
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") != "rates":
+                raise WorkloadError(f"{path}: unknown record kind {record.get('kind')!r}")
+            production[record["user"]] = float(record["rp"])
+            consumption[record["user"]] = float(record["rc"])
+    if len(production) != header["users"]:
+        raise WorkloadError(f"{path}: user count disagrees with header (truncated?)")
+    return Workload(production=production, consumption=consumption)

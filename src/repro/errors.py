@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a social graph (bad node, bad edge, ...)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by an operation does not exist in the graph."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation does not exist in the graph."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"edge {source!r} -> {target!r} is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (negative rates, missing nodes, ...)."""
+
+
+class ScheduleError(ReproError):
+    """Invalid request schedule (edges outside the graph, bad coverage)."""
+
+
+class InfeasibleScheduleError(ScheduleError):
+    """A schedule does not cover every social edge (violates Theorem 1)."""
+
+    def __init__(self, uncovered_count: int, sample: list | None = None) -> None:
+        detail = f"{uncovered_count} uncovered edge(s)"
+        if sample:
+            detail += f"; e.g. {sample[:5]}"
+        super().__init__(detail)
+        self.uncovered_count = uncovered_count
+        self.sample = sample or []
+
+
+class StoreError(ReproError):
+    """Data-store layer failure (unknown server, unknown view, ...)."""
+
+
+class PartitionError(StoreError):
+    """Invalid data-partitioning configuration."""
+
+
+class SimulationError(ReproError):
+    """Prototype / trace simulation failure."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness misconfiguration."""

@@ -1,0 +1,33 @@
+"""Experiment harnesses regenerating every figure of the paper."""
+
+from repro.experiments import (
+    fig4_iterations,
+    fig5_incremental,
+    fig6_actual_throughput,
+    fig7_predicted_throughput,
+    fig8_load_balance,
+    fig9_chitchat_vs_nosy,
+)
+from repro.experiments.datasets import (
+    DATASETS,
+    Dataset,
+    dataset_table,
+    flickr_like,
+    load_dataset,
+    twitter_like,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "dataset_table",
+    "fig4_iterations",
+    "fig5_incremental",
+    "fig6_actual_throughput",
+    "fig7_predicted_throughput",
+    "fig8_load_balance",
+    "fig9_chitchat_vs_nosy",
+    "flickr_like",
+    "load_dataset",
+    "twitter_like",
+]

@@ -1,0 +1,104 @@
+"""Figure 6 — actual per-client throughput of the prototype vs cluster size.
+
+The paper drives its memcached-backed prototype with a Flickr workload and
+measures requests completed per second per client, for PARALLELNOSY and
+FEEDINGFRENZY schedules, on clusters of 1…1000 servers.  Findings:
+
+* absolute per-client throughput *decreases* with more servers (each request
+  batches over more distinct servers);
+* FF ties or slightly wins on small clusters (random co-location makes many
+  edges free, and piggybacking's extra hub hops can hurt);
+* PARALLELNOSY pulls ahead past ~200 servers — ~20 % at 500, ~35 % at 1000 —
+  trending toward the partition-free factor of Figure 4.
+
+This harness actually executes the prototype: every trace request becomes
+real batched messages against :class:`~repro.prototype.cluster.StoreCluster`,
+and message counts convert to requests/second via the calibrated client
+message budget (see :mod:`repro.prototype.metrics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import format_series
+from repro.core.baselines import hybrid_schedule
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.experiments.datasets import load_dataset
+from repro.prototype.appserver import ApplicationServer
+from repro.prototype.cluster import StoreCluster
+from repro.prototype.metrics import ThroughputMeasurement, actual_throughput
+from repro.workload.requests import fixed_count_trace
+
+
+@dataclass(frozen=True)
+class Fig6Config:
+    """Parameters of the Figure 6 reproduction."""
+
+    dataset: str = "flickr"
+    scale: float = 1.0
+    num_requests: int = 20_000
+    trace_seed: int = 13
+    placement_seed: int = 0
+    iterations: int = 10
+    server_counts: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+@dataclass
+class Fig6Result:
+    """Throughput curves and their ratio (the figure's three lines)."""
+
+    server_counts: list[int] = field(default_factory=list)
+    parallelnosy: list[ThroughputMeasurement] = field(default_factory=list)
+    feedingfrenzy: list[ThroughputMeasurement] = field(default_factory=list)
+    ratio: list[float] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        return format_series(
+            self.server_counts,
+            {
+                "ParallelNosy req/s": [m.requests_per_second for m in self.parallelnosy],
+                "FF req/s": [m.requests_per_second for m in self.feedingfrenzy],
+                "actual improvement ratio": self.ratio,
+            },
+            x_label="servers",
+            title="Figure 6: actual per-client throughput (prototype)",
+        )
+
+
+def _measure(graph, schedule, trace, num_servers: int, seed: int) -> ThroughputMeasurement:
+    cluster = StoreCluster(num_servers, seed=seed)
+    server = ApplicationServer(graph, schedule, cluster)
+    counters = server.run_trace(trace)
+    return actual_throughput(counters, num_servers)
+
+
+def run(config: Fig6Config = Fig6Config()) -> Fig6Result:
+    """Run the prototype under both schedules across cluster sizes."""
+    dataset = load_dataset(config.dataset, config.scale)
+    graph, workload = dataset.graph, dataset.workload
+    trace = fixed_count_trace(workload, config.num_requests, seed=config.trace_seed)
+    pn = parallel_nosy_schedule(graph, workload, max_iterations=config.iterations)
+    ff = hybrid_schedule(graph, workload)
+
+    result = Fig6Result(server_counts=list(config.server_counts))
+    for n in config.server_counts:
+        pn_measure = _measure(graph, pn, trace, n, config.placement_seed)
+        ff_measure = _measure(graph, ff, trace, n, config.placement_seed)
+        result.parallelnosy.append(pn_measure)
+        result.feedingfrenzy.append(ff_measure)
+        result.ratio.append(
+            pn_measure.requests_per_second / ff_measure.requests_per_second
+            if ff_measure.requests_per_second
+            else float("inf")
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    """Print the figure's series to stdout."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,95 @@
+"""Figure 7 — partition-aware predicted throughput vs cluster size.
+
+The analytic twin of Figure 6: instead of executing the prototype, the
+predicted cost of each schedule is computed with data placement taken into
+account (one message per distinct server hosting a touched view), then
+normalized by the one-server optimum.  The paper extends the sweep to
+10 000 servers and highlights two facts this harness checks:
+
+* the predicted curves match the prototype's measured behavior strikingly
+  well (FF ahead on small clusters, crossover around a couple hundred
+  servers, PN ahead beyond);
+* as servers grow the ratio converges toward the placement-free ratio of
+  Figure 4 (co-location probability vanishes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.predicted import (
+    normalized_predicted_throughput,
+    partition_free_ratio,
+)
+from repro.analysis.reporting import format_series
+from repro.core.baselines import hybrid_schedule
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.experiments.datasets import load_dataset
+
+
+@dataclass(frozen=True)
+class Fig7Config:
+    """Parameters of the Figure 7 reproduction."""
+
+    dataset: str = "flickr"
+    scale: float = 1.0
+    iterations: int = 10
+    placement_seed: int = 0
+    server_counts: tuple[int, ...] = (
+        1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10_000,
+    )
+
+
+@dataclass
+class Fig7Result:
+    """Normalized predicted throughput curves plus their ratio."""
+
+    server_counts: list[int] = field(default_factory=list)
+    parallelnosy: list[float] = field(default_factory=list)
+    feedingfrenzy: list[float] = field(default_factory=list)
+    ratio: list[float] = field(default_factory=list)
+    asymptotic_ratio: float = 0.0
+
+    def to_text(self) -> str:
+        body = format_series(
+            self.server_counts,
+            {
+                "ParallelNosy (norm.)": self.parallelnosy,
+                "FF (norm.)": self.feedingfrenzy,
+                "predicted improvement ratio": self.ratio,
+            },
+            x_label="servers",
+            title="Figure 7: predicted throughput with data placement",
+        )
+        return body + f"\nasymptotic (placement-free) ratio: {self.asymptotic_ratio:.4g}"
+
+
+def run(config: Fig7Config = Fig7Config()) -> Fig7Result:
+    """Compute the partition-aware predictor across cluster sizes."""
+    dataset = load_dataset(config.dataset, config.scale)
+    graph, workload = dataset.graph, dataset.workload
+    pn = parallel_nosy_schedule(graph, workload, max_iterations=config.iterations)
+    ff = hybrid_schedule(graph, workload)
+
+    result = Fig7Result(server_counts=list(config.server_counts))
+    for n in config.server_counts:
+        pn_thr = normalized_predicted_throughput(
+            graph, pn, workload, n, config.placement_seed
+        )
+        ff_thr = normalized_predicted_throughput(
+            graph, ff, workload, n, config.placement_seed
+        )
+        result.parallelnosy.append(pn_thr)
+        result.feedingfrenzy.append(ff_thr)
+        result.ratio.append(pn_thr / ff_thr if ff_thr else float("inf"))
+    result.asymptotic_ratio = partition_free_ratio(pn, ff, workload)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    """Print the figure's series to stdout."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

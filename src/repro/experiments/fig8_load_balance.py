@@ -1,0 +1,81 @@
+"""Figure 8 — load balancing: query rate per server.
+
+A schedule that doubles aggregate throughput but funnels all queries into a
+few hot shards would be useless; Figure 8 shows PARALLELNOSY and FF both
+produce well-balanced schedules — average normalized query load per server
+decays as ``~1/n`` with modest variance, especially on larger clusters
+(both axes logarithmic in the paper).
+
+This harness computes the same distribution analytically from the schedule,
+the rates, and the hash placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.loadbalance import LoadBalanceResult, load_balance
+from repro.analysis.reporting import format_series
+from repro.core.baselines import hybrid_schedule
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.experiments.datasets import load_dataset
+
+
+@dataclass(frozen=True)
+class Fig8Config:
+    """Parameters of the Figure 8 reproduction."""
+
+    dataset: str = "flickr"
+    scale: float = 1.0
+    iterations: int = 10
+    placement_seed: int = 0
+    server_counts: tuple[int, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+@dataclass
+class Fig8Result:
+    """Mean/variance of normalized per-server query load for both schedules."""
+
+    server_counts: list[int] = field(default_factory=list)
+    parallelnosy: list[LoadBalanceResult] = field(default_factory=list)
+    feedingfrenzy: list[LoadBalanceResult] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        return format_series(
+            self.server_counts,
+            {
+                "ParallelNosy mean": [r.mean for r in self.parallelnosy],
+                "ParallelNosy std": [r.std for r in self.parallelnosy],
+                "FF mean": [r.mean for r in self.feedingfrenzy],
+                "FF std": [r.std for r in self.feedingfrenzy],
+            },
+            x_label="servers",
+            title="Figure 8: normalized query rate per server (load balance)",
+        )
+
+
+def run(config: Fig8Config = Fig8Config()) -> Fig8Result:
+    """Compute per-server load distributions across cluster sizes."""
+    dataset = load_dataset(config.dataset, config.scale)
+    graph, workload = dataset.graph, dataset.workload
+    pn = parallel_nosy_schedule(graph, workload, max_iterations=config.iterations)
+    ff = hybrid_schedule(graph, workload)
+
+    result = Fig8Result(server_counts=list(config.server_counts))
+    for n in config.server_counts:
+        result.parallelnosy.append(
+            load_balance(graph, pn, workload, n, config.placement_seed)
+        )
+        result.feedingfrenzy.append(
+            load_balance(graph, ff, workload, n, config.placement_seed)
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI glue
+    """Print the figure's series to stdout."""
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,106 @@
+"""Command-line entry point regenerating every figure of the paper.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments datasets            # E0: dataset statistics table
+    repro-experiments fig4 --scale 1.0    # Figure 4
+    repro-experiments fig5                # Figure 5
+    repro-experiments fig6                # Figure 6
+    repro-experiments fig7                # Figure 7
+    repro-experiments fig8                # Figure 8
+    repro-experiments fig9                # Figure 9a + 9b
+    repro-experiments all --scale 0.5     # everything, scaled down
+
+``--scale`` multiplies dataset sizes (1.0 ≈ seconds per figure on one core;
+the paper's graphs are ~4 orders of magnitude larger).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+from repro.analysis.reporting import format_table
+from repro.experiments import (
+    fig4_iterations,
+    fig5_incremental,
+    fig6_actual_throughput,
+    fig7_predicted_throughput,
+    fig8_load_balance,
+    fig9_chitchat_vs_nosy,
+)
+from repro.experiments.datasets import dataset_table
+
+_FIGURES = {
+    "fig4": (fig4_iterations, fig4_iterations.Fig4Config),
+    "fig5": (fig5_incremental, fig5_incremental.Fig5Config),
+    "fig6": (fig6_actual_throughput, fig6_actual_throughput.Fig6Config),
+    "fig7": (fig7_predicted_throughput, fig7_predicted_throughput.Fig7Config),
+    "fig8": (fig8_load_balance, fig8_load_balance.Fig8Config),
+    "fig9": (fig9_chitchat_vs_nosy, fig9_chitchat_vs_nosy.Fig9Config),
+}
+
+
+def _run_figure(name: str, scale: float) -> str:
+    module, config_cls = _FIGURES[name]
+    config = config_cls(scale=scale)
+    started = time.perf_counter()
+    result = module.run(config)
+    elapsed = time.perf_counter() - started
+    return f"{result.to_text()}\n[{name} completed in {elapsed:.1f}s]"
+
+
+def _config_help(name: str) -> str:
+    _module, config_cls = _FIGURES[name]
+    fields = [
+        f"{f.name}={f.default!r}" for f in dataclasses.fields(config_cls)
+    ]
+    return ", ".join(fields)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the repro-experiments argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of 'Piggybacking on Social Networks'",
+    )
+    parser.add_argument(
+        "target",
+        choices=["datasets", "all", *sorted(_FIGURES)],
+        help="which figure (or 'datasets' table, or 'all') to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset size multiplier (default 1.0; try 2.0+ for slower, "
+        "higher-fidelity runs)",
+    )
+    parser.add_argument(
+        "--show-config",
+        action="store_true",
+        help="print the default configuration of the chosen figure and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.show_config and args.target in _FIGURES:
+        print(f"{args.target} defaults: {_config_help(args.target)}")
+        return 0
+    if args.target == "datasets":
+        print(format_table(dataset_table(args.scale), title="Dataset statistics"))
+        return 0
+    targets = sorted(_FIGURES) if args.target == "all" else [args.target]
+    for name in targets:
+        print(_run_figure(name, args.scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Graph substrate: structures, I/O, statistics, generators, samplers."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.graph.generators import (
+    configuration_model_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    rmat_graph,
+    social_copying_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.io import iter_edge_list, read_edge_list, write_edge_list
+from repro.graph.sampling import breadth_first_sample, random_walk_sample, sample_graph
+from repro.graph.stats import (
+    DegreeSummary,
+    GraphStats,
+    average_clustering,
+    count_wedges,
+    degree_histogram,
+    degree_summary,
+    gini_coefficient,
+    local_clustering,
+    powerlaw_exponent_estimate,
+    reciprocity,
+    summarize,
+)
+
+__all__ = [
+    "CSRGraph",
+    "DegreeSummary",
+    "Edge",
+    "GraphStats",
+    "Node",
+    "SocialGraph",
+    "average_clustering",
+    "breadth_first_sample",
+    "configuration_model_graph",
+    "count_wedges",
+    "degree_histogram",
+    "degree_summary",
+    "erdos_renyi_graph",
+    "forest_fire_graph",
+    "gini_coefficient",
+    "iter_edge_list",
+    "local_clustering",
+    "powerlaw_exponent_estimate",
+    "random_walk_sample",
+    "read_edge_list",
+    "reciprocity",
+    "rmat_graph",
+    "sample_graph",
+    "social_copying_graph",
+    "summarize",
+    "watts_strogatz_graph",
+    "write_edge_list",
+]

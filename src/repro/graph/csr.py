@@ -1,0 +1,162 @@
+"""Compressed-sparse-row (CSR) snapshot of a social graph.
+
+The mutable :class:`~repro.graph.digraph.SocialGraph` is convenient for
+incremental updates, but the inner loops of the scheduling algorithms and the
+throughput analyses iterate adjacency lists millions of times.  A frozen CSR
+snapshot stores both orientations in flat ``numpy`` arrays, giving compact
+memory and cache-friendly scans, mirroring how the paper's MapReduce jobs
+stream adjacency data.
+
+Nodes must be dense integers ``0..n-1`` (use
+:meth:`SocialGraph.relabeled` first if they are not).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import SocialGraph
+
+
+class CSRGraph:
+    """Immutable dual-orientation CSR representation.
+
+    Attributes
+    ----------
+    out_indptr, out_indices:
+        Standard CSR arrays for the successor (follower) lists.
+    in_indptr, in_indices:
+        CSR arrays for the predecessor (followee) lists.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "num_edges",
+        "out_indptr",
+        "out_indices",
+        "in_indptr",
+        "in_indices",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+    ) -> None:
+        self.num_nodes = int(num_nodes)
+        self.num_edges = int(out_indices.shape[0])
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: SocialGraph) -> "CSRGraph":
+        """Freeze ``graph`` (nodes must be dense integers ``0..n-1``)."""
+        n = graph.num_nodes
+        for node in graph.nodes():
+            if not isinstance(node, (int, np.integer)) or not 0 <= node < n:
+                raise GraphError(
+                    "CSRGraph requires dense integer node ids 0..n-1; "
+                    f"got {node!r} (call SocialGraph.relabeled() first)"
+                )
+        m = graph.num_edges
+        src = np.empty(m, dtype=np.int64)
+        dst = np.empty(m, dtype=np.int64)
+        for i, (u, v) in enumerate(graph.edges()):
+            src[i] = u
+            dst[i] = v
+        return cls.from_arrays(n, src, dst)
+
+    @classmethod
+    def from_arrays(cls, num_nodes: int, src: np.ndarray, dst: np.ndarray) -> "CSRGraph":
+        """Build from parallel source/target arrays (no duplicate check)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphError("src and dst arrays must have equal length")
+        out_indptr, out_indices = _build_csr(num_nodes, src, dst)
+        in_indptr, in_indices = _build_csr(num_nodes, dst, src)
+        return cls(num_nodes, out_indptr, out_indices, in_indptr, in_indices)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def successors(self, node: int) -> np.ndarray:
+        """Follower ids of ``node`` as a numpy slice (do not mutate)."""
+        return self.out_indices[self.out_indptr[node] : self.out_indptr[node + 1]]
+
+    def predecessors(self, node: int) -> np.ndarray:
+        """Followee ids of ``node`` as a numpy slice (do not mutate)."""
+        return self.in_indices[self.in_indptr[node] : self.in_indptr[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        """Follower count."""
+        return int(self.out_indptr[node + 1] - self.out_indptr[node])
+
+    def in_degree(self, node: int) -> int:
+        """Followee count."""
+        return int(self.in_indptr[node + 1] - self.in_indptr[node])
+
+    def out_degrees(self) -> np.ndarray:
+        """Vector of follower counts for every node."""
+        return np.diff(self.out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Vector of followee counts for every node."""
+        return np.diff(self.in_indptr)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges in CSR (source-major) order."""
+        for u in range(self.num_nodes):
+            for v in self.successors(u):
+                yield (u, int(v))
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` arrays in CSR order (copies)."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.out_degrees())
+        return src, self.out_indices.copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge membership via binary search (successor lists are sorted)."""
+        lo, hi = self.out_indptr[u], self.out_indptr[u + 1]
+        pos = np.searchsorted(self.out_indices[lo:hi], v)
+        return bool(pos < hi - lo and self.out_indices[lo + pos] == v)
+
+    def to_graph(self) -> SocialGraph:
+        """Thaw back into a mutable :class:`SocialGraph`."""
+        g = SocialGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+
+
+def _build_csr(num_nodes: int, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Counting sort of ``dst`` by ``src`` into (indptr, indices) arrays."""
+    if src.size and (src.min() < 0 or src.max() >= num_nodes):
+        raise GraphError("edge endpoint out of range for declared num_nodes")
+    if dst.size and (dst.min() < 0 or dst.max() >= num_nodes):
+        raise GraphError("edge endpoint out of range for declared num_nodes")
+    counts = np.bincount(src, minlength=num_nodes)
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(src, kind="stable")
+    indices = dst[order]
+    # sort each adjacency list so has_edge can binary-search
+    for node in range(num_nodes):
+        lo, hi = indptr[node], indptr[node + 1]
+        if hi - lo > 1:
+            indices[lo:hi] = np.sort(indices[lo:hi])
+    return indptr, indices

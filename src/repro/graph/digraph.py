@@ -1,0 +1,309 @@
+"""Directed social-graph data structure.
+
+The paper (section 2.1) models the social network as a directed graph
+``G = (V, E)`` where an edge ``u -> v`` means that user ``v`` subscribes to
+the events produced by user ``u``.  Following that convention throughout the
+package:
+
+* the *successors* of ``u`` are its **followers** (they consume ``u``);
+* the *predecessors* of ``u`` are its **followees** (``u`` consumes them).
+
+:class:`SocialGraph` is a mutable adjacency structure tuned for the access
+patterns of the scheduling algorithms: constant-time edge membership tests,
+fast iteration over predecessor/successor sets, and cheap neighborhood
+intersection (the work-horse of hub detection).  Nodes are arbitrary hashable
+ids, although the generators in :mod:`repro.graph.generators` always produce
+dense integer ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class SocialGraph:
+    """A mutable directed graph with O(1) edge tests and set adjacency.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(producer, consumer)`` pairs inserted at
+        construction time.  Nodes are created implicitly.
+
+    Examples
+    --------
+    >>> g = SocialGraph([(1, 2), (1, 3), (3, 2)])
+    >>> g.num_nodes, g.num_edges
+    (3, 3)
+    >>> sorted(g.successors(1))
+    [2, 3]
+    >>> g.has_edge(3, 2)
+    True
+    """
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self, edges: Iterable[Edge] | None = None) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes currently in the graph."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges currently in the graph."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SocialGraph):
+            return NotImplemented
+        return self._succ == other._succ
+
+    def __hash__(self) -> int:  # mutable container: identity hash like list/dict
+        raise TypeError("SocialGraph is mutable and unhashable")
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert ``node`` if absent; a no-op when it already exists."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Insert every node from ``nodes`` (existing nodes are ignored)."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, producer: Node, consumer: Node) -> bool:
+        """Insert the edge ``producer -> consumer``.
+
+        Returns ``True`` if the edge was new, ``False`` if it already
+        existed.  Self-loops are rejected because a user implicitly reads
+        and writes its own view (section 2.1 of the paper), so a loop edge
+        carries no meaning in the cost model.
+        """
+        if producer == consumer:
+            raise GraphError(f"self-loop {producer!r} -> {consumer!r} not allowed")
+        self.add_node(producer)
+        self.add_node(consumer)
+        if consumer in self._succ[producer]:
+            return False
+        self._succ[producer].add(consumer)
+        self._pred[consumer].add(producer)
+        self._num_edges += 1
+        return True
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> int:
+        """Insert each edge; returns the number of newly created edges."""
+        added = 0
+        for producer, consumer in edges:
+            if self.add_edge(producer, consumer):
+                added += 1
+        return added
+
+    def remove_edge(self, producer: Node, consumer: Node) -> None:
+        """Remove the edge ``producer -> consumer``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        """
+        if not self.has_edge(producer, consumer):
+            raise EdgeNotFoundError(producer, consumer)
+        self._succ[producer].discard(consumer)
+        self._pred[consumer].discard(producer)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node does not exist.
+        """
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for consumer in tuple(self._succ[node]):
+            self.remove_edge(node, consumer)
+        for producer in tuple(self._pred[node]):
+            self.remove_edge(producer, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is present."""
+        return node in self._succ
+
+    def has_edge(self, producer: Node, consumer: Node) -> bool:
+        """Whether the edge ``producer -> consumer`` is present."""
+        succ = self._succ.get(producer)
+        return succ is not None and consumer in succ
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes (insertion order)."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as ``(producer, consumer)`` pairs."""
+        for producer, consumers in self._succ.items():
+            for consumer in consumers:
+                yield (producer, consumer)
+
+    def successors(self, node: Node) -> frozenset[Node]:
+        """The followers of ``node`` (users that consume its events)."""
+        try:
+            return frozenset(self._succ[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def predecessors(self, node: Node) -> frozenset[Node]:
+        """The followees of ``node`` (users whose events it consumes)."""
+        try:
+            return frozenset(self._pred[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def successors_view(self, node: Node) -> set[Node]:
+        """Internal successor set (do **not** mutate); no-copy fast path."""
+        try:
+            return self._succ[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def predecessors_view(self, node: Node) -> set[Node]:
+        """Internal predecessor set (do **not** mutate); no-copy fast path."""
+        try:
+            return self._pred[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_degree(self, node: Node) -> int:
+        """Follower count of ``node``."""
+        return len(self.successors_view(node))
+
+    def in_degree(self, node: Node) -> int:
+        """Followee count of ``node``."""
+        return len(self.predecessors_view(node))
+
+    def followers(self, node: Node) -> frozenset[Node]:
+        """Alias of :meth:`successors` using social-network vocabulary."""
+        return self.successors(node)
+
+    def followees(self, node: Node) -> frozenset[Node]:
+        """Alias of :meth:`predecessors` using social-network vocabulary."""
+        return self.predecessors(node)
+
+    def common_followees(self, a: Node, b: Node) -> set[Node]:
+        """Nodes that both ``a`` and ``b`` subscribe to (shared producers)."""
+        pa = self.predecessors_view(a)
+        pb = self.predecessors_view(b)
+        if len(pa) > len(pb):
+            pa, pb = pb, pa
+        return {n for n in pa if n in pb}
+
+    def reciprocal_edges(self) -> Iterator[Edge]:
+        """Edges ``u -> v`` whose reverse ``v -> u`` is also present.
+
+        Each mutual pair is yielded twice (once per direction), matching the
+        directed-edge accounting used everywhere else in the package.
+        """
+        for producer, consumer in self.edges():
+            if self.has_edge(consumer, producer):
+                yield (producer, consumer)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def copy(self) -> "SocialGraph":
+        """Deep copy of the adjacency structure (nodes/edges, not attrs)."""
+        clone = SocialGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for producer, consumers in self._succ.items():
+            for consumer in consumers:
+                clone.add_edge(producer, consumer)
+        return clone
+
+    def reverse(self) -> "SocialGraph":
+        """A new graph with every edge direction flipped."""
+        rev = SocialGraph()
+        for node in self._succ:
+            rev.add_node(node)
+        for producer, consumer in self.edges():
+            rev.add_edge(consumer, producer)
+        return rev
+
+    def subgraph(self, nodes: Iterable[Node]) -> "SocialGraph":
+        """Induced subgraph on ``nodes`` (edges with both endpoints kept)."""
+        keep = set(nodes)
+        missing = [n for n in keep if n not in self._succ]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        sub = SocialGraph()
+        for node in keep:
+            sub.add_node(node)
+        for node in keep:
+            for consumer in self._succ[node]:
+                if consumer in keep:
+                    sub.add_edge(node, consumer)
+        return sub
+
+    def edge_subset(self, edges: Iterable[Edge]) -> "SocialGraph":
+        """A new graph containing exactly ``edges`` (all must exist here)."""
+        sub = SocialGraph()
+        for producer, consumer in edges:
+            if not self.has_edge(producer, consumer):
+                raise EdgeNotFoundError(producer, consumer)
+            sub.add_edge(producer, consumer)
+        return sub
+
+    def relabeled(self) -> tuple["SocialGraph", dict[Node, int]]:
+        """Relabel nodes to ``0..n-1`` integers.
+
+        Returns the relabeled graph and the ``old -> new`` mapping.  Useful
+        before building CSR snapshots or feeding samples back into the
+        generators' dense-id world.
+        """
+        mapping = {node: index for index, node in enumerate(self._succ)}
+        out = SocialGraph()
+        for node in self._succ:
+            out.add_node(mapping[node])
+        for producer, consumer in self.edges():
+            out.add_edge(mapping[producer], mapping[consumer])
+        return out, mapping

@@ -1,0 +1,225 @@
+"""Structural statistics of social graphs.
+
+The effectiveness of social piggybacking hinges on two structural properties
+the paper calls out explicitly (section 1 and 4.1):
+
+* **heavy-tailed degree distributions** — a few celebrity hubs with enormous
+  follower counts, which become cheap piggybacking relays; and
+* **high clustering** — many wedges ``x -> w -> y`` closed by a cross-edge
+  ``x -> y``, the exact triangle shape a hub-graph exploits.
+
+This module measures both, plus edge reciprocity (the property distinguishing
+the flickr-like from the twitter-like synthetic presets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import Node, SocialGraph
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Five-number-ish summary of a degree sequence."""
+
+    count: int
+    mean: float
+    median: float
+    maximum: int
+    gini: float
+
+    @classmethod
+    def from_degrees(cls, degrees: list[int]) -> "DegreeSummary":
+        if not degrees:
+            return cls(0, 0.0, 0.0, 0, 0.0)
+        arr = np.asarray(degrees, dtype=np.float64)
+        return cls(
+            count=len(degrees),
+            mean=float(arr.mean()),
+            median=float(np.median(arr)),
+            maximum=int(arr.max()),
+            gini=gini_coefficient(arr),
+        )
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Bundle of the structural statistics reported by ``summarize``."""
+
+    num_nodes: int
+    num_edges: int
+    reciprocity: float
+    avg_clustering: float
+    wedge_count: int
+    closed_wedge_count: int
+    in_degree: DegreeSummary
+    out_degree: DegreeSummary
+
+    @property
+    def transitivity(self) -> float:
+        """Global clustering: closed wedges / wedges (0 when no wedges)."""
+        if self.wedge_count == 0:
+            return 0.0
+        return self.closed_wedge_count / self.wedge_count
+
+    def as_row(self) -> dict[str, float | int]:
+        """Flatten into a dict usable as a report-table row."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "reciprocity": round(self.reciprocity, 4),
+            "avg_clustering": round(self.avg_clustering, 4),
+            "transitivity": round(self.transitivity, 4),
+            "mean_out_degree": round(self.out_degree.mean, 2),
+            "max_out_degree": self.out_degree.maximum,
+            "out_degree_gini": round(self.out_degree.gini, 4),
+        }
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sequence (degree inequality).
+
+    0 means perfectly uniform degrees; values near 1 indicate the
+    celebrity-dominated tail typical of social graphs.
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    n = arr.size
+    if n == 0:
+        return 0.0
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    index = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * (index * arr).sum()) / (n * total) - (n + 1) / n)
+
+
+def reciprocity(graph: SocialGraph) -> float:
+    """Fraction of edges whose reverse edge also exists."""
+    if graph.num_edges == 0:
+        return 0.0
+    mutual = sum(1 for _ in graph.reciprocal_edges())
+    return mutual / graph.num_edges
+
+
+def local_clustering(graph: SocialGraph, node: Node) -> float:
+    """Directed local clustering coefficient of ``node``.
+
+    Uses the standard generalization: neighbors are the union of
+    predecessors and successors, and we count directed edges among them
+    out of the ``k * (k - 1)`` possible, where ``k`` is the neighbor count.
+    """
+    neighbors = set(graph.predecessors_view(node)) | set(graph.successors_view(node))
+    neighbors.discard(node)
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    for a in neighbors:
+        succ = graph.successors_view(a)
+        # iterate over the smaller side of the intersection
+        if len(succ) < k:
+            links += sum(1 for b in succ if b in neighbors)
+        else:
+            links += sum(1 for b in neighbors if b in succ)
+    return links / (k * (k - 1))
+
+
+def average_clustering(
+    graph: SocialGraph,
+    sample_size: int | None = None,
+    seed: int = 0,
+) -> float:
+    """Average local clustering, optionally estimated on a node sample."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0.0
+    if sample_size is not None and sample_size < len(nodes):
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(nodes), size=sample_size, replace=False)
+        nodes = [nodes[i] for i in picks]
+    return sum(local_clustering(graph, n) for n in nodes) / len(nodes)
+
+
+def count_wedges(graph: SocialGraph) -> tuple[int, int]:
+    """Count directed wedges ``x -> w -> y`` and how many are closed.
+
+    A wedge is *closed* when the cross-edge ``x -> y`` exists — exactly the
+    configuration a piggybacking hub exploits, so the closed-wedge ratio is a
+    direct predictor of how much the CHITCHAT/PARALLELNOSY schedules can save.
+    ``x == y`` wedges (reciprocal pairs through ``w``) are skipped.
+    """
+    wedges = 0
+    closed = 0
+    for w in graph.nodes():
+        preds = graph.predecessors_view(w)
+        succs = graph.successors_view(w)
+        for x in preds:
+            x_succ = graph.successors_view(x)
+            for y in succs:
+                if x == y:
+                    continue
+                wedges += 1
+                if y in x_succ:
+                    closed += 1
+    return wedges, closed
+
+
+def degree_summary(graph: SocialGraph, direction: str = "out") -> DegreeSummary:
+    """Degree summary for ``direction`` in {"in", "out"}."""
+    if direction == "out":
+        degrees = [graph.out_degree(n) for n in graph.nodes()]
+    elif direction == "in":
+        degrees = [graph.in_degree(n) for n in graph.nodes()]
+    else:
+        raise ValueError(f"direction must be 'in' or 'out', got {direction!r}")
+    return DegreeSummary.from_degrees(degrees)
+
+
+def degree_histogram(graph: SocialGraph, direction: str = "out") -> dict[int, int]:
+    """Map ``degree -> node count`` for plotting degree distributions."""
+    hist: dict[int, int] = {}
+    get = graph.out_degree if direction == "out" else graph.in_degree
+    for node in graph.nodes():
+        d = get(node)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def powerlaw_exponent_estimate(graph: SocialGraph, direction: str = "out") -> float:
+    """Maximum-likelihood (Clauset-style, xmin=1) power-law exponent estimate.
+
+    Returns ``nan`` when fewer than 10 nodes have positive degree.  This is a
+    rough diagnostic used to sanity-check generator presets, not a rigorous
+    fit.
+    """
+    get = graph.out_degree if direction == "out" else graph.in_degree
+    degrees = [get(n) for n in graph.nodes() if get(n) >= 1]
+    if len(degrees) < 10:
+        return float("nan")
+    log_sum = sum(math.log(d) for d in degrees)
+    if log_sum == 0:
+        return float("inf")
+    return 1.0 + len(degrees) / log_sum
+
+
+def summarize(
+    graph: SocialGraph,
+    clustering_sample: int | None = 2000,
+    seed: int = 0,
+) -> GraphStats:
+    """Compute the full :class:`GraphStats` bundle for ``graph``."""
+    wedges, closed = count_wedges(graph)
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        reciprocity=reciprocity(graph),
+        avg_clustering=average_clustering(graph, clustering_sample, seed),
+        wedge_count=wedges,
+        closed_wedge_count=closed,
+        in_degree=degree_summary(graph, "in"),
+        out_degree=degree_summary(graph, "out"),
+    )

@@ -1,0 +1,24 @@
+"""MapReduce substrate and the MapReduce formulation of PARALLELNOSY."""
+
+from repro.mapreduce.engine import JobCounters, MapReduceEngine
+from repro.mapreduce.jobs import (
+    HubGraphRecord,
+    MapReduceParallelNosy,
+    MapReduceRunStats,
+    NodeRecord,
+    adjacency_job,
+    cross_edge_job,
+    mapreduce_parallel_nosy_schedule,
+)
+
+__all__ = [
+    "HubGraphRecord",
+    "JobCounters",
+    "MapReduceEngine",
+    "MapReduceParallelNosy",
+    "MapReduceRunStats",
+    "NodeRecord",
+    "adjacency_job",
+    "cross_edge_job",
+    "mapreduce_parallel_nosy_schedule",
+]

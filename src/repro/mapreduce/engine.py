@@ -1,0 +1,148 @@
+"""A small in-process MapReduce engine.
+
+The paper implements PARALLELNOSY as a sequence of Hadoop MapReduce jobs on
+a 1500-core cluster (section 3.2).  This engine reproduces the programming
+model — ``map`` over input records, shuffle by key, ``reduce`` per key —
+with deterministic semantics, so the job code in
+:mod:`repro.mapreduce.jobs` is a genuine MapReduce program whose output is
+byte-identical run to run.
+
+Scope notes (honest differences from Hadoop, documented per DESIGN.md):
+
+* execution is in-process, chunked to simulate workers; a real shuffle's
+  nondeterministic value ordering is modeled by sorting values, which is
+  *stricter* than Hadoop (any job correct here is correct there);
+* combiners run per map chunk exactly like Hadoop combiners;
+* counters mirror Hadoop counters and feed the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+KeyValue = tuple[Any, Any]
+Mapper = Callable[[Any], Iterable[KeyValue]]
+Reducer = Callable[[Any, list[Any]], Iterable[Any]]
+Combiner = Callable[[Any, list[Any]], Iterable[Any]]
+
+
+@dataclass
+class JobCounters:
+    """Hadoop-style counters describing one job execution."""
+
+    input_records: int = 0
+    map_output_records: int = 0
+    combine_output_records: int = 0
+    shuffle_keys: int = 0
+    reduce_output_records: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "input_records": self.input_records,
+            "map_output_records": self.map_output_records,
+            "combine_output_records": self.combine_output_records,
+            "shuffle_keys": self.shuffle_keys,
+            "reduce_output_records": self.reduce_output_records,
+        }
+
+
+@dataclass
+class MapReduceEngine:
+    """Deterministic chunked map/shuffle/reduce executor.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of simulated map workers; inputs are split round-robin into
+        this many chunks.  Only affects combiner locality (and therefore the
+        counters), never the job output.
+    sort_values:
+        Sort each key's value list before reducing (default on) so reducers
+        see a canonical order.
+    """
+
+    num_workers: int = 4
+    sort_values: bool = True
+    history: list[JobCounters] = field(default_factory=list)
+
+    def run(
+        self,
+        records: Iterable[Any],
+        mapper: Mapper,
+        reducer: Reducer,
+        combiner: Combiner | None = None,
+    ) -> list[Any]:
+        """Execute one job and return the concatenated reducer outputs.
+
+        Outputs are produced in sorted key order; within a key, in the order
+        the reducer emits them.
+        """
+        counters = JobCounters()
+        chunks: list[list[Any]] = [[] for _ in range(max(1, self.num_workers))]
+        for index, record in enumerate(records):
+            counters.input_records += 1
+            chunks[index % len(chunks)].append(record)
+
+        shuffle: defaultdict[Any, list[Any]] = defaultdict(list)
+        for chunk in chunks:
+            local: defaultdict[Any, list[Any]] = defaultdict(list)
+            for record in chunk:
+                for key, value in mapper(record):
+                    counters.map_output_records += 1
+                    local[key].append(value)
+            if combiner is not None:
+                for key, values in local.items():
+                    for value in combiner(key, values):
+                        counters.combine_output_records += 1
+                        shuffle[key].append(value)
+            else:
+                for key, values in local.items():
+                    shuffle[key].extend(values)
+
+        counters.shuffle_keys = len(shuffle)
+        output: list[Any] = []
+        for key in sorted(shuffle, key=repr):
+            values = shuffle[key]
+            if self.sort_values:
+                values = sorted(values, key=repr)
+            for item in reducer(key, values):
+                counters.reduce_output_records += 1
+                output.append(item)
+        self.history.append(counters)
+        return output
+
+    # ------------------------------------------------------------------
+    # Convenience pipelines
+    # ------------------------------------------------------------------
+    def map_only(self, records: Iterable[Any], mapper: Mapper) -> list[KeyValue]:
+        """Run just the map side (identity reduce), keeping key-value pairs."""
+        return self.run(
+            records,
+            mapper,
+            reducer=lambda key, values: (((key, v)) for v in values),
+        )
+
+    def group_by_key(self, pairs: Iterable[KeyValue]) -> Iterator[tuple[Any, list[Any]]]:
+        """Shuffle-only helper: group pre-keyed pairs deterministically."""
+        shuffle: defaultdict[Any, list[Any]] = defaultdict(list)
+        for key, value in pairs:
+            shuffle[key].append(value)
+        for key in sorted(shuffle, key=repr):
+            values = shuffle[key]
+            if self.sort_values:
+                values = sorted(values, key=repr)
+            yield key, values
+
+    @property
+    def last_counters(self) -> JobCounters:
+        """Counters of the most recent job (raises if none ran)."""
+        if not self.history:
+            raise RuntimeError("no MapReduce job has been executed yet")
+        return self.history[-1]
+
+    def total_shuffled_records(self) -> int:
+        """Sum of map-output records across all jobs (network-volume proxy)."""
+        return sum(c.map_output_records for c in self.history)

@@ -1,0 +1,416 @@
+"""PARALLELNOSY as MapReduce jobs (paper section 3.2, "Implementing
+PARALLELNOSY with MapReduce").
+
+This is a literal translation of the paper's job pipeline onto the engine in
+:mod:`repro.mapreduce.engine`:
+
+* **adjacency job** — one pass over the edge list producing per-node records
+  (predecessor and successor lists);
+* **cross-edge detection job** — for each edge ``x -> w``, the mapper ships
+  ``x``'s out-list to the hub ``w``'s reducer, which intersects it with its
+  successor list to materialize the hub-graph record of every edge
+  ``w -> y``; an upper bound ``b`` on detected cross-edges per hub keeps
+  worker memory bounded, at the cost of missed opportunities (exactly the
+  paper's mitigation for the Twitter graph);
+* per iteration, **phase 1** runs as a map over hub-graph records emitting
+  lock requests keyed by edge, **phase 2** as a reduce granting each edge to
+  the highest-gain candidate, **phase 3** as a reduce per candidate applying
+  fully- or partially-locked hub-graphs, and a **merge/dissemination job**
+  that unions the schedule updates and notifies interested hub-graphs (the
+  paper's pull-based update propagation; here it feeds the counters that
+  model network volume).
+
+Semantics are identical to :class:`repro.core.parallelnosy.ParallelNosyOptimizer`
+(same gain formulas, same deterministic tie-breaking); the equivalence is
+asserted by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.parallelnosy import candidate_gain
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.mapreduce.engine import MapReduceEngine
+from repro.workload.rates import Workload
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """Adjacency record for one node (output of the adjacency job)."""
+
+    node: Node
+    preds: tuple[Node, ...]
+    succs: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class HubGraphRecord:
+    """Hub-graph ``G(X, w, {y})`` for edge ``w -> y`` with candidate ``X``.
+
+    ``x_nodes`` holds every common predecessor detected by the cross-edge
+    job (before the per-iteration schedule-dependent filtering of phase 1).
+    """
+
+    hub: Node
+    consumer: Node
+    x_nodes: tuple[Node, ...]
+    truncated: bool = False
+
+    @property
+    def hub_edge(self) -> Edge:
+        return (self.hub, self.consumer)
+
+
+@dataclass
+class MapReduceRunStats:
+    """Volume/progress metrics of a full MapReduce PARALLELNOSY run."""
+
+    iterations: int = 0
+    hub_graph_records: int = 0
+    truncated_hubs: int = 0
+    lock_requests: int = 0
+    locks_granted: int = 0
+    updates: int = 0
+    notifications: int = 0
+    cost_history: list[float] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Preliminary jobs
+# ----------------------------------------------------------------------
+def adjacency_job(engine: MapReduceEngine, edges: list[Edge]) -> list[NodeRecord]:
+    """Edge list -> per-node adjacency records."""
+
+    def mapper(edge: Edge):
+        u, v = edge
+        yield (u, ("out", v))
+        yield (v, ("in", u))
+
+    def reducer(node: Node, values: list[tuple[str, Node]]):
+        preds = tuple(sorted((x for tag, x in values if tag == "in"), key=repr))
+        succs = tuple(sorted((x for tag, x in values if tag == "out"), key=repr))
+        yield NodeRecord(node, preds, succs)
+
+    return engine.run(edges, mapper, reducer)
+
+
+def cross_edge_job(
+    engine: MapReduceEngine,
+    node_records: list[NodeRecord],
+    cross_edge_bound: int | None = None,
+) -> tuple[list[HubGraphRecord], int]:
+    """Detect cross-edges and build hub-graph records.
+
+    The mapper ships each node's out-list to every hub it precedes; the
+    hub's reducer intersects out-lists with its own successor list.  Returns
+    the records plus the number of hubs whose enumeration hit the bound
+    ``b`` (``cross_edge_bound``).
+    """
+
+    def mapper(record: NodeRecord):
+        # own successor list, so the reducer knows Y(w)
+        yield (record.node, ("succs", record.succs))
+        # out-list shipped to each followed hub (cross-edge detection input)
+        for hub in record.succs:
+            yield (hub, ("outlist", record.node, record.succs))
+
+    truncated_hubs = 0
+
+    def reducer(hub: Node, values):
+        nonlocal truncated_hubs
+        succs: tuple[Node, ...] = ()
+        outlists: list[tuple[Node, frozenset[Node]]] = []
+        for item in values:
+            if item[0] == "succs":
+                succs = item[1]
+            else:
+                outlists.append((item[1], frozenset(item[2])))
+        outlists.sort(key=lambda pair: repr(pair[0]))
+        detected = 0
+        truncated = False
+        per_consumer: dict[Node, list[Node]] = {y: [] for y in succs}
+        for x, outs in outlists:
+            for y in succs:
+                if y == x or y not in outs:
+                    continue
+                if cross_edge_bound is not None and detected >= cross_edge_bound:
+                    truncated = True
+                    break
+                per_consumer[y].append(x)
+                detected += 1
+            if truncated:
+                break
+        if truncated:
+            truncated_hubs += 1
+        for y in succs:
+            xs = tuple(sorted(per_consumer[y], key=repr))
+            if xs:
+                yield HubGraphRecord(hub, y, xs, truncated)
+
+    records = engine.run(node_records, mapper, reducer)
+    return records, truncated_hubs
+
+
+# ----------------------------------------------------------------------
+# Per-iteration jobs
+# ----------------------------------------------------------------------
+def _locked_edges(hub: Node, consumer: Node, xs) -> list[Edge]:
+    edges: list[Edge] = [(hub, consumer)]
+    for x in xs:
+        edges.append((x, hub))
+        edges.append((x, consumer))
+    return edges
+
+
+def phase1_lock_requests(
+    engine: MapReduceEngine,
+    records: list[HubGraphRecord],
+    workload: Workload,
+    schedule: RequestSchedule,
+) -> tuple[list[tuple[Edge, tuple[float, Edge]]], dict[Edge, tuple[tuple[Node, ...], float]]]:
+    """Candidate selection as a map job.
+
+    Returns the lock-request pairs (keyed by edge) and a side table
+    ``hub_edge -> (filtered X, gain)`` the phase-3 reducer joins against —
+    the paper materializes the same join by routing the hub-graph record
+    through the shuffle.
+    """
+    covered = schedule.hub_cover
+    push, pull = schedule.push, schedule.pull
+    candidates: dict[Edge, tuple[tuple[Node, ...], float]] = {}
+
+    def mapper(record: HubGraphRecord):
+        hub, consumer = record.hub, record.consumer
+        hub_edge = record.hub_edge
+        if hub_edge in covered:
+            return
+        xs = []
+        for x in record.x_nodes:
+            if (x, hub) in covered:
+                continue
+            cross = (x, consumer)
+            if cross in covered or cross in push or cross in pull:
+                continue
+            xs.append(x)
+        if not xs:
+            return
+        gain = candidate_gain(workload, push, pull, xs, hub, consumer)
+        if gain <= 0:
+            return
+        xs_tuple = tuple(xs)
+        candidates[hub_edge] = (xs_tuple, gain)
+        for edge in _locked_edges(hub, consumer, xs_tuple):
+            yield (edge, (gain, hub_edge))
+
+    pairs = engine.map_only(records, mapper)
+    return pairs, candidates
+
+
+def phase2_grant_locks(
+    engine: MapReduceEngine,
+    lock_requests: list[tuple[Edge, tuple[float, Edge]]],
+) -> list[tuple[Edge, Edge]]:
+    """Edge locking as a reduce job: key = edge, winner = max (gain, id)."""
+
+    def reducer(edge: Edge, requests: list[tuple[float, Edge]]):
+        winner = max(requests, key=lambda item: (item[0], repr(item[1])))
+        yield (winner[1], edge)
+
+    def mapper(pair):
+        yield pair
+
+    return engine.run(lock_requests, mapper, reducer)
+
+
+def phase3_decisions(
+    engine: MapReduceEngine,
+    grants: list[tuple[Edge, Edge]],
+    candidates: dict[Edge, tuple[tuple[Node, ...], float]],
+    workload: Workload,
+    schedule: RequestSchedule,
+) -> list[tuple[str, Edge, Node | None]]:
+    """Scheduling decision as a reduce job keyed by candidate.
+
+    Emits schedule updates ``("push"|"pull"|"cover", edge, hub_or_None)``.
+    """
+    push, pull = schedule.push, schedule.pull
+
+    def mapper(pair):
+        yield pair
+
+    def reducer(hub_edge: Edge, locked: list[Edge]):
+        entry = candidates.get(hub_edge)
+        if entry is None:
+            return
+        xs, _gain = entry
+        hub, consumer = hub_edge
+        owned = set(locked)
+        all_edges = _locked_edges(hub, consumer, xs)
+        if len(owned) == len(all_edges):
+            chosen = xs
+        else:
+            if hub_edge not in owned:
+                return
+            chosen = tuple(
+                x for x in xs if (x, hub) in owned and (x, consumer) in owned
+            )
+            if not chosen:
+                return
+            if candidate_gain(workload, push, pull, chosen, hub, consumer) <= 0:
+                return
+        yield ("pull", hub_edge, None)
+        for x in chosen:
+            yield ("push", (x, hub), None)
+            yield ("cover", (x, consumer), hub)
+
+    return engine.run(grants, mapper, reducer)
+
+
+def dissemination_job(
+    engine: MapReduceEngine,
+    updates: list[tuple[str, Edge, Node | None]],
+    node_records: list[NodeRecord],
+) -> int:
+    """The pull-based update-notification job (network-volume model).
+
+    After phase 3, every updated edge ``u -> v`` must reach the hub-graphs
+    that have it as a leg or cross-edge: the hub-graphs centered at ``u``
+    and ``v`` and those centered at common neighbors.  The paper uses a
+    pull-based two-job scheme to avoid flooding; here the job computes the
+    same recipient sets and returns the notification count (the quantity the
+    optimization reduces), while the actual state merge happens driver-side.
+    """
+    succs = {r.node: frozenset(r.succs) for r in node_records}
+    preds = {r.node: frozenset(r.preds) for r in node_records}
+
+    def mapper(update):
+        _kind, (u, v), _hub = update
+        recipients = {u, v}
+        recipients.update(succs.get(u, frozenset()) & preds.get(v, frozenset()))
+        for node in recipients:
+            yield (node, (u, v))
+
+    def reducer(node: Node, edges: list[Edge]):
+        yield (node, len(set(edges)))
+
+    results = engine.run(updates, mapper, reducer)
+    return sum(count for _node, count in results)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+class MapReduceParallelNosy:
+    """Full MapReduce PARALLELNOSY driver.
+
+    Parameters
+    ----------
+    graph, workload:
+        The DISSEMINATION instance.
+    cross_edge_bound:
+        The paper's bound ``b`` on detected cross-edges per hub (100 000 in
+        their Twitter runs); ``None`` disables truncation.
+    redetect_each_iteration:
+        Re-run cross-edge detection every iteration (the paper does this for
+        Twitter, where the bound makes later passes discover new
+        opportunities); with an unbounded detection a single pass suffices.
+    engine:
+        Optionally share a :class:`MapReduceEngine` (e.g. to accumulate
+        counters across runs).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        workload: Workload,
+        cross_edge_bound: int | None = None,
+        redetect_each_iteration: bool = False,
+        engine: MapReduceEngine | None = None,
+    ) -> None:
+        self.graph = graph
+        self.workload = workload
+        self.cross_edge_bound = cross_edge_bound
+        self.redetect = redetect_each_iteration
+        self.engine = engine or MapReduceEngine()
+        self.schedule = RequestSchedule()
+        self.stats = MapReduceRunStats()
+        self._node_records: list[NodeRecord] | None = None
+        self._hub_records: list[HubGraphRecord] | None = None
+
+    # ------------------------------------------------------------------
+    def _prepare(self) -> None:
+        edges = sorted(self.graph.edges(), key=repr)
+        self._node_records = adjacency_job(self.engine, edges)
+        self._hub_records, truncated = cross_edge_job(
+            self.engine, self._node_records, self.cross_edge_bound
+        )
+        self.stats.hub_graph_records = len(self._hub_records)
+        self.stats.truncated_hubs = truncated
+
+    def run_iteration(self) -> int:
+        """One full candidate/lock/decide/merge cycle; returns #updates."""
+        if self._node_records is None or (self.redetect and self.stats.iterations):
+            self._prepare()
+        assert self._hub_records is not None and self._node_records is not None
+        requests, candidates = phase1_lock_requests(
+            self.engine, self._hub_records, self.workload, self.schedule
+        )
+        self.stats.lock_requests += len(requests)
+        grants = phase2_grant_locks(self.engine, requests)
+        self.stats.locks_granted += len(grants)
+        updates = phase3_decisions(
+            self.engine, grants, candidates, self.workload, self.schedule
+        )
+        self.stats.notifications += dissemination_job(
+            self.engine, updates, self._node_records
+        )
+        applied = 0
+        for kind, edge, hub in updates:
+            if kind == "push":
+                self.schedule.add_push(edge)
+            elif kind == "pull":
+                self.schedule.add_pull(edge)
+            else:
+                self.schedule.cover_via_hub(edge, hub)
+                applied += 1
+        self.stats.updates += len(updates)
+        self.stats.iterations += 1
+        return applied
+
+    def run(self, max_iterations: int = 20) -> RequestSchedule:
+        """Iterate to convergence (or the cap) and return the final schedule."""
+        if self._node_records is None:
+            self._prepare()
+        for _ in range(max_iterations):
+            if self.run_iteration() == 0:
+                break
+        return self.finalize()
+
+    def finalize(self) -> RequestSchedule:
+        """Complete unscheduled edges with the hybrid rule (feasible output)."""
+        final = self.schedule.copy()
+        for edge in self.graph.edges():
+            if (
+                edge not in self.schedule.push
+                and edge not in self.schedule.pull
+                and edge not in self.schedule.hub_cover
+            ):
+                u, v = edge
+                if self.workload.rp(u) <= self.workload.rc(v):
+                    final.add_push(edge)
+                else:
+                    final.add_pull(edge)
+        return final
+
+
+def mapreduce_parallel_nosy_schedule(
+    graph: SocialGraph,
+    workload: Workload,
+    max_iterations: int = 20,
+    cross_edge_bound: int | None = None,
+) -> RequestSchedule:
+    """One-shot MapReduce PARALLELNOSY run returning the feasible schedule."""
+    driver = MapReduceParallelNosy(graph, workload, cross_edge_bound)
+    return driver.run(max_iterations)

@@ -1,0 +1,32 @@
+"""Prototype social-networking system: clusters, app servers, staleness."""
+
+from repro.prototype.appserver import ApplicationServer, ClientCounters, FrontEnd
+from repro.prototype.cluster import StoreCluster, colocated
+from repro.prototype.metrics import (
+    CLIENT_MESSAGE_BUDGET_PER_SEC,
+    ThroughputMeasurement,
+    actual_throughput,
+    improvement_ratio,
+)
+from repro.prototype.staleness import (
+    StalenessReport,
+    StalenessSimulator,
+    StalenessViolation,
+    audit_schedule,
+)
+
+__all__ = [
+    "ApplicationServer",
+    "CLIENT_MESSAGE_BUDGET_PER_SEC",
+    "ClientCounters",
+    "FrontEnd",
+    "StalenessReport",
+    "StalenessSimulator",
+    "StalenessViolation",
+    "StoreCluster",
+    "ThroughputMeasurement",
+    "actual_throughput",
+    "audit_schedule",
+    "colocated",
+    "improvement_ratio",
+]

@@ -1,0 +1,138 @@
+"""Application-logic servers: Algorithm 3 of the paper.
+
+The application server (the *data-store client* of Figure 1) keeps the
+request schedule's push sets ``h[u]`` and pull sets ``l[u]`` in memory and
+translates each user request into batched data-store messages:
+
+* **update from u** — write the event into ``u``'s own view and every view
+  in ``h[u]``, one message per distinct server;
+* **query from u** — read ``u``'s own view and every view in ``l[u]``, one
+  message per distinct server, then merge the replies keeping the ``k``
+  latest events (the ``filter`` step).
+
+The own view is always touched, matching the paper's convention that its
+cost is implicit — with one server, every request is exactly one message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import Node, SocialGraph
+from repro.prototype.cluster import StoreCluster
+from repro.store.views import DEFAULT_FEED_SIZE, EventTuple
+from repro.workload.requests import Request, RequestKind
+
+
+@dataclass
+class ClientCounters:
+    """Per-application-server request/message accounting."""
+
+    updates: int = 0
+    queries: int = 0
+    update_messages: int = 0
+    query_messages: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.updates + self.queries
+
+    @property
+    def messages(self) -> int:
+        return self.update_messages + self.query_messages
+
+    @property
+    def messages_per_request(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.messages / self.requests
+
+
+class ApplicationServer:
+    """A data-store client executing Algorithm 3 against a cluster.
+
+    Parameters
+    ----------
+    graph:
+        The social graph (used only to pre-size the schedule maps).
+    schedule:
+        The request schedule; its per-user push/pull sets are materialized
+        once at construction, mirroring "push and pull sets for all users
+        are kept in memory".
+    cluster:
+        The data-store tier to talk to.
+    feed_size:
+        ``k`` of the top-k feed queries (paper: 10).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        schedule: RequestSchedule,
+        cluster: StoreCluster,
+        feed_size: int = DEFAULT_FEED_SIZE,
+    ) -> None:
+        self.cluster = cluster
+        self.feed_size = feed_size
+        self.counters = ClientCounters()
+        self.push_map, self.pull_map = schedule.build_user_maps(graph.nodes())
+
+    # ------------------------------------------------------------------
+    def handle_update(self, user: Node, event: EventTuple) -> int:
+        """Process a share: write own view + push set.  Returns messages."""
+        targets = set(self.push_map.get(user, ())) | {user}
+        messages = self.cluster.update(targets, event)
+        self.counters.updates += 1
+        self.counters.update_messages += messages
+        return messages
+
+    def handle_query(self, user: Node) -> tuple[list[EventTuple], int]:
+        """Process a feed request: read own view + pull set, merge top-k."""
+        targets = set(self.pull_map.get(user, ())) | {user}
+        events, messages = self.cluster.query(targets, self.feed_size)
+        self.counters.queries += 1
+        self.counters.query_messages += messages
+        return events, messages
+
+    def handle(self, request: Request) -> int:
+        """Dispatch one trace request; returns the messages it cost."""
+        if request.kind is RequestKind.SHARE:
+            event = EventTuple(
+                timestamp=request.time,
+                event_id=request.event_id if request.event_id is not None else -1,
+                producer=request.user,
+            )
+            return self.handle_update(request.user, event)
+        _events, messages = self.handle_query(request.user)
+        return messages
+
+    def run_trace(self, trace: list[Request]) -> ClientCounters:
+        """Process an entire trace and return the accumulated counters."""
+        for request in trace:
+            self.handle(request)
+        return self.counters
+
+
+@dataclass
+class FrontEnd:
+    """Minimal front-end: routes user requests to an application server.
+
+    Models the first tier of Figure 1.  With identical independent clients
+    the paper evaluates per-client throughput, so one front-end per client
+    suffices; the class mostly exists to keep the request flow of Figure 1
+    explicit in example code.
+    """
+
+    app_server: ApplicationServer
+    completed: int = 0
+    feed_cache: dict[Node, list[EventTuple]] = field(default_factory=dict)
+
+    def submit(self, request: Request) -> None:
+        """Forward a request and record completion (reply receipt)."""
+        if request.kind is RequestKind.QUERY:
+            events, _messages = self.app_server.handle_query(request.user)
+            self.feed_cache[request.user] = events
+        else:
+            self.app_server.handle(request)
+        self.completed += 1

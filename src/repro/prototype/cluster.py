@@ -1,0 +1,127 @@
+"""The simulated data-store cluster.
+
+Bundles a partitioner with one :class:`ViewServer` per partition and exposes
+the batched client interface the application servers use: "when processing a
+user query, application servers send at most one query per data store
+server" (paper section 4.3).  The cluster counts every request message —
+the quantity the paper's throughput model is built on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import StoreError
+from repro.graph.digraph import Node
+from repro.store.kvstore import ViewServer
+from repro.store.partition import HashPartitioner
+from repro.store.views import DEFAULT_FEED_SIZE, EventTuple
+
+
+class StoreCluster:
+    """A fleet of view servers behind a partitioner.
+
+    Parameters
+    ----------
+    num_servers:
+        Cluster size (the x-axis of Figures 6–8).
+    seed:
+        Placement seed (different seeds model re-partitioned deployments).
+    max_events_per_view:
+        Per-view trim bound forwarded to each server.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        seed: int = 0,
+        max_events_per_view: int = 1000,
+    ) -> None:
+        self.partitioner = HashPartitioner(num_servers, seed)
+        self.servers = [
+            ViewServer(i, max_events_per_view) for i in range(num_servers)
+        ]
+        self.total_messages = 0
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    def server_of(self, user: Node) -> ViewServer:
+        """The server hosting ``user``'s view."""
+        return self.servers[self.partitioner.server_of(user)]
+
+    # ------------------------------------------------------------------
+    # Batched client interface (one message per involved server)
+    # ------------------------------------------------------------------
+    def group_by_server(self, users: Iterable[Node]) -> dict[int, list[Node]]:
+        """Partition a view set by hosting server (the batching step)."""
+        groups: dict[int, list[Node]] = {}
+        for user in users:
+            groups.setdefault(self.partitioner.server_of(user), []).append(user)
+        return groups
+
+    def update(self, targets: Iterable[Node], event: EventTuple) -> int:
+        """Insert ``event`` into all target views; returns messages sent."""
+        groups = self.group_by_server(targets)
+        for server_id, views in groups.items():
+            self.servers[server_id].update_batch(views, event)
+        self.total_messages += len(groups)
+        return len(groups)
+
+    def query(
+        self, targets: Iterable[Node], k: int = DEFAULT_FEED_SIZE
+    ) -> tuple[list[EventTuple], int]:
+        """Merged top-k over the target views; returns (events, messages)."""
+        groups = self.group_by_server(targets)
+        partials: list[list[EventTuple]] = []
+        for server_id, views in sorted(groups.items()):
+            partials.append(self.servers[server_id].query_batch(views, k))
+        self.total_messages += len(groups)
+        merged: list[EventTuple] = []
+        seen: set[int] = set()
+        for partial in partials:
+            for event in partial:
+                if event.event_id not in seen:
+                    seen.add(event.event_id)
+                    merged.append(event)
+        merged.sort(reverse=True)
+        return merged[:k], len(groups)
+
+    # ------------------------------------------------------------------
+    def per_server_requests(self) -> list[int]:
+        """Request count per server (load-balance metric of Figure 8)."""
+        return [s.counters.total_requests for s in self.servers]
+
+    def per_server_queries(self) -> list[int]:
+        """Query count per server (the paper's Figure 8 uses query rate)."""
+        return [s.counters.query_requests for s in self.servers]
+
+    def reset_counters(self) -> None:
+        """Zero all message accounting (keeps stored views)."""
+        self.total_messages = 0
+        for server in self.servers:
+            server.counters.update_requests = 0
+            server.counters.query_requests = 0
+            server.counters.tuples_written = 0
+            server.counters.views_read = 0
+
+    def find_event(self, user: Node, event_id: int) -> bool:
+        """Whether ``user``'s view stores the given event (test helper)."""
+        server = self.server_of(user)
+        if not server.has_view(user):
+            return False
+        return any(e.event_id == event_id for e in server.view_of(user).all_events())
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreCluster(servers={self.num_servers}, "
+            f"messages={self.total_messages})"
+        )
+
+
+def colocated(cluster: StoreCluster, a: Node, b: Node) -> bool:
+    """Whether two users' views share a server (zero-cost edges, §4.3)."""
+    if cluster.num_servers <= 0:
+        raise StoreError("cluster has no servers")
+    return cluster.partitioner.server_of(a) == cluster.partitioner.server_of(b)

@@ -1,0 +1,24 @@
+"""Data-store substrate: partitioning, views, and view servers."""
+
+from repro.store.kvstore import ServerCounters, ViewServer
+from repro.store.partition import ExplicitPartitioner, HashPartitioner, stable_hash
+from repro.store.views import (
+    DEFAULT_FEED_SIZE,
+    TUPLE_BYTES,
+    EventTuple,
+    UserView,
+    merge_latest,
+)
+
+__all__ = [
+    "DEFAULT_FEED_SIZE",
+    "EventTuple",
+    "ExplicitPartitioner",
+    "HashPartitioner",
+    "ServerCounters",
+    "TUPLE_BYTES",
+    "UserView",
+    "ViewServer",
+    "merge_latest",
+    "stable_hash",
+]

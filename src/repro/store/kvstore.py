@@ -1,0 +1,109 @@
+"""View servers: the memcached-like data-store tier.
+
+Each :class:`ViewServer` owns the views of the users hashed to it and
+exposes exactly the two batched operations the prototype's thin server-side
+layer provides (paper section 4.3):
+
+* ``update_batch`` — insert an event tuple into several local views with a
+  single request message;
+* ``query_batch`` — return the merged ``k`` latest events across several
+  local views with a single request message (server-side aggregation, so
+  replies stay small no matter how many views are read).
+
+Message counters are the currency of the whole evaluation: the paper's
+premise is that system throughput is inversely proportional to the request
+rate hitting this tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StoreError
+from repro.graph.digraph import Node
+from repro.store.views import DEFAULT_FEED_SIZE, EventTuple, UserView, merge_latest
+
+
+@dataclass
+class ServerCounters:
+    """Per-server request accounting."""
+
+    update_requests: int = 0
+    query_requests: int = 0
+    tuples_written: int = 0
+    views_read: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        return self.update_requests + self.query_requests
+
+
+@dataclass
+class ViewServer:
+    """One data-store server holding a shard of user views."""
+
+    server_id: int
+    max_events_per_view: int = 1000
+    counters: ServerCounters = field(default_factory=ServerCounters)
+    _views: dict[Node, UserView] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def ensure_view(self, user: Node) -> UserView:
+        """Create (if needed) and return the view of ``user``."""
+        view = self._views.get(user)
+        if view is None:
+            view = UserView(user, self.max_events_per_view)
+            self._views[user] = view
+        return view
+
+    def has_view(self, user: Node) -> bool:
+        return user in self._views
+
+    def view_of(self, user: Node) -> UserView:
+        try:
+            return self._views[user]
+        except KeyError:
+            raise StoreError(
+                f"server {self.server_id} does not hold a view for {user!r}"
+            ) from None
+
+    @property
+    def num_views(self) -> int:
+        return len(self._views)
+
+    # ------------------------------------------------------------------
+    # The two request types
+    # ------------------------------------------------------------------
+    def update_batch(self, targets: list[Node], event: EventTuple) -> None:
+        """One update request inserting ``event`` into all target views."""
+        self.counters.update_requests += 1
+        for user in targets:
+            self.ensure_view(user).insert(event)
+            self.counters.tuples_written += 1
+
+    def query_batch(
+        self, targets: list[Node], k: int = DEFAULT_FEED_SIZE
+    ) -> list[EventTuple]:
+        """One query request returning the merged top-k of the target views.
+
+        Views never written to are treated as empty (memcached semantics:
+        a miss is an empty result, not an error).
+        """
+        self.counters.query_requests += 1
+        partials: list[list[EventTuple]] = []
+        for user in targets:
+            view = self._views.get(user)
+            self.counters.views_read += 1
+            if view is not None:
+                partials.append(view.latest(k))
+        return merge_latest(partials, k)
+
+    def total_bytes(self) -> int:
+        """Aggregate storage footprint of the shard."""
+        return sum(view.size_bytes() for view in self._views.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewServer(id={self.server_id}, views={len(self._views)}, "
+            f"requests={self.counters.total_requests})"
+        )

@@ -1,0 +1,90 @@
+"""Data partitioning: mapping user views to data-store servers.
+
+The prototype (paper section 4.3) stores each user's view on a server
+chosen by hashing the user id — "a simple partitioning approach that is
+common in practical data store layers".  Partitioning matters because the
+client batches: all views needed from one server are fetched with a single
+message, which is why FF can beat PARALLELNOSY on very small clusters
+(neighbors often co-located) while piggybacking wins as servers multiply.
+
+The hash is a deterministic integer mix (not Python's salted ``hash``) so
+experiments reproduce bit-for-bit across processes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable, Mapping
+
+from repro.errors import PartitionError
+from repro.graph.digraph import Node
+
+
+def _mix(value: int) -> int:
+    """SplitMix64 finalizer: avalanching mix of an integer."""
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 % (1 << 64)
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB % (1 << 64)
+    return (value ^ (value >> 31)) % (1 << 64)
+
+
+def stable_hash(user: Node, seed: int = 0) -> int:
+    """Process-independent hash of a user id (ints fast-pathed)."""
+    if isinstance(user, int):
+        return _mix(user * 0x9E3779B97F4A7C15 + seed + 1)
+    digest = zlib.crc32(repr(user).encode("utf-8"))
+    return _mix(digest + seed + 1)
+
+
+class HashPartitioner:
+    """Random (hash-based) view placement, the prototype's default."""
+
+    def __init__(self, num_servers: int, seed: int = 0) -> None:
+        if num_servers <= 0:
+            raise PartitionError(f"num_servers must be positive, got {num_servers}")
+        self.num_servers = num_servers
+        self.seed = seed
+
+    def server_of(self, user: Node) -> int:
+        """Server index hosting ``user``'s view."""
+        return stable_hash(user, self.seed) % self.num_servers
+
+    def servers_of(self, users: Iterable[Node]) -> set[int]:
+        """Distinct servers hosting any of the given views (batch size)."""
+        return {self.server_of(u) for u in users}
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner(num_servers={self.num_servers}, seed={self.seed})"
+
+
+class ExplicitPartitioner:
+    """Placement given as an explicit map (for tests and what-if analyses)."""
+
+    def __init__(self, assignment: Mapping[Node, int], num_servers: int | None = None) -> None:
+        if not assignment:
+            raise PartitionError("assignment must not be empty")
+        servers = set(assignment.values())
+        if min(servers) < 0:
+            raise PartitionError("server indexes must be non-negative")
+        inferred = max(servers) + 1
+        self.num_servers = num_servers if num_servers is not None else inferred
+        if self.num_servers < inferred:
+            raise PartitionError(
+                f"num_servers {self.num_servers} too small for assignment "
+                f"(needs {inferred})"
+            )
+        self._assignment = dict(assignment)
+
+    def server_of(self, user: Node) -> int:
+        try:
+            return self._assignment[user]
+        except KeyError:
+            raise PartitionError(f"user {user!r} has no assigned server") from None
+
+    def servers_of(self, users: Iterable[Node]) -> set[int]:
+        return {self.server_of(u) for u in users}
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplicitPartitioner(num_servers={self.num_servers}, "
+            f"users={len(self._assignment)})"
+        )

@@ -1,0 +1,98 @@
+"""Materialized per-user views.
+
+The prototype's data model (paper section 4.3): views are event-stream
+indexes holding ``(user id, event id, timestamp)`` tuples — 24 bytes in the
+original system.  Updates insert tuples; queries return the ``k`` latest
+events across a set of views.  A thin server-side layer trims views that
+grow beyond a bound, mirroring the memcached shim the authors added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import Node
+
+#: Size of one stored tuple in bytes (paper: "The tuple size is 24 bytes").
+TUPLE_BYTES = 24
+
+#: Default number of events a feed query returns (paper: "the 10 latest").
+DEFAULT_FEED_SIZE = 10
+
+
+@dataclass(frozen=True, order=True)
+class EventTuple:
+    """One view entry, ordered by (timestamp, event_id) for top-k merges."""
+
+    timestamp: float
+    event_id: int
+    producer: Node = None  # type: ignore[assignment]
+
+
+class UserView:
+    """A single user's materialized view (newest-last list of tuples).
+
+    ``max_events`` bounds the view length; inserting past the bound evicts
+    the oldest tuples (the prototype's trim operation).
+    """
+
+    __slots__ = ("owner", "max_events", "_events")
+
+    def __init__(self, owner: Node, max_events: int = 1000) -> None:
+        self.owner = owner
+        self.max_events = max_events
+        self._events: list[EventTuple] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def insert(self, event: EventTuple) -> None:
+        """Insert keeping timestamp order (amortized O(1) for in-order inserts)."""
+        events = self._events
+        if not events or event >= events[-1]:
+            events.append(event)
+        else:
+            # out-of-order delivery: binary insert
+            lo, hi = 0, len(events)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if events[mid] < event:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            events.insert(lo, event)
+        if len(events) > self.max_events:
+            del events[: len(events) - self.max_events]
+
+    def latest(self, k: int = DEFAULT_FEED_SIZE) -> list[EventTuple]:
+        """The ``k`` newest tuples, newest first."""
+        return list(reversed(self._events[-k:]))
+
+    def all_events(self) -> list[EventTuple]:
+        """Every stored tuple, oldest first (testing/auditing)."""
+        return list(self._events)
+
+    def size_bytes(self) -> int:
+        """Approximate storage footprint using the paper's 24-byte tuples."""
+        return len(self._events) * TUPLE_BYTES
+
+    def __repr__(self) -> str:
+        return f"UserView(owner={self.owner!r}, events={len(self._events)})"
+
+
+def merge_latest(views: list[list[EventTuple]], k: int = DEFAULT_FEED_SIZE) -> list[EventTuple]:
+    """Merge per-view top-k lists into a global top-k (newest first).
+
+    This is the client-side ``filter`` of Algorithm 3: reply lists arrive
+    newest-first from each server and are merged keeping the ``k`` freshest
+    distinct events.
+    """
+    seen: set[int] = set()
+    merged: list[EventTuple] = []
+    for view in views:
+        for event in view:
+            if event.event_id not in seen:
+                seen.add(event.event_id)
+                merged.append(event)
+    merged.sort(reverse=True)
+    return merged[:k]

@@ -1,0 +1,35 @@
+"""Workload substrate: per-user rates and timed request traces."""
+
+from repro.workload.rates import (
+    REFERENCE_READ_WRITE_RATIO,
+    Workload,
+    log_degree_workload,
+    uniform_workload,
+    workload_from_mappings,
+    zipf_workload,
+)
+from repro.workload.requests import (
+    Request,
+    RequestKind,
+    empirical_read_write_ratio,
+    fixed_count_trace,
+    generate_trace,
+    iter_windows,
+    split_counts,
+)
+
+__all__ = [
+    "REFERENCE_READ_WRITE_RATIO",
+    "Request",
+    "RequestKind",
+    "Workload",
+    "empirical_read_write_ratio",
+    "fixed_count_trace",
+    "generate_trace",
+    "iter_windows",
+    "log_degree_workload",
+    "split_counts",
+    "uniform_workload",
+    "workload_from_mappings",
+    "zipf_workload",
+]

@@ -1,0 +1,178 @@
+"""Timed request-trace generation for the prototype experiments.
+
+The prototype of section 4.3 is driven by "a sequence of user queries and
+updates received by the application-logic servers".  This module synthesizes
+such traces from a :class:`~repro.workload.rates.Workload`: each user is an
+independent Poisson source of *share* (update) and *query* operations with
+intensities ``rp(u)`` and ``rc(u)``, merged into one time-ordered stream.
+
+Traces are also what the staleness checker consumes: every share carries a
+unique event id, so a checker can verify that queries return every event
+older than the staleness bound Θ.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import WorkloadError
+from repro.graph.digraph import Node
+from repro.workload.rates import Workload
+
+
+class RequestKind(Enum):
+    """The two request types users can issue (paper section 2.1)."""
+
+    SHARE = "share"
+    QUERY = "query"
+
+
+@dataclass(frozen=True, order=True)
+class Request:
+    """A single timed user request.
+
+    ``event_id`` is a globally unique id for SHARE requests (``None`` for
+    queries); traces assign them sequentially in time order.
+    """
+
+    time: float
+    user: Node = None  # type: ignore[assignment]
+    kind: RequestKind = RequestKind.QUERY
+    event_id: int | None = None
+
+
+def generate_trace(
+    workload: Workload,
+    duration: float,
+    seed: int = 0,
+    users: list[Node] | None = None,
+) -> list[Request]:
+    """Poisson-merge a request trace of the given duration.
+
+    Parameters
+    ----------
+    workload:
+        Per-user rates; rates are interpreted as events per unit time.
+    duration:
+        Length of the simulated interval ``[0, duration)``.
+    users:
+        Optional restriction to a subset of users (defaults to all).
+
+    Returns
+    -------
+    list[Request]
+        Time-sorted requests; SHARE requests carry sequential event ids.
+    """
+    if duration <= 0:
+        raise WorkloadError(f"duration must be positive, got {duration}")
+    rng = random.Random(seed)
+    chosen = list(users) if users is not None else sorted(workload.users, key=repr)
+    heap: list[tuple[float, int, Node, RequestKind]] = []
+    counter = 0
+
+    def schedule(user: Node, kind: RequestKind, now: float, rate: float) -> None:
+        nonlocal counter
+        if rate <= 0:
+            return
+        gap = rng.expovariate(rate)
+        when = now + gap
+        if when < duration:
+            counter += 1
+            heapq.heappush(heap, (when, counter, user, kind))
+
+    for user in chosen:
+        schedule(user, RequestKind.SHARE, 0.0, workload.rp(user))
+        schedule(user, RequestKind.QUERY, 0.0, workload.rc(user))
+
+    trace: list[Request] = []
+    next_event_id = 0
+    while heap:
+        when, _, user, kind = heapq.heappop(heap)
+        if kind is RequestKind.SHARE:
+            trace.append(Request(when, user, kind, next_event_id))
+            next_event_id += 1
+            schedule(user, RequestKind.SHARE, when, workload.rp(user))
+        else:
+            trace.append(Request(when, user, kind, None))
+            schedule(user, RequestKind.QUERY, when, workload.rc(user))
+    return trace
+
+
+def fixed_count_trace(
+    workload: Workload,
+    num_requests: int,
+    seed: int = 0,
+    users: list[Node] | None = None,
+) -> list[Request]:
+    """A trace with exactly ``num_requests`` operations.
+
+    Users and request kinds are drawn proportionally to their rates (the
+    stationary mix of the Poisson superposition), with synthetic uniform
+    timestamps.  Cheaper than :func:`generate_trace` when only the operation
+    mix matters, e.g. for throughput counting.
+    """
+    if num_requests <= 0:
+        raise WorkloadError(f"num_requests must be positive, got {num_requests}")
+    rng = random.Random(seed)
+    chosen = list(users) if users is not None else sorted(workload.users, key=repr)
+    weights: list[float] = []
+    entries: list[tuple[Node, RequestKind]] = []
+    for user in chosen:
+        rp, rc = workload.rp(user), workload.rc(user)
+        if rp > 0:
+            entries.append((user, RequestKind.SHARE))
+            weights.append(rp)
+        if rc > 0:
+            entries.append((user, RequestKind.QUERY))
+            weights.append(rc)
+    if not entries:
+        raise WorkloadError("workload has no positive rates")
+    picks = rng.choices(range(len(entries)), weights=weights, k=num_requests)
+    times = sorted(rng.random() for _ in range(num_requests))
+    trace: list[Request] = []
+    next_event_id = 0
+    for when, index in zip(times, picks):
+        user, kind = entries[index]
+        if kind is RequestKind.SHARE:
+            trace.append(Request(when, user, kind, next_event_id))
+            next_event_id += 1
+        else:
+            trace.append(Request(when, user, kind, None))
+    return trace
+
+
+def split_counts(trace: list[Request]) -> tuple[int, int]:
+    """Return ``(num_shares, num_queries)`` of a trace."""
+    shares = sum(1 for r in trace if r.kind is RequestKind.SHARE)
+    return shares, len(trace) - shares
+
+
+def iter_windows(trace: list[Request], window: float) -> Iterator[list[Request]]:
+    """Yield consecutive time windows of a trace (for staleness audits)."""
+    if window <= 0:
+        raise WorkloadError(f"window must be positive, got {window}")
+    if not trace:
+        return
+    end = window
+    bucket: list[Request] = []
+    for request in trace:
+        while request.time >= end:
+            yield bucket
+            bucket = []
+            end += window
+        bucket.append(request)
+    if bucket:
+        yield bucket
+
+
+def empirical_read_write_ratio(trace: list[Request]) -> float:
+    """Observed queries-per-share in a trace (sanity check against target)."""
+    shares, queries = split_counts(trace)
+    if shares == 0:
+        return math.inf
+    return queries / shares

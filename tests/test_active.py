@@ -1,0 +1,117 @@
+"""Tests for active-store schedules and Theorem 3 (active == passive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.active import (
+    ActiveSchedule,
+    active_cost,
+    is_feasible,
+    reachable_views,
+    serves_edge,
+    to_passive,
+)
+from repro.core.coverage import validate_schedule
+from repro.core.cost import schedule_cost
+from repro.errors import ScheduleError
+from repro.graph.digraph import SocialGraph
+
+
+@pytest.fixture
+def chain_graph() -> SocialGraph:
+    """Producer 0 followed by 1, 2, 3; relay chain 0->1->... possible
+    because 1 and 2 share subscribers with 0."""
+    edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    return SocialGraph(edges)
+
+
+class TestValidation:
+    def test_propagation_on_non_edge_rejected(self, chain_graph):
+        s = ActiveSchedule(propagation={(3, 0): {1}})
+        with pytest.raises(ScheduleError):
+            s.validate(chain_graph)
+
+    def test_propagation_target_must_subscribe_to_producer(self, chain_graph):
+        # 2 -> 3 edge exists; target 1 does NOT subscribe to 2? It does not
+        # (no edge 2 -> 1), so propagating 2's events to 1 is invalid.
+        s = ActiveSchedule(propagation={(2, 3): {1}})
+        with pytest.raises(ScheduleError):
+            s.validate(chain_graph)
+
+    def test_valid_propagation_accepted(self, chain_graph):
+        # event by 0 relayed via 1 to 2: 0 -> 2 and 1 -> 2 both exist
+        s = ActiveSchedule(push={(0, 1)}, propagation={(0, 1): {2}})
+        s.validate(chain_graph)
+
+
+class TestReachability:
+    def test_chain_reaches_transitively(self, chain_graph):
+        s = ActiveSchedule(
+            push={(0, 1)},
+            propagation={(0, 1): {2}, (0, 2): {3}},
+        )
+        assert reachable_views(s, 0) == {1, 2, 3}
+
+    def test_no_propagation_only_pushes(self, chain_graph):
+        s = ActiveSchedule(push={(0, 1), (0, 3)})
+        assert reachable_views(s, 0) == {1, 3}
+
+    def test_serves_edge_via_chain(self, chain_graph):
+        s = ActiveSchedule(push={(0, 1)}, propagation={(0, 1): {2}})
+        assert serves_edge(s, chain_graph, (0, 2))
+        assert not serves_edge(s, chain_graph, (0, 3))
+
+    def test_serves_edge_via_pull_from_relay(self, chain_graph):
+        # 0's events reach 1's view; 3 pulls 1's view => edge 0 -> 3 served
+        s = ActiveSchedule(push={(0, 1)}, pull={(1, 3)})
+        assert serves_edge(s, chain_graph, (0, 3))
+
+
+class TestTheorem3:
+    def make_active(self, chain_graph) -> ActiveSchedule:
+        s = ActiveSchedule(
+            push={(0, 1), (1, 2), (1, 3), (2, 3)},
+            propagation={(0, 1): {2}, (0, 2): {3}},
+        )
+        s.validate(chain_graph)
+        assert is_feasible(s, chain_graph)
+        return s
+
+    def test_passive_simulation_feasible(self, chain_graph):
+        active = self.make_active(chain_graph)
+        passive = to_passive(active, chain_graph)
+        validate_schedule(chain_graph, passive)
+
+    def test_passive_cost_not_greater(self, chain_graph):
+        active = self.make_active(chain_graph)
+        w = make_uniform(chain_graph, rp=2.0, rc=3.0)
+        passive = to_passive(active, chain_graph)
+        assert schedule_cost(passive, w) <= active_cost(active, w) + 1e-9
+
+    def test_passive_pushes_equal_reachability(self, chain_graph):
+        active = self.make_active(chain_graph)
+        passive = to_passive(active, chain_graph)
+        assert passive.push_set_of(0) == reachable_views(active, 0)
+
+    def test_multi_hop_chain_costs_more_when_redundant(self, chain_graph):
+        """A propagation chain that reaches a view both directly and via a
+        relay pays twice in the active model but once after flattening."""
+        w = make_uniform(chain_graph, rp=1.0, rc=1.0)
+        active = ActiveSchedule(
+            push={(0, 2), (0, 1), (1, 2), (1, 3), (2, 3)},
+            propagation={(0, 1): {2}},  # 2 reached twice for producer 0
+        )
+        active.validate(chain_graph)
+        passive = to_passive(active, chain_graph)
+        assert schedule_cost(passive, w) < active_cost(active, w)
+
+    def test_pulls_preserved(self, chain_graph):
+        active = ActiveSchedule(
+            push={(0, 1), (1, 2), (1, 3)},
+            pull={(2, 3), (0, 2)},
+            propagation={},
+        )
+        passive = to_passive(active, chain_graph)
+        assert passive.pull == {(2, 3), (0, 2)}

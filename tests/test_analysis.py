@@ -1,0 +1,149 @@
+"""Tests for the analytics layer: predicted throughput, load balance, reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.loadbalance import load_balance, per_server_query_load
+from repro.analysis.predicted import (
+    normalized_predicted_throughput,
+    partition_free_ratio,
+    partitioned_cost,
+    predicted_improvement_vs_servers,
+)
+from repro.analysis.reporting import format_series, format_table, format_value, sparkline
+from repro.core.baselines import hybrid_schedule, push_all_schedule
+from repro.core.cost import schedule_cost
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import log_degree_workload, uniform_workload
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = social_copying_graph(150, out_degree=6, copy_fraction=0.7, seed=6)
+    workload = log_degree_workload(graph)
+    pn = parallel_nosy_schedule(graph, workload, 6)
+    ff = hybrid_schedule(graph, workload)
+    return graph, workload, pn, ff
+
+
+class TestPartitionedCost:
+    def test_one_server_cost_is_total_request_rate(self, setting):
+        graph, workload, pn, _ff = setting
+        cost = partitioned_cost(graph, pn, workload, 1)
+        assert cost.total == pytest.approx(
+            workload.total_production + workload.total_consumption
+        )
+
+    def test_cost_monotone_in_servers(self, setting):
+        graph, workload, pn, _ff = setting
+        costs = [partitioned_cost(graph, pn, workload, n).total for n in (1, 4, 64)]
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_many_servers_approach_partition_free_cost(self, setting):
+        graph, workload, pn, _ff = setting
+        own = workload.total_production + workload.total_consumption
+        limit = own + schedule_cost(pn, workload)
+        cost = partitioned_cost(graph, pn, workload, 50_000).total
+        assert cost == pytest.approx(limit, rel=0.02)
+
+    def test_update_query_split(self, setting):
+        graph, workload, pn, _ff = setting
+        cost = partitioned_cost(graph, pn, workload, 8)
+        assert cost.update_cost > 0 and cost.query_cost > 0
+        assert cost.total == pytest.approx(cost.update_cost + cost.query_cost)
+
+
+class TestNormalizedThroughput:
+    def test_one_server_is_one(self, setting):
+        graph, workload, pn, _ff = setting
+        assert normalized_predicted_throughput(
+            graph, pn, workload, 1
+        ) == pytest.approx(1.0)
+
+    def test_decreasing_in_servers(self, setting):
+        graph, workload, _pn, ff = setting
+        values = [
+            normalized_predicted_throughput(graph, ff, workload, n)
+            for n in (1, 10, 100, 1000)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_ratio_converges_to_partition_free(self, setting):
+        graph, workload, pn, ff = setting
+        series = predicted_improvement_vs_servers(
+            graph, pn, ff, workload, [20_000]
+        )
+        _n, ratio = series[0]
+        assert ratio == pytest.approx(
+            partition_free_ratio(pn, ff, workload), rel=0.02
+        )
+
+    def test_pn_wins_at_scale_when_it_wins_partition_free(self, setting):
+        graph, workload, pn, ff = setting
+        if partition_free_ratio(pn, ff, workload) > 1.05:
+            series = dict(
+                predicted_improvement_vs_servers(
+                    graph, pn, ff, workload, [1, 10_000]
+                )
+            )
+            assert series[10_000] > series[1]
+
+
+class TestLoadBalance:
+    def test_single_server_takes_all(self, setting):
+        graph, workload, pn, _ff = setting
+        result = load_balance(graph, pn, workload, 1)
+        assert result.mean == pytest.approx(1.0)
+        assert result.variance == pytest.approx(0.0)
+
+    def test_mean_decays_with_servers(self, setting):
+        graph, workload, _pn, ff = setting
+        means = [load_balance(graph, ff, workload, n).mean for n in (2, 8, 64)]
+        assert means[0] > means[1] > means[2]
+
+    def test_push_all_queries_hit_one_server(self, setting):
+        graph, workload, _pn, _ff = setting
+        schedule = push_all_schedule(graph)
+        load = per_server_query_load(graph, schedule, workload, 16)
+        # with push-all, queries touch only the own view: total load = 1
+        assert sum(load) == pytest.approx(1.0)
+
+    def test_imbalance_metric(self, setting):
+        graph, workload, pn, _ff = setting
+        result = load_balance(graph, pn, workload, 4)
+        assert result.imbalance >= 1.0
+        assert result.maximum >= result.mean >= result.minimum
+
+
+class TestReporting:
+    def test_format_value_floats(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(1234567.0) == "1.235e+06"
+        assert format_value(0) == "0"
+        assert format_value(True) == "True"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_format_series(self):
+        text = format_series([1, 2], {"y": [0.5, 0.6]}, x_label="n")
+        assert "n" in text and "y" in text and "0.5" in text
+
+    def test_sparkline_monotone(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""

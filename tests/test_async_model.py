@@ -1,0 +1,132 @@
+"""Tests for the asynchronous-store accumulation model (section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_uniform
+from repro.core.async_model import (
+    accumulated_cost,
+    effective_workload,
+    frontier,
+    knee_period,
+    staleness_bound,
+)
+from repro.core.baselines import hybrid_schedule, push_all_schedule
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.errors import WorkloadError
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import Workload, log_degree_workload
+
+
+@pytest.fixture
+def setting():
+    graph = social_copying_graph(100, out_degree=5, copy_fraction=0.7, seed=3)
+    workload = log_degree_workload(graph)
+    schedule = push_all_schedule(graph)
+    return graph, workload, schedule
+
+
+class TestEffectiveWorkload:
+    def test_zero_period_identity(self):
+        w = Workload(production={1: 3.0}, consumption={1: 5.0})
+        assert effective_workload(w, 0.0) is w
+
+    def test_caps_production_only(self):
+        w = Workload(production={1: 10.0, 2: 0.1}, consumption={1: 7.0, 2: 7.0})
+        eff = effective_workload(w, period=2.0)  # cap = 0.5
+        assert eff.rp(1) == pytest.approx(0.5)
+        assert eff.rp(2) == pytest.approx(0.1)  # below the cap: unchanged
+        assert eff.rc(1) == 7.0
+
+    def test_negative_period_rejected(self):
+        w = Workload(production={1: 1.0}, consumption={1: 1.0})
+        with pytest.raises(WorkloadError):
+            effective_workload(w, -1.0)
+
+
+class TestAccumulatedCost:
+    def test_cost_non_increasing_in_period(self, setting):
+        _graph, workload, schedule = setting
+        costs = [accumulated_cost(schedule, workload, p) for p in (0, 0.5, 2, 10)]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_long_period_caps_all_pushes(self, setting):
+        graph, workload, schedule = setting
+        period = 1e9
+        cost = accumulated_cost(schedule, workload, period)
+        assert cost == pytest.approx(graph.num_edges * (1.0 / period))
+
+    def test_pull_heavy_schedule_unaffected(self):
+        graph = social_copying_graph(50, seed=1)
+        workload = make_uniform(graph, rp=1.0, rc=2.0)
+        from repro.core.baselines import pull_all_schedule
+
+        schedule = pull_all_schedule(graph)
+        assert accumulated_cost(schedule, workload, 100.0) == pytest.approx(
+            accumulated_cost(schedule, workload, 0.0)
+        )
+
+
+class TestStalenessBound:
+    def test_synchronous_reduces_to_two_delta(self):
+        assert staleness_bound(0.0, 0.3) == pytest.approx(0.6)
+
+    def test_grows_linearly_with_period(self):
+        assert staleness_bound(5.0, 0.3) == pytest.approx(5.6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            staleness_bound(-1.0, 0.0)
+
+
+class TestFrontier:
+    def test_monotone_tradeoff(self, setting):
+        _graph, workload, schedule = setting
+        points = frontier(schedule, workload, [0.0, 0.5, 1.0, 5.0, 20.0])
+        costs = [p.cost for p in points]
+        staleness = [p.staleness for p in points]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+        assert all(b >= a for a, b in zip(staleness, staleness[1:]))
+
+    def test_knee_period_within_range(self, setting):
+        _graph, workload, schedule = setting
+        knee = knee_period(schedule, workload, max_period=30.0)
+        assert 0.0 < knee <= 30.0
+        # at the knee, >= 90% of the available reduction is realized
+        sync = accumulated_cost(schedule, workload, 0.0)
+        floor = accumulated_cost(schedule, workload, 30.0)
+        at_knee = accumulated_cost(schedule, workload, knee)
+        assert sync - at_knee >= 0.9 * (sync - floor) - 1e-9
+
+    def test_knee_zero_when_nothing_to_gain(self):
+        graph = social_copying_graph(40, seed=2)
+        workload = make_uniform(graph, rp=0.001, rc=1.0)  # rates below any cap
+        schedule = hybrid_schedule(graph, workload)
+        assert knee_period(schedule, workload, max_period=10.0) == 0.0
+
+    def test_knee_invalid_max_period(self, setting):
+        _graph, workload, schedule = setting
+        with pytest.raises(WorkloadError):
+            knee_period(schedule, workload, max_period=0.0)
+
+
+class TestInteractionWithPiggybacking:
+    def test_accumulation_compounds_with_piggybacking(self, setting):
+        """Accumulation and piggybacking attack the same push costs from
+        different angles; combining them is never worse than either."""
+        graph, workload, _schedule = setting
+        pn = parallel_nosy_schedule(graph, workload, 6)
+        ff = hybrid_schedule(graph, workload)
+        both = accumulated_cost(pn, workload, 2.0)
+        only_async = accumulated_cost(ff, workload, 2.0)
+        only_piggy = accumulated_cost(pn, workload, 0.0)
+        assert both <= only_piggy + 1e-9
+        # PN optimized against the synchronous rates is NOT guaranteed to
+        # beat an accumulated FF (the caps change which legs are worth
+        # paying), but re-optimizing against the effective rates is:
+        from repro.core.async_model import effective_workload
+
+        eff = effective_workload(workload, 2.0)
+        pn_eff = parallel_nosy_schedule(graph, eff, 6)
+        assert accumulated_cost(pn_eff, workload, 2.0) <= only_async + 1e-9

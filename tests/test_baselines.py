@@ -1,0 +1,85 @@
+"""Unit tests for push-all, pull-all, and the hybrid (FF) baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import (
+    BASELINES,
+    hybrid_schedule,
+    pull_all_schedule,
+    push_all_schedule,
+)
+from repro.core.cost import hybrid_edge_cost, schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import Workload, log_degree_workload, uniform_workload
+
+
+@pytest.fixture
+def graph():
+    return social_copying_graph(80, out_degree=5, seed=0)
+
+
+@pytest.fixture
+def workload(graph):
+    return log_degree_workload(graph)
+
+
+class TestPushPullAll:
+    def test_push_all_covers_everything(self, graph, workload):
+        s = push_all_schedule(graph)
+        validate_schedule(graph, s)
+        assert len(s.push) == graph.num_edges
+        assert not s.pull
+
+    def test_pull_all_covers_everything(self, graph, workload):
+        s = pull_all_schedule(graph)
+        validate_schedule(graph, s)
+        assert len(s.pull) == graph.num_edges
+        assert not s.push
+
+    def test_push_all_wins_read_dominated(self, graph):
+        w = uniform_workload(graph, production_rate=1.0, consumption_rate=50.0)
+        push_cost = schedule_cost(push_all_schedule(graph), w)
+        pull_cost = schedule_cost(pull_all_schedule(graph), w)
+        assert push_cost < pull_cost
+
+    def test_pull_all_wins_write_dominated(self, graph):
+        w = uniform_workload(graph, production_rate=50.0, consumption_rate=1.0)
+        push_cost = schedule_cost(push_all_schedule(graph), w)
+        pull_cost = schedule_cost(pull_all_schedule(graph), w)
+        assert pull_cost < push_cost
+
+
+class TestHybrid:
+    def test_feasible(self, graph, workload):
+        validate_schedule(graph, hybrid_schedule(graph, workload))
+
+    def test_cost_is_sum_of_per_edge_minima(self, graph, workload):
+        s = hybrid_schedule(graph, workload)
+        expected = sum(hybrid_edge_cost(e, workload) for e in graph.edges())
+        assert schedule_cost(s, workload) == pytest.approx(expected)
+
+    def test_never_worse_than_push_or_pull_all(self, graph, workload):
+        hybrid_cost = schedule_cost(hybrid_schedule(graph, workload), workload)
+        assert hybrid_cost <= schedule_cost(push_all_schedule(graph), workload)
+        assert hybrid_cost <= schedule_cost(pull_all_schedule(graph), workload)
+
+    def test_per_edge_choice(self):
+        g = SocialGraph([(1, 2), (2, 1)])
+        w = Workload(production={1: 1.0, 2: 9.0}, consumption={1: 2.0, 2: 5.0})
+        s = hybrid_schedule(g, w)
+        assert (1, 2) in s.push  # rp(1)=1 <= rc(2)=5
+        assert (2, 1) in s.pull  # rp(2)=9 > rc(1)=2
+
+    def test_tie_breaks_to_push(self):
+        g = SocialGraph([(1, 2)])
+        w = Workload(production={1: 3.0, 2: 3.0}, consumption={1: 3.0, 2: 3.0})
+        assert (1, 2) in hybrid_schedule(g, w).push
+
+    def test_registry(self, graph, workload):
+        for name, factory in BASELINES.items():
+            schedule = factory(graph, workload)
+            validate_schedule(graph, schedule)

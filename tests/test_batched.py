@@ -1,0 +1,112 @@
+"""Tests for BATCHEDCHITCHAT (the scalable CHITCHAT extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.baselines import hybrid_schedule
+from repro.core.batched import (
+    BatchedChitchat,
+    batched_chitchat_schedule,
+    batched_chitchat_with_stats,
+    champion_is_profitable,
+    quality_gap_vs_hybrid,
+)
+from repro.core.chitchat import ChitchatScheduler, chitchat_schedule
+from repro.core.cost import schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import log_degree_workload
+
+
+class TestWedge:
+    def test_selects_hub_when_profitable(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        schedule = batched_chitchat_schedule(wedge_graph, w)
+        validate_schedule(wedge_graph, schedule)
+        assert schedule.hub_cover.get((ART, BILLIE)) == CHARLIE
+        assert schedule_cost(schedule, w) == pytest.approx(2.2)
+
+    def test_falls_back_to_hybrid_singletons(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=50.0)
+        schedule, stats = batched_chitchat_with_stats(wedge_graph, w)
+        validate_schedule(wedge_graph, schedule)
+        assert schedule_cost(schedule, w) == pytest.approx(3.0)
+        assert stats.singleton_fallbacks >= 1
+
+
+class TestCorrectness:
+    def test_feasible(self, small_social, small_workload):
+        schedule = batched_chitchat_schedule(small_social, small_workload)
+        validate_schedule(small_social, schedule)
+
+    def test_never_worse_than_hybrid(self, small_social, small_workload):
+        schedule = batched_chitchat_schedule(small_social, small_workload)
+        ff = schedule_cost(hybrid_schedule(small_social, small_workload), small_workload)
+        assert schedule_cost(schedule, small_workload) <= ff + 1e-9
+        assert quality_gap_vs_hybrid(small_social, small_workload, schedule) >= 1.0
+
+    def test_deterministic(self, small_social, small_workload):
+        a = batched_chitchat_schedule(small_social, small_workload)
+        b = batched_chitchat_schedule(small_social, small_workload)
+        assert a.push == b.push and a.pull == b.pull and a.hub_cover == b.hub_cover
+
+    def test_hub_covers_valid(self, small_social, small_workload):
+        schedule = batched_chitchat_schedule(small_social, small_workload)
+        for edge in schedule.hub_cover:
+            assert schedule.piggyback_valid(edge)
+
+    def test_invalid_slack_rejected(self, small_social, small_workload):
+        with pytest.raises(ValueError):
+            BatchedChitchat(small_social, small_workload, acceptance_slack=0.5)
+
+
+class TestScalability:
+    def test_fewer_oracle_calls_than_chitchat(self):
+        graph = social_copying_graph(200, out_degree=6, copy_fraction=0.7, seed=9)
+        workload = log_degree_workload(graph, read_write_ratio=2.0)
+        cc = ChitchatScheduler(graph, workload)
+        cc.run()
+        _batched, stats = batched_chitchat_with_stats(graph, workload)
+        assert stats.oracle_calls < cc.stats.oracle_calls
+
+    def test_quality_close_to_chitchat(self):
+        graph = social_copying_graph(200, out_degree=6, copy_fraction=0.7, seed=9)
+        workload = log_degree_workload(graph, read_write_ratio=2.0)
+        cc_cost = schedule_cost(chitchat_schedule(graph, workload), workload)
+        batched_cost = schedule_cost(
+            batched_chitchat_schedule(graph, workload), workload
+        )
+        # within 10% of sequential CHITCHAT
+        assert batched_cost <= 1.10 * cc_cost
+
+    def test_round_coverage_trends_down(self, small_social, small_workload):
+        runner = BatchedChitchat(small_social, small_workload)
+        runner.run()
+        coverage = runner.stats.round_coverage
+        assert coverage, "at least one round must run"
+        if len(coverage) >= 3:
+            assert coverage[-1] <= coverage[0]
+
+    def test_tighter_slack_accepts_fewer_per_round(self, small_social, small_workload):
+        _s1, tight = batched_chitchat_with_stats(
+            small_social, small_workload, acceptance_slack=1.0
+        )
+        _s2, loose = batched_chitchat_with_stats(
+            small_social, small_workload, acceptance_slack=10.0
+        )
+        assert tight.rounds >= loose.rounds
+
+
+class TestChampionFilter:
+    def test_profitability_helper(self, wedge_graph):
+        from repro.core.densest import densest_subgraph
+        from repro.core.hubgraph import build_hub_graph
+        from repro.core.schedule import RequestSchedule
+
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        result = densest_subgraph(hub, w, RequestSchedule(), set(wedge_graph.edges()))
+        assert result is not None
+        assert champion_is_profitable(result, w)

@@ -1,0 +1,124 @@
+"""Unit and behavioral tests for CHITCHAT (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.baselines import hybrid_schedule
+from repro.core.chitchat import (
+    ChitchatScheduler,
+    chitchat_schedule,
+    chitchat_with_stats,
+    greedy_upper_bound,
+)
+from repro.core.cost import schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import Workload, log_degree_workload
+
+
+class TestWedge:
+    def test_uses_hub_when_profitable(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        schedule = chitchat_schedule(wedge_graph, w)
+        validate_schedule(wedge_graph, schedule)
+        assert schedule.hub_cover.get((ART, BILLIE)) == CHARLIE
+        # cost: push ART->CHARLIE (1.0) + pull CHARLIE->BILLIE (1.2)
+        assert schedule_cost(schedule, w) == pytest.approx(2.2)
+
+    def test_falls_back_to_singletons_when_hub_unprofitable(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=50.0)
+        schedule = chitchat_schedule(wedge_graph, w)
+        validate_schedule(wedge_graph, schedule)
+        # everything pushed (rp << rc), no pulls at all
+        assert not schedule.pull
+        assert schedule_cost(schedule, w) == pytest.approx(3.0)
+
+
+class TestCorrectness:
+    def test_feasible_on_social_graph(self, small_social, small_workload):
+        schedule = chitchat_schedule(small_social, small_workload)
+        validate_schedule(small_social, schedule)
+
+    def test_never_worse_than_hybrid(self, small_social, small_workload):
+        schedule = chitchat_schedule(small_social, small_workload)
+        cost = schedule_cost(schedule, small_workload)
+        assert cost <= greedy_upper_bound(small_social, small_workload) + 1e-9
+
+    def test_beats_hybrid_on_clustered_graph(self):
+        g = social_copying_graph(150, out_degree=6, copy_fraction=0.8, seed=1)
+        w = log_degree_workload(g, read_write_ratio=2.0)
+        cc_cost = schedule_cost(chitchat_schedule(g, w), w)
+        ff_cost = schedule_cost(hybrid_schedule(g, w), w)
+        assert cc_cost < ff_cost
+
+    def test_deterministic(self, small_social, small_workload):
+        a = chitchat_schedule(small_social, small_workload)
+        b = chitchat_schedule(small_social, small_workload)
+        assert a.push == b.push and a.pull == b.pull
+        assert a.hub_cover == b.hub_cover
+
+    def test_empty_graph(self):
+        g = SocialGraph()
+        g.add_node(1)
+        w = Workload(production={1: 1.0}, consumption={1: 1.0})
+        schedule = chitchat_schedule(g, w)
+        assert not schedule.push and not schedule.pull
+
+    def test_every_hub_cover_has_valid_legs(self, small_social, small_workload):
+        schedule = chitchat_schedule(small_social, small_workload)
+        for edge in schedule.hub_cover:
+            assert schedule.piggyback_valid(edge)
+
+    def test_cross_edge_bound_still_feasible(self, small_social, small_workload):
+        schedule = chitchat_schedule(
+            small_social, small_workload, max_cross_edges=5
+        )
+        validate_schedule(small_social, schedule)
+
+    def test_cross_edge_bound_no_better_than_unbounded(
+        self, small_social, small_workload
+    ):
+        bounded = chitchat_schedule(small_social, small_workload, max_cross_edges=2)
+        unbounded = chitchat_schedule(small_social, small_workload)
+        assert (
+            schedule_cost(unbounded, small_workload)
+            <= schedule_cost(bounded, small_workload) + 1e-9
+        )
+
+
+class TestStats:
+    def test_stats_populated(self, small_social, small_workload):
+        schedule, stats = chitchat_with_stats(small_social, small_workload)
+        assert stats.hub_selections + stats.singleton_selections > 0
+        assert stats.oracle_calls > 0
+        assert stats.final_cost == pytest.approx(
+            schedule_cost(schedule, small_workload)
+        )
+
+    def test_selection_log_accounts_for_all_edges(self, small_social, small_workload):
+        _schedule, stats = chitchat_with_stats(small_social, small_workload)
+        covered = sum(entry[2] for entry in stats.selection_log)
+        assert covered == small_social.num_edges
+
+    def test_greedy_prices_non_decreasing_modulo_refresh(self, wedge_graph):
+        # On the tiny wedge the greedy makes one hub selection.
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        _schedule, stats = chitchat_with_stats(wedge_graph, w)
+        assert stats.hub_selections == 1
+        assert stats.singleton_selections == 0
+
+
+class TestScheduler:
+    def test_run_twice_not_allowed_semantics(self, wedge_graph):
+        """A scheduler instance is single-shot: after run() everything is
+        covered, a second run() returns the same schedule unchanged."""
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        scheduler = ChitchatScheduler(wedge_graph, w)
+        first = scheduler.run()
+        second = scheduler.run()
+        assert first is second or (
+            first.push == second.push and first.pull == second.pull
+        )

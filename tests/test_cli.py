@@ -1,0 +1,104 @@
+"""Tests for the repro-schedule operational CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import load_schedule, save_schedule, save_workload
+from repro.core.schedule import RequestSchedule
+from repro.graph.generators import social_copying_graph
+from repro.graph.io import write_edge_list
+from repro.workload.rates import log_degree_workload
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = social_copying_graph(70, out_degree=5, copy_fraction=0.7, seed=4)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path, graph
+
+
+class TestOptimize:
+    def test_optimize_parallelnosy(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        out = tmp_path / "schedule.json"
+        code = main(["optimize", str(path), "-o", str(out)])
+        assert code == 0
+        assert "parallelnosy" in capsys.readouterr().out
+        schedule, metadata = load_schedule(out)
+        assert metadata["algorithm"] == "parallelnosy"
+        assert metadata["edges"] == graph.num_edges
+        assert schedule.is_feasible(graph)
+
+    def test_optimize_each_algorithm(self, graph_file, tmp_path):
+        path, graph = graph_file
+        for algorithm in ("hybrid", "push-all", "pull-all", "chitchat"):
+            out = tmp_path / f"{algorithm}.json"
+            assert main(
+                ["optimize", str(path), "-o", str(out), "--algorithm", algorithm]
+            ) == 0
+            schedule, _ = load_schedule(out)
+            assert schedule.is_feasible(graph)
+
+    def test_optimize_with_workload_file(self, graph_file, tmp_path):
+        path, graph = graph_file
+        wpath = tmp_path / "w.json"
+        save_workload(log_degree_workload(graph, read_write_ratio=2.0), wpath)
+        out = tmp_path / "s.json"
+        assert main(
+            ["optimize", str(path), "-o", str(out), "--workload-file", str(wpath)]
+        ) == 0
+
+
+class TestValidateAndCost:
+    def test_validate_ok(self, graph_file, tmp_path, capsys):
+        path, _graph = graph_file
+        out = tmp_path / "s.json"
+        main(["optimize", str(path), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["validate", str(path), str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_detects_infeasible(self, graph_file, tmp_path, capsys):
+        path, _graph = graph_file
+        bad = tmp_path / "bad.json"
+        save_schedule(RequestSchedule(), bad)  # serves nothing
+        assert main(["validate", str(path), str(bad)]) == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_cost_reports_improvement(self, graph_file, tmp_path, capsys):
+        path, _graph = graph_file
+        out = tmp_path / "s.json"
+        main(["optimize", str(path), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["cost", str(path), str(out)]) == 0
+        assert "improvement=" in capsys.readouterr().out
+
+
+class TestCompareAndStats:
+    def test_compare_table(self, graph_file, capsys):
+        path, _graph = graph_file
+        assert main(["compare", str(path), "--iterations", "5"]) == 0
+        out = capsys.readouterr().out
+        for name in ("parallelnosy", "chitchat", "hybrid", "push-all", "pull-all"):
+            assert name in out
+
+    def test_compare_skip_chitchat(self, graph_file, capsys):
+        path, _graph = graph_file
+        assert main(["compare", str(path), "--skip-chitchat"]) == 0
+        out = capsys.readouterr().out
+        # no chitchat *row* (the tmp dir name in the title may contain it)
+        assert not any(line.startswith("chitchat") for line in out.splitlines())
+
+    def test_stats(self, graph_file, capsys):
+        path, _graph = graph_file
+        assert main(["stats", str(path)]) == 0
+        assert "reciprocity" in capsys.readouterr().out
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.txt"
+        missing.write_text("not an edge list\n")
+        assert main(["stats", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err

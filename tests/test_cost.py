@@ -1,0 +1,103 @@
+"""Unit tests for the cost model (section 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.cost import (
+    cost_breakdown,
+    hybrid_edge_cost,
+    improvement_ratio,
+    predicted_throughput,
+    pull_edge_cost,
+    push_edge_cost,
+    schedule_cost,
+)
+from repro.core.schedule import RequestSchedule
+from repro.errors import ScheduleError
+from repro.workload.rates import Workload
+
+
+@pytest.fixture
+def rates():
+    return Workload(
+        production={ART: 2.0, BILLIE: 1.0, CHARLIE: 4.0},
+        consumption={ART: 3.0, BILLIE: 10.0, CHARLIE: 5.0},
+    )
+
+
+class TestEdgeCosts:
+    def test_push_cost_is_producer_rate(self, rates):
+        assert push_edge_cost((ART, BILLIE), rates) == 2.0
+
+    def test_pull_cost_is_consumer_rate(self, rates):
+        assert pull_edge_cost((ART, BILLIE), rates) == 10.0
+
+    def test_hybrid_cost_is_min(self, rates):
+        assert hybrid_edge_cost((ART, BILLIE), rates) == 2.0
+        assert hybrid_edge_cost((CHARLIE, ART), rates) == 3.0
+
+
+class TestScheduleCost:
+    def test_cost_formula(self, rates):
+        s = RequestSchedule(push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)})
+        # rp(ART) + rc(BILLIE) = 2 + 10
+        assert schedule_cost(s, rates) == pytest.approx(12.0)
+
+    def test_hub_covered_edges_are_free(self, rates):
+        s = RequestSchedule(push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)})
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        assert schedule_cost(s, rates) == pytest.approx(12.0)
+
+    def test_edge_in_both_sets_pays_twice(self, rates):
+        s = RequestSchedule(push={(ART, BILLIE)}, pull={(ART, BILLIE)})
+        assert schedule_cost(s, rates) == pytest.approx(2.0 + 10.0)
+
+    def test_empty_schedule_costs_zero(self, rates):
+        assert schedule_cost(RequestSchedule(), rates) == 0.0
+
+    def test_breakdown_sums_to_total(self, rates):
+        s = RequestSchedule(
+            push={(ART, CHARLIE), (BILLIE, ART)}, pull={(CHARLIE, BILLIE)}
+        )
+        parts = cost_breakdown(s, rates)
+        assert parts["push_cost"] + parts["pull_cost"] == pytest.approx(
+            parts["total_cost"]
+        )
+        assert parts["total_cost"] == pytest.approx(schedule_cost(s, rates))
+
+
+class TestThroughput:
+    def test_predicted_throughput_inverse_cost(self, rates):
+        s = RequestSchedule(push={(ART, CHARLIE)})
+        assert predicted_throughput(s, rates) == pytest.approx(0.5)
+
+    def test_zero_cost_throughput_undefined(self, rates):
+        with pytest.raises(ScheduleError):
+            predicted_throughput(RequestSchedule(), rates)
+
+    def test_improvement_ratio(self, rates):
+        cheap = RequestSchedule(push={(BILLIE, ART)})  # cost 1
+        pricey = RequestSchedule(push={(CHARLIE, ART)})  # cost 4
+        assert improvement_ratio(cheap, pricey, rates) == pytest.approx(4.0)
+
+    def test_improvement_ratio_zero_cost_rejected(self, rates):
+        with pytest.raises(ScheduleError):
+            improvement_ratio(RequestSchedule(), RequestSchedule(), rates)
+
+
+class TestPullCostFactorEquivalence:
+    def test_k_times_pull_cost_via_rescaled_rates(self, wedge_graph):
+        """Section 2.1: multiplying consumption rates by k models pulls
+        costing k times a push; the cost model needs no other change."""
+        base = make_uniform(wedge_graph, rp=1.0, rc=2.0)
+        doubled = base.with_pull_cost_factor(3.0)
+        s = RequestSchedule(pull=set(wedge_graph.edges()))
+        assert schedule_cost(s, doubled) == pytest.approx(
+            3.0 * schedule_cost(s, base)
+        )
+        push_only = RequestSchedule(push=set(wedge_graph.edges()))
+        assert schedule_cost(push_only, doubled) == pytest.approx(
+            schedule_cost(push_only, base)
+        )

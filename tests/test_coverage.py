@@ -1,0 +1,100 @@
+"""Unit tests for coverage validation (Theorem 1 compliance checks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE
+from repro.core.coverage import check_coverage, validate_schedule
+from repro.core.schedule import RequestSchedule
+from repro.errors import InfeasibleScheduleError, ScheduleError
+from repro.graph.digraph import SocialGraph
+
+
+class TestCheckCoverage:
+    def test_classification(self, wedge_graph):
+        s = RequestSchedule()
+        s.add_push((ART, CHARLIE))
+        s.add_pull((CHARLIE, BILLIE))
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        report = check_coverage(wedge_graph, s)
+        assert report.feasible
+        assert report.push_served == 1
+        assert report.pull_served == 1
+        assert report.hub_served == 1
+
+    def test_uncovered_listed(self, wedge_graph):
+        report = check_coverage(wedge_graph, RequestSchedule())
+        assert not report.feasible
+        assert len(report.uncovered) == 3
+
+    def test_broken_hub_detected(self, wedge_graph):
+        s = RequestSchedule()
+        s.add_push((ART, CHARLIE))
+        s.add_pull((CHARLIE, BILLIE))
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        s.remove_pull((CHARLIE, BILLIE))
+        report = check_coverage(wedge_graph, s)
+        assert (ART, BILLIE) in report.broken_hubs
+
+    def test_direct_service_shadows_broken_hub(self, wedge_graph):
+        # All three edges pushed; the hub record is broken (no pull leg)
+        # but the direct push serves the edge, so the schedule is feasible
+        # and the stale record is never even consulted.
+        s = RequestSchedule()
+        s.add_push((ART, CHARLIE))
+        s.add_push((CHARLIE, BILLIE))
+        s.add_push((ART, BILLIE))
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        report = check_coverage(wedge_graph, s)
+        assert report.feasible
+        assert report.push_served == 3
+        assert not report.broken_hubs
+
+
+class TestValidateSchedule:
+    def test_valid_schedule_passes(self, wedge_graph):
+        s = RequestSchedule()
+        s.add_push((ART, CHARLIE))
+        s.add_pull((CHARLIE, BILLIE))
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        report = validate_schedule(wedge_graph, s)
+        assert report.feasible
+
+    def test_push_edge_outside_graph(self, wedge_graph):
+        s = RequestSchedule(push={(BILLIE, ART)})
+        with pytest.raises(ScheduleError, match="push edge"):
+            validate_schedule(wedge_graph, s, strict=False)
+
+    def test_pull_edge_outside_graph(self, wedge_graph):
+        s = RequestSchedule(pull={(99, ART)})
+        with pytest.raises(ScheduleError, match="pull edge"):
+            validate_schedule(wedge_graph, s, strict=False)
+
+    def test_hub_cover_on_non_edge(self, wedge_graph):
+        s = RequestSchedule()
+        s.hub_cover[(BILLIE, ART)] = CHARLIE
+        with pytest.raises(ScheduleError, match="not in the social graph"):
+            validate_schedule(wedge_graph, s, strict=False)
+
+    def test_hub_must_form_wedge(self):
+        g = SocialGraph([(1, 2), (3, 2), (1, 4), (4, 3)])
+        s = RequestSchedule(push=set(g.edges()))
+        s.cover_via_hub((1, 2), 3)  # 1 -> 3 does not exist
+        with pytest.raises(ScheduleError, match="wedge"):
+            validate_schedule(g, s, strict=False)
+
+    def test_strict_infeasible_raises(self, wedge_graph):
+        with pytest.raises(InfeasibleScheduleError):
+            validate_schedule(wedge_graph, RequestSchedule())
+
+    def test_non_strict_returns_report(self, wedge_graph):
+        report = validate_schedule(wedge_graph, RequestSchedule(), strict=False)
+        assert not report.feasible
+        assert report.total_edges == 3
+
+    def test_error_carries_sample(self, wedge_graph):
+        with pytest.raises(InfeasibleScheduleError) as info:
+            validate_schedule(wedge_graph, RequestSchedule())
+        assert info.value.uncovered_count == 3
+        assert len(info.value.sample) == 3

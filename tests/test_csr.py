@@ -1,0 +1,85 @@
+"""Unit tests for the CSR snapshot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+
+
+@pytest.fixture
+def tri() -> SocialGraph:
+    return SocialGraph([(0, 1), (1, 2), (0, 2)])
+
+
+class TestConstruction:
+    def test_from_graph_counts(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        assert csr.num_nodes == 3
+        assert csr.num_edges == 3
+
+    def test_requires_dense_int_ids(self):
+        g = SocialGraph([("a", "b")])
+        with pytest.raises(GraphError):
+            CSRGraph.from_graph(g)
+
+    def test_from_arrays_mismatched_lengths(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_arrays(3, np.array([0, 1]), np.array([1]))
+
+    def test_from_arrays_out_of_range(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_arrays(2, np.array([0]), np.array([5]))
+
+
+class TestAccessors:
+    def test_successors_predecessors(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        assert sorted(csr.successors(0).tolist()) == [1, 2]
+        assert sorted(csr.predecessors(2).tolist()) == [0, 1]
+
+    def test_degrees(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        assert csr.out_degree(0) == 2
+        assert csr.in_degree(2) == 2
+        assert csr.out_degrees().tolist() == [2, 1, 0]
+        assert csr.in_degrees().tolist() == [0, 1, 2]
+
+    def test_has_edge_binary_search(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        assert csr.has_edge(0, 1)
+        assert csr.has_edge(0, 2)
+        assert not csr.has_edge(2, 0)
+
+    def test_edges_iteration_matches_graph(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        assert sorted(csr.edges()) == sorted(tri.edges())
+
+    def test_edge_arrays_roundtrip(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        src, dst = csr.edge_arrays()
+        assert len(src) == len(dst) == 3
+        rebuilt = CSRGraph.from_arrays(3, src, dst)
+        assert sorted(rebuilt.edges()) == sorted(csr.edges())
+
+
+class TestRoundTrip:
+    def test_to_graph_roundtrip(self):
+        g = social_copying_graph(60, out_degree=4, seed=3)
+        csr = CSRGraph.from_graph(g)
+        back = csr.to_graph()
+        assert back == g
+
+    def test_degrees_match_graph(self):
+        g = social_copying_graph(80, out_degree=5, seed=9)
+        csr = CSRGraph.from_graph(g)
+        for node in g.nodes():
+            assert csr.out_degree(node) == g.out_degree(node)
+            assert csr.in_degree(node) == g.in_degree(node)
+
+    def test_repr(self, tri):
+        assert "num_edges=3" in repr(CSRGraph.from_graph(tri))

@@ -1,0 +1,183 @@
+"""Unit tests for the SocialGraph adjacency structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph.digraph import SocialGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = SocialGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_edge_iterable(self):
+        g = SocialGraph([(1, 2), (2, 3)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = SocialGraph([(1, 2), (1, 2), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_len_matches_num_nodes(self):
+        g = SocialGraph([(1, 2), (3, 4)])
+        assert len(g) == 4
+
+    def test_repr_mentions_counts(self):
+        g = SocialGraph([(1, 2)])
+        assert "num_nodes=2" in repr(g)
+        assert "num_edges=1" in repr(g)
+
+
+class TestMutation:
+    def test_add_edge_returns_true_when_new(self):
+        g = SocialGraph()
+        assert g.add_edge(1, 2) is True
+        assert g.add_edge(1, 2) is False
+
+    def test_add_edge_creates_nodes(self):
+        g = SocialGraph()
+        g.add_edge("a", "b")
+        assert g.has_node("a") and g.has_node("b")
+
+    def test_self_loop_rejected(self):
+        g = SocialGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_add_nodes_from_idempotent(self):
+        g = SocialGraph()
+        g.add_nodes_from([1, 2, 2, 3])
+        assert g.num_nodes == 3
+
+    def test_add_edges_from_counts_new(self):
+        g = SocialGraph([(1, 2)])
+        assert g.add_edges_from([(1, 2), (2, 3), (3, 1)]) == 2
+
+    def test_remove_edge(self):
+        g = SocialGraph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = SocialGraph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(2, 1)
+
+    def test_remove_node_drops_incident_edges(self):
+        g = SocialGraph([(1, 2), (2, 3), (3, 1)])
+        g.remove_node(2)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.has_edge(3, 1)
+
+    def test_remove_missing_node_raises(self):
+        g = SocialGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node(99)
+
+
+class TestQueries:
+    def test_successors_are_followers(self):
+        g = SocialGraph([(1, 2), (1, 3)])
+        assert g.successors(1) == frozenset({2, 3})
+        assert g.followers(1) == frozenset({2, 3})
+
+    def test_predecessors_are_followees(self):
+        g = SocialGraph([(1, 3), (2, 3)])
+        assert g.predecessors(3) == frozenset({1, 2})
+        assert g.followees(3) == frozenset({1, 2})
+
+    def test_degrees(self):
+        g = SocialGraph([(1, 2), (1, 3), (4, 1)])
+        assert g.out_degree(1) == 2
+        assert g.in_degree(1) == 1
+
+    def test_unknown_node_raises(self):
+        g = SocialGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.successors(5)
+        with pytest.raises(NodeNotFoundError):
+            g.out_degree(5)
+
+    def test_common_followees(self):
+        g = SocialGraph([(1, 2), (1, 3), (4, 2), (4, 3), (5, 2)])
+        assert g.common_followees(2, 3) == {1, 4}
+
+    def test_reciprocal_edges_yield_both_directions(self):
+        g = SocialGraph([(1, 2), (2, 1), (1, 3)])
+        mutual = sorted(g.reciprocal_edges())
+        assert mutual == [(1, 2), (2, 1)]
+
+    def test_contains_and_iter(self):
+        g = SocialGraph([(1, 2)])
+        assert 1 in g and 2 in g and 3 not in g
+        assert sorted(g) == [1, 2]
+
+    def test_views_are_live_but_frozen_copies_are_not(self):
+        g = SocialGraph([(1, 2)])
+        frozen = g.successors(1)
+        g.add_edge(1, 3)
+        assert frozen == frozenset({2})
+        assert 3 in g.successors_view(1)
+
+    def test_equality_structural(self):
+        a = SocialGraph([(1, 2), (2, 3)])
+        b = SocialGraph([(2, 3), (1, 2)])
+        assert a == b
+        b.add_edge(3, 1)
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(SocialGraph())
+
+
+class TestDerivation:
+    def test_copy_is_independent(self):
+        g = SocialGraph([(1, 2)])
+        c = g.copy()
+        c.add_edge(2, 3)
+        assert g.num_edges == 1
+        assert c.num_edges == 2
+
+    def test_reverse_flips_edges(self):
+        g = SocialGraph([(1, 2), (3, 1)])
+        r = g.reverse()
+        assert r.has_edge(2, 1) and r.has_edge(1, 3)
+        assert r.num_edges == g.num_edges
+        assert r.num_nodes == g.num_nodes
+
+    def test_subgraph_induced(self):
+        g = SocialGraph([(1, 2), (2, 3), (3, 4), (4, 1)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sorted(sub.edges()) == [(1, 2), (2, 3)]
+
+    def test_subgraph_missing_node_raises(self):
+        g = SocialGraph([(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            g.subgraph([1, 99])
+
+    def test_edge_subset(self):
+        g = SocialGraph([(1, 2), (2, 3), (3, 1)])
+        sub = g.edge_subset([(1, 2)])
+        assert sub.num_edges == 1 and sub.has_edge(1, 2)
+
+    def test_edge_subset_missing_edge_raises(self):
+        g = SocialGraph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.edge_subset([(2, 1)])
+
+    def test_relabeled_dense_ids(self):
+        g = SocialGraph([("u", "v"), ("v", "w")])
+        dense, mapping = g.relabeled()
+        assert sorted(dense.nodes()) == [0, 1, 2]
+        assert dense.has_edge(mapping["u"], mapping["v"])
+        assert dense.num_edges == g.num_edges

@@ -1,0 +1,99 @@
+"""Tests for the exact tiny-instance solver and approximation quality."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.baselines import hybrid_schedule
+from repro.core.chitchat import chitchat_schedule
+from repro.core.cost import schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.core.exact import optimal_schedule, optimality_gap
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.errors import ScheduleError
+from repro.graph.digraph import SocialGraph
+from repro.workload.rates import Workload
+
+
+def random_instance(seed: int, num_nodes: int = 5, num_edges: int = 9):
+    rng = random.Random(seed)
+    pairs = [
+        (u, v)
+        for u, v in itertools.permutations(range(num_nodes), 2)
+    ]
+    rng.shuffle(pairs)
+    g = SocialGraph(pairs[:num_edges])
+    w = Workload(
+        production={n: rng.uniform(0.2, 3.0) for n in range(num_nodes)},
+        consumption={n: rng.uniform(0.2, 3.0) for n in range(num_nodes)},
+    )
+    return g, w
+
+
+class TestOptimalSchedule:
+    def test_wedge_optimum_uses_hub_when_cheap(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        schedule, cost = optimal_schedule(wedge_graph, w)
+        validate_schedule(wedge_graph, schedule)
+        # optimum: push ART->CHARLIE, pull CHARLIE->BILLIE, piggyback
+        assert cost == pytest.approx(2.2)
+        assert (ART, BILLIE) in schedule.hub_cover
+
+    def test_wedge_optimum_all_push_when_pull_expensive(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=100.0)
+        _schedule, cost = optimal_schedule(wedge_graph, w)
+        assert cost == pytest.approx(3.0)
+
+    def test_empty_graph(self):
+        g = SocialGraph()
+        w = Workload(production={}, consumption={})
+        schedule, cost = optimal_schedule(g, w)
+        assert cost == 0.0
+        assert not schedule.push
+
+    def test_too_large_rejected(self):
+        g = SocialGraph([(i, i + 1) for i in range(20)])
+        w = make_uniform(g)
+        with pytest.raises(ScheduleError):
+            optimal_schedule(g, w)
+
+    def test_optimum_not_worse_than_hybrid(self):
+        for seed in range(8):
+            g, w = random_instance(seed)
+            _schedule, cost = optimal_schedule(g, w)
+            assert cost <= schedule_cost(hybrid_schedule(g, w), w) + 1e-9
+
+    def test_optimum_schedule_is_feasible(self):
+        for seed in range(8):
+            g, w = random_instance(seed)
+            schedule, _cost = optimal_schedule(g, w)
+            validate_schedule(g, schedule)
+
+
+class TestApproximationQuality:
+    def test_chitchat_gap_on_random_instances(self):
+        """CHITCHAT is an O(log n) approximation; on 9-edge instances the
+        realized gap should be tiny."""
+        worst = 1.0
+        for seed in range(10):
+            g, w = random_instance(seed)
+            schedule = chitchat_schedule(g, w)
+            worst = max(worst, optimality_gap(g, w, schedule))
+        assert worst <= 1.6
+
+    def test_parallelnosy_gap_on_random_instances(self):
+        worst = 1.0
+        for seed in range(10):
+            g, w = random_instance(seed)
+            schedule = parallel_nosy_schedule(g, w, 10)
+            worst = max(worst, optimality_gap(g, w, schedule))
+        assert worst <= 1.8
+
+    def test_gap_of_optimum_is_one(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        schedule, _ = optimal_schedule(wedge_graph, w)
+        assert optimality_gap(wedge_graph, w, schedule) == pytest.approx(1.0)

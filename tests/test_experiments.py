@@ -1,0 +1,182 @@
+"""Tests for the experiment harnesses (shape assertions per figure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import fig4_iterations, fig5_incremental
+from repro.experiments import fig6_actual_throughput, fig7_predicted_throughput
+from repro.experiments import fig8_load_balance, fig9_chitchat_vs_nosy
+from repro.experiments.datasets import (
+    dataset_table,
+    flickr_like,
+    load_dataset,
+    twitter_like,
+)
+
+SCALE = 0.12  # tiny graphs so the whole module runs in seconds
+
+
+class TestDatasets:
+    def test_presets_have_expected_shape(self):
+        tw = twitter_like(scale=SCALE)
+        fl = flickr_like(scale=SCALE)
+        assert tw.graph.num_nodes > fl.graph.num_nodes
+        assert tw.workload.read_write_ratio == pytest.approx(5.0)
+
+    def test_twitter_less_reciprocal_than_flickr(self):
+        from repro.graph.stats import reciprocity
+
+        tw = twitter_like(scale=SCALE)
+        fl = flickr_like(scale=SCALE)
+        assert reciprocity(tw.graph) < reciprocity(fl.graph)
+
+    def test_load_dataset_dispatch(self):
+        d = load_dataset("twitter", scale=SCALE, seed=1)
+        assert d.name == "twitter"
+        with pytest.raises(ExperimentError):
+            load_dataset("myspace")
+
+    def test_dataset_table_rows(self):
+        rows = dataset_table(scale=SCALE)
+        assert {row["dataset"] for row in rows} == {"flickr", "twitter"}
+        assert all(row["edges"] > 0 for row in rows)
+
+    def test_custom_read_write_ratio(self):
+        d = load_dataset("flickr", scale=SCALE, read_write_ratio=20.0)
+        assert d.workload.read_write_ratio == pytest.approx(20.0)
+
+
+class TestFig4:
+    def test_ratios_monotone_and_above_one(self):
+        config = fig4_iterations.Fig4Config(
+            datasets=("flickr",), scale=SCALE, iterations=6
+        )
+        result = fig4_iterations.run(config)
+        series = result.ratios["flickr"]
+        assert len(series) == 6
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+        assert series[-1] >= 1.0
+        assert result.final_ratio["flickr"] == series[-1]
+
+    def test_text_rendering(self):
+        config = fig4_iterations.Fig4Config(
+            datasets=("flickr",), scale=SCALE, iterations=3
+        )
+        text = fig4_iterations.run(config).to_text()
+        assert "Figure 4" in text and "flickr" in text
+
+
+class TestFig5:
+    def test_incremental_never_beats_static(self):
+        config = fig5_incremental.Fig5Config(
+            scale=SCALE, iterations=5, batch_fractions=(0.01, 0.2)
+        )
+        result = fig5_incremental.run(config)
+        assert len(result.batch_sizes) == 2
+        for inc, static in zip(result.incremental, result.static):
+            assert inc <= static + 1e-9
+        assert "Figure 5" in result.to_text()
+
+    def test_batch_sizes_scale_with_fraction(self):
+        config = fig5_incremental.Fig5Config(
+            scale=SCALE, iterations=3, batch_fractions=(0.01, 0.3)
+        )
+        result = fig5_incremental.run(config)
+        assert result.batch_sizes[0] < result.batch_sizes[1]
+
+
+class TestFig6:
+    def test_throughput_shapes(self):
+        config = fig6_actual_throughput.Fig6Config(
+            scale=SCALE, num_requests=2000, server_counts=(1, 8, 64)
+        )
+        result = fig6_actual_throughput.run(config)
+        pn = [m.requests_per_second for m in result.parallelnosy]
+        ff = [m.requests_per_second for m in result.feedingfrenzy]
+        # per-client throughput decreases with cluster size
+        assert pn[0] >= pn[-1]
+        assert ff[0] >= ff[-1]
+        # ratio grows with cluster size (piggybacking wins at scale)
+        assert result.ratio[-1] >= result.ratio[0] - 0.05
+        assert "Figure 6" in result.to_text()
+
+    def test_single_server_parity(self):
+        config = fig6_actual_throughput.Fig6Config(
+            scale=SCALE, num_requests=1500, server_counts=(1,)
+        )
+        result = fig6_actual_throughput.run(config)
+        assert result.ratio[0] == pytest.approx(1.0)
+
+
+class TestFig7:
+    def test_predictor_shapes(self):
+        config = fig7_predicted_throughput.Fig7Config(
+            scale=SCALE, server_counts=(1, 8, 64, 4096)
+        )
+        result = fig7_predicted_throughput.run(config)
+        assert result.parallelnosy[0] == pytest.approx(1.0)
+        assert result.feedingfrenzy[0] == pytest.approx(1.0)
+        # ratio at huge clusters approaches the partition-free ratio
+        assert result.ratio[-1] == pytest.approx(
+            result.asymptotic_ratio, rel=0.05
+        )
+        assert "Figure 7" in result.to_text()
+
+    def test_predicted_matches_actual_trend(self):
+        """The paper's headline consistency: predicted and measured ratios
+        agree.  Run both harnesses on the same instance and compare."""
+        scale = SCALE
+        counts = (1, 16, 128)
+        f6 = fig6_actual_throughput.run(
+            fig6_actual_throughput.Fig6Config(
+                scale=scale, num_requests=4000, server_counts=counts
+            )
+        )
+        f7 = fig7_predicted_throughput.run(
+            fig7_predicted_throughput.Fig7Config(scale=scale, server_counts=counts)
+        )
+        for actual, predicted in zip(f6.ratio, f7.ratio):
+            assert actual == pytest.approx(predicted, rel=0.15)
+
+
+class TestFig8:
+    def test_load_decays_and_is_positive(self):
+        config = fig8_load_balance.Fig8Config(scale=SCALE, server_counts=(1, 4, 32))
+        result = fig8_load_balance.run(config)
+        pn_means = [r.mean for r in result.parallelnosy]
+        assert pn_means[0] == pytest.approx(1.0)
+        assert pn_means[0] > pn_means[1] > pn_means[2]
+        assert "Figure 8" in result.to_text()
+
+
+class TestFig9:
+    def test_decay_with_read_write_ratio(self):
+        config = fig9_chitchat_vs_nosy.Fig9Config(
+            datasets=("flickr",),
+            methods=("bfs",),
+            scale=SCALE,
+            sample_edge_fraction=0.3,
+            num_samples=1,
+            read_write_ratios=(1.0, 100.0),
+            nosy_iterations=5,
+        )
+        result = fig9_chitchat_vs_nosy.run(config)
+        cc = result.series[("bfs", "flickr", "ChitChat")]
+        assert cc[0] >= cc[-1] - 1e-9  # gains shrink as reads dominate
+        assert all(v >= 1.0 - 1e-9 for v in cc)
+        assert "Figure 9" in result.to_text()
+
+    def test_both_methods_produce_series(self):
+        config = fig9_chitchat_vs_nosy.Fig9Config(
+            datasets=("flickr",),
+            scale=SCALE,
+            sample_edge_fraction=0.25,
+            num_samples=1,
+            read_write_ratios=(2.0,),
+            nosy_iterations=4,
+        )
+        result = fig9_chitchat_vs_nosy.run(config)
+        assert ("bfs", "flickr", "ChitChat") in result.series
+        assert ("random_walk", "flickr", "ParallelNosy") in result.series

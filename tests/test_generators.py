@@ -1,0 +1,155 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    configuration_model_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    rmat_graph,
+    social_copying_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.stats import average_clustering, count_wedges, reciprocity
+
+
+class TestSocialCopying:
+    def test_node_count(self):
+        g = social_copying_graph(100, seed=0)
+        assert g.num_nodes == 100
+
+    def test_deterministic_given_seed(self):
+        a = social_copying_graph(80, seed=5)
+        b = social_copying_graph(80, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = social_copying_graph(80, seed=5)
+        b = social_copying_graph(80, seed=6)
+        assert a != b
+
+    def test_mean_out_degree_near_target(self):
+        g = social_copying_graph(300, out_degree=8, reciprocity=0.0, seed=1)
+        mean_in = g.num_edges / g.num_nodes
+        assert 4 <= mean_in <= 9  # follow attempts minus duplicates
+
+    def test_reciprocity_knob_monotone(self):
+        lo = social_copying_graph(200, reciprocity=0.05, seed=2)
+        hi = social_copying_graph(200, reciprocity=0.8, seed=2)
+        assert reciprocity(hi) > reciprocity(lo)
+
+    def test_copy_fraction_raises_clustering(self):
+        lo = social_copying_graph(250, copy_fraction=0.05, seed=3)
+        hi = social_copying_graph(250, copy_fraction=0.9, seed=3)
+        assert average_clustering(hi) > average_clustering(lo)
+
+    def test_creates_closed_wedges(self):
+        g = social_copying_graph(150, copy_fraction=0.7, seed=4)
+        _wedges, closed = count_wedges(g)
+        assert closed > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            social_copying_graph(0)
+        with pytest.raises(GraphError):
+            social_copying_graph(10, copy_fraction=1.5)
+        with pytest.raises(GraphError):
+            social_copying_graph(10, reciprocity=-0.1)
+
+    def test_no_self_loops(self):
+        g = social_copying_graph(120, seed=6)
+        assert all(u != v for u, v in g.edges())
+
+
+class TestRmat:
+    def test_node_count_power_of_two(self):
+        g = rmat_graph(scale=7, edge_factor=4, seed=0)
+        assert g.num_nodes == 128
+
+    def test_deterministic(self):
+        assert rmat_graph(6, seed=1) == rmat_graph(6, seed=1)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(9, edge_factor=8, seed=2)
+        degrees = sorted((g.out_degree(n) for n in g.nodes()), reverse=True)
+        # top node should dominate the median heavily in an R-MAT graph
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] >= max(5, 5 * max(median, 1))
+
+    def test_invalid_quadrants(self):
+        with pytest.raises(GraphError):
+            rmat_graph(5, a=0.7, b=0.3, c=0.2)
+
+
+class TestForestFire:
+    def test_connected_growth(self):
+        g = forest_fire_graph(80, seed=0)
+        assert g.num_nodes == 80
+        # every non-root node follows at least one earlier node
+        assert all(g.in_degree(v) >= 1 for v in range(1, 80))
+
+    def test_deterministic(self):
+        assert forest_fire_graph(50, seed=3) == forest_fire_graph(50, seed=3)
+
+    def test_higher_forward_prob_denser(self):
+        sparse = forest_fire_graph(120, forward_prob=0.1, seed=1)
+        dense = forest_fire_graph(120, forward_prob=0.5, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            forest_fire_graph(10, forward_prob=1.2)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_graph(50, 200, seed=0)
+        assert g.num_edges == 200
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(3, 100)
+
+    def test_zero_edges(self):
+        g = erdos_renyi_graph(10, 0)
+        assert g.num_edges == 0 and g.num_nodes == 10
+
+
+class TestWattsStrogatz:
+    def test_degree_regularity(self):
+        g = watts_strogatz_graph(60, k=4, rewire_prob=0.0, seed=0)
+        assert all(g.in_degree(v) == 4 for v in g.nodes())
+
+    def test_k_too_large(self):
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(5, k=5)
+
+    def test_rewiring_changes_structure(self):
+        a = watts_strogatz_graph(60, k=4, rewire_prob=0.0, seed=1)
+        b = watts_strogatz_graph(60, k=4, rewire_prob=0.9, seed=1)
+        assert a != b
+
+
+class TestConfigurationModel:
+    def test_degree_sums_must_match(self):
+        with pytest.raises(GraphError):
+            configuration_model_graph([2, 0], [1, 0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphError):
+            configuration_model_graph([1], [1, 0])
+
+    def test_negative_degree(self):
+        with pytest.raises(GraphError):
+            configuration_model_graph([-1, 1], [0, 0])
+
+    def test_realized_degrees_at_most_target(self):
+        out_deg = [3, 2, 1, 0, 0]
+        in_deg = [0, 1, 1, 2, 2]
+        g = configuration_model_graph(out_deg, in_deg, seed=4)
+        for node, d in enumerate(out_deg):
+            assert g.out_degree(node) <= d
+        assert g.num_edges <= sum(out_deg)

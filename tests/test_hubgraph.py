@@ -1,0 +1,130 @@
+"""Unit tests for hub-graph construction (section 3.1 / Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.hubgraph import (
+    X_SIDE,
+    Y_SIDE,
+    build_hub_graph,
+    single_consumer_hub_graph,
+)
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import SocialGraph
+from repro.workload.rates import Workload
+
+
+class TestBuildHubGraph:
+    def test_wedge_hub(self, wedge_graph):
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        assert hub.x_nodes == [ART]
+        assert hub.y_nodes == [BILLIE]
+        assert hub.cross_edges == [(ART, BILLIE)]
+        assert not hub.truncated
+
+    def test_elements_include_legs_and_cross(self, wedge_graph):
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        assert set(hub.elements()) == {
+            (ART, CHARLIE),
+            (CHARLIE, BILLIE),
+            (ART, BILLIE),
+        }
+
+    def test_full_bipartite_cross_edges(self, two_hub_graph):
+        hub = build_hub_graph(two_hub_graph, 5)
+        assert sorted(hub.x_nodes) == [10, 11]
+        assert sorted(hub.y_nodes) == [20, 21]
+        assert len(hub.cross_edges) == 4
+
+    def test_cross_edge_bound_truncates(self, two_hub_graph):
+        hub = build_hub_graph(two_hub_graph, 5, max_cross_edges=2)
+        assert len(hub.cross_edges) == 2
+        assert hub.truncated
+
+    def test_mutual_follower_appears_on_both_sides(self):
+        g = SocialGraph([(1, 5), (5, 1), (5, 2)])
+        hub = build_hub_graph(g, 5)
+        assert 1 in hub.x_nodes
+        assert 1 in hub.y_nodes
+
+    def test_self_cross_edge_excluded(self):
+        # x == y would mean covering a reciprocal pair through the hub;
+        # the wedge x -> w -> x has no cross-edge (self-loops don't exist).
+        g = SocialGraph([(1, 5), (5, 1)])
+        hub = build_hub_graph(g, 5)
+        assert hub.cross_edges == []
+
+    def test_num_vertices(self, two_hub_graph):
+        hub = build_hub_graph(two_hub_graph, 5)
+        assert hub.num_vertices == 4
+
+
+class TestVertexWeights:
+    def test_weights_from_rates(self, wedge_graph):
+        w = Workload(
+            production={ART: 2.0, BILLIE: 1.0, CHARLIE: 1.0},
+            consumption={ART: 1.0, BILLIE: 7.0, CHARLIE: 1.0},
+        )
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        empty = RequestSchedule()
+        assert hub.vertex_weight((X_SIDE, ART), w, empty) == 2.0
+        assert hub.vertex_weight((Y_SIDE, BILLIE), w, empty) == 7.0
+
+    def test_paid_push_leg_weight_zero(self, wedge_graph, wedge_workload):
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        schedule = RequestSchedule(push={(ART, CHARLIE)})
+        assert hub.vertex_weight((X_SIDE, ART), wedge_workload, schedule) == 0.0
+
+    def test_paid_pull_leg_weight_zero(self, wedge_graph, wedge_workload):
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        schedule = RequestSchedule(pull={(CHARLIE, BILLIE)})
+        assert (
+            hub.vertex_weight((Y_SIDE, BILLIE), wedge_workload, schedule) == 0.0
+        )
+
+    def test_pull_scheduled_push_leg_still_costs(self, wedge_graph, wedge_workload):
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        schedule = RequestSchedule(pull={(ART, CHARLIE)})
+        assert (
+            hub.vertex_weight((X_SIDE, ART), wedge_workload, schedule)
+            == wedge_workload.rp(ART)
+        )
+
+
+class TestSingleConsumerHubGraph:
+    def test_basic_producers(self, two_hub_graph):
+        w = make_uniform(two_hub_graph)
+        xs = single_consumer_hub_graph(
+            two_hub_graph, 5, 20, RequestSchedule(), {}
+        )
+        assert sorted(xs) == [10, 11]
+
+    def test_covered_push_leg_excluded(self, two_hub_graph):
+        xs = single_consumer_hub_graph(
+            two_hub_graph, 5, 20, RequestSchedule(), {(10, 5): 99}
+        )
+        assert xs == [11]
+
+    def test_covered_cross_edge_excluded(self, two_hub_graph):
+        xs = single_consumer_hub_graph(
+            two_hub_graph, 5, 20, RequestSchedule(), {(10, 20): 99}
+        )
+        assert xs == [11]
+
+    def test_scheduled_cross_edge_excluded(self, two_hub_graph):
+        schedule = RequestSchedule(push={(10, 20)}, pull={(11, 20)})
+        xs = single_consumer_hub_graph(two_hub_graph, 5, 20, schedule, {})
+        assert xs == []
+
+    def test_requires_cross_edge_to_exist(self):
+        g = SocialGraph([(10, 5), (5, 20)])  # no cross-edge 10 -> 20
+        xs = single_consumer_hub_graph(g, 5, 20, RequestSchedule(), {})
+        assert xs == []
+
+    def test_consumer_never_its_own_producer(self):
+        g = SocialGraph([(20, 5), (5, 20), (20, 21), (5, 21)])
+        # 20 is a predecessor of 5 and of 21, but x == consumer is skipped
+        xs = single_consumer_hub_graph(g, 5, 21, RequestSchedule(), {})
+        assert 21 not in xs

@@ -1,0 +1,150 @@
+"""Unit tests for incremental schedule maintenance (section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.baselines import hybrid_schedule
+from repro.core.cost import schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.core.incremental import IncrementalMaintainer, reoptimized_cost
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.core.schedule import RequestSchedule
+from repro.errors import ScheduleError
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import log_degree_workload
+
+
+def wedge_with_schedule():
+    graph = SocialGraph([(ART, CHARLIE), (CHARLIE, BILLIE), (ART, BILLIE)])
+    workload = make_uniform(graph, rp=1.0, rc=1.2)
+    schedule = RequestSchedule(push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)})
+    schedule.cover_via_hub((ART, BILLIE), CHARLIE)
+    return graph, workload, schedule
+
+
+class TestAddEdge:
+    def test_new_edge_served_directly_cheaper_side(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        m.add_edge(BILLIE, ART)
+        assert (BILLIE, ART) in schedule.push  # rp=1 <= rc=1.2
+        assert m.is_feasible()
+        assert m.edges_added == 1
+
+    def test_duplicate_edge_is_noop(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        assert m.add_edge(ART, CHARLIE) is False
+        assert m.edges_added == 0
+
+    def test_bulk_add(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        added = m.add_edges([(BILLIE, ART), (BILLIE, CHARLIE), (ART, CHARLIE)])
+        assert added == 2
+        assert m.is_feasible()
+
+
+class TestRemoveEdge:
+    def test_remove_pull_leg_repairs_covered_edges(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        m.remove_edge(CHARLIE, BILLIE)  # the pull leg of the hub
+        assert (ART, BILLIE) not in schedule.hub_cover
+        assert m.covers_broken == 1
+        assert m.is_feasible()
+        # the cross-edge is now served directly
+        assert (ART, BILLIE) in schedule.push or (ART, BILLIE) in schedule.pull
+
+    def test_remove_push_leg_repairs_covered_edges(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        m.remove_edge(ART, CHARLIE)  # the push leg of the hub
+        assert (ART, BILLIE) not in schedule.hub_cover
+        assert m.is_feasible()
+
+    def test_remove_covered_edge_itself(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        m.remove_edge(ART, BILLIE)
+        assert (ART, BILLIE) not in schedule.hub_cover
+        assert m.is_feasible()
+        # legs survive: they still serve their own edges
+        assert (ART, CHARLIE) in schedule.push
+
+    def test_remove_missing_edge_raises(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        with pytest.raises(ScheduleError):
+            m.remove_edge(BILLIE, CHARLIE)
+
+    def test_remove_unrelated_edge_keeps_covers(self):
+        graph, workload, schedule = wedge_with_schedule()
+        graph.add_edge(BILLIE, ART)
+        schedule.add_push((BILLIE, ART))
+        m = IncrementalMaintainer(graph, workload, schedule)
+        m.remove_edge(BILLIE, ART)
+        assert (ART, BILLIE) in schedule.hub_cover
+        assert m.is_feasible()
+
+
+class TestChurn:
+    def test_random_churn_stays_feasible(self):
+        graph = social_copying_graph(80, out_degree=5, copy_fraction=0.7, seed=3)
+        workload = log_degree_workload(graph)
+        schedule = parallel_nosy_schedule(graph, workload, 5)
+        m = IncrementalMaintainer(graph, workload, schedule)
+        import random
+
+        rng = random.Random(0)
+        nodes = list(graph.nodes())
+        for step in range(200):
+            if rng.random() < 0.5:
+                u, v = rng.choice(nodes), rng.choice(nodes)
+                if u != v:
+                    m.add_edge(u, v)
+            else:
+                edges = list(graph.edges())
+                if edges:
+                    m.remove_edge(*edges[rng.randrange(len(edges))])
+        assert m.is_feasible()
+        validate_schedule(graph, schedule)
+
+    def test_incremental_cost_degrades_but_stays_reasonable(self):
+        graph = social_copying_graph(100, out_degree=5, copy_fraction=0.7, seed=4)
+        workload = log_degree_workload(graph)
+        import random
+
+        rng = random.Random(1)
+        edges = sorted(graph.edges(), key=repr)
+        rng.shuffle(edges)
+        half = SocialGraph()
+        half.add_nodes_from(graph.nodes())
+        half.add_edges_from(edges[: len(edges) // 2])
+        schedule = parallel_nosy_schedule(half, workload, 6)
+        m = IncrementalMaintainer(half, workload, schedule)
+        m.add_edges(edges[len(edges) // 2 :])
+        incremental_cost = m.cost()
+        hybrid_cost = schedule_cost(hybrid_schedule(half, workload), workload)
+        # never worse than serving everything hybrid
+        assert incremental_cost <= hybrid_cost + 1e-9
+
+    def test_reoptimized_cost_not_worse_than_incremental(self):
+        graph = social_copying_graph(100, out_degree=5, copy_fraction=0.7, seed=5)
+        workload = log_degree_workload(graph)
+        schedule = parallel_nosy_schedule(graph, workload, 2)
+        m = IncrementalMaintainer(graph, workload, schedule)
+        static = reoptimized_cost(
+            graph,
+            workload,
+            lambda g, w: parallel_nosy_schedule(g, w, 10),
+        )
+        assert static <= m.cost() + 1e-9
+
+    def test_cost_matches_schedule_cost_for_known_users(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        assert m.cost() == pytest.approx(schedule_cost(schedule, workload))

@@ -1,0 +1,92 @@
+"""End-to-end integration tests spanning every layer of the stack."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import (
+    chitchat_schedule,
+    hybrid_schedule,
+    improvement_ratio,
+    parallel_nosy_schedule,
+    schedule_cost,
+    validate_schedule,
+)
+from repro.experiments.datasets import load_dataset
+from repro.experiments.runner import main as runner_main
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.prototype.appserver import ApplicationServer
+from repro.prototype.cluster import StoreCluster
+from repro.prototype.staleness import audit_schedule
+from repro.workload.rates import log_degree_workload
+from repro.workload.requests import fixed_count_trace, generate_trace
+
+
+class TestFullPipeline:
+    def test_generate_optimize_serve_audit(self, tmp_path):
+        """The complete life of a deployment: synthesize a graph, persist
+        it, reload, build a workload, optimize, run the prototype on a
+        trace, and audit staleness of the actual feed contents."""
+        dataset = load_dataset("flickr", scale=0.1, seed=3)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(dataset.graph, path, header="flickr-like")
+        graph = read_edge_list(path)
+        assert graph == dataset.graph
+
+        workload = log_degree_workload(graph)
+        pn = parallel_nosy_schedule(graph, workload, 6)
+        ff = hybrid_schedule(graph, workload)
+        validate_schedule(graph, pn)
+        assert schedule_cost(pn, workload) <= schedule_cost(ff, workload)
+
+        # prototype run
+        cluster = StoreCluster(num_servers=16, seed=0)
+        server = ApplicationServer(graph, pn, cluster)
+        trace = fixed_count_trace(workload, 1500, seed=1)
+        counters = server.run_trace(trace)
+        assert counters.requests == 1500
+        assert cluster.total_messages == counters.messages
+
+        # staleness audit of the same schedule
+        audit_trace = generate_trace(workload, 2.0, seed=2)
+        report = audit_schedule(graph, pn, audit_trace)
+        assert report.ok
+
+    def test_chitchat_vs_parallelnosy_on_same_instance(self):
+        dataset = load_dataset("twitter", scale=0.1, seed=5)
+        graph, workload = dataset.graph, dataset.workload
+        ff = hybrid_schedule(graph, workload)
+        cc = chitchat_schedule(graph, workload)
+        pn = parallel_nosy_schedule(graph, workload, 8)
+        validate_schedule(graph, cc)
+        validate_schedule(graph, pn)
+        assert improvement_ratio(cc, ff, workload) >= 1.0
+        assert improvement_ratio(pn, ff, workload) >= 1.0
+
+    def test_quickstart_demo(self):
+        text = repro.quickstart_demo(num_nodes=120, seed=1)
+        assert "predicted improvement ratio" in text
+
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestRunnerCli:
+    def test_datasets_command(self, capsys):
+        assert runner_main(["datasets", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "flickr" in out and "twitter" in out
+
+    def test_fig7_command(self, capsys):
+        assert runner_main(["fig7", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "completed" in out
+
+    def test_show_config(self, capsys):
+        assert runner_main(["fig4", "--show-config"]) == 0
+        assert "iterations" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            runner_main(["fig99"])

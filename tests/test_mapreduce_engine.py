@@ -1,0 +1,109 @@
+"""Unit tests for the MapReduce engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.engine import MapReduceEngine
+
+
+def word_count_mapper(line: str):
+    for word in line.split():
+        yield (word, 1)
+
+
+def sum_reducer(key, values):
+    yield (key, sum(values))
+
+
+def sum_combiner(key, values):
+    # combiners emit *values* (re-fed into the shuffle), not key-value pairs
+    yield sum(values)
+
+
+class TestBasicJob:
+    def test_word_count(self):
+        engine = MapReduceEngine()
+        lines = ["a b a", "b c", "a"]
+        out = dict(engine.run(lines, word_count_mapper, sum_reducer))
+        assert out == {"a": 3, "b": 2, "c": 1}
+
+    def test_output_sorted_by_key(self):
+        engine = MapReduceEngine()
+        out = engine.run(["b a c"], word_count_mapper, sum_reducer)
+        assert [k for k, _ in out] == ["a", "b", "c"]
+
+    def test_empty_input(self):
+        engine = MapReduceEngine()
+        assert engine.run([], word_count_mapper, sum_reducer) == []
+
+    def test_worker_count_does_not_change_output(self):
+        lines = [f"w{i % 7} w{i % 3}" for i in range(100)]
+        results = [
+            MapReduceEngine(num_workers=n).run(lines, word_count_mapper, sum_reducer)
+            for n in (1, 2, 8)
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_values_sorted_for_reducer(self):
+        engine = MapReduceEngine(num_workers=3)
+
+        def mapper(x):
+            yield ("k", x)
+
+        def reducer(key, values):
+            yield tuple(values)
+
+        out = engine.run([5, 1, 4, 2, 3], mapper, reducer)
+        assert out == [(1, 2, 3, 4, 5)]
+
+
+class TestCombiner:
+    def test_combiner_preserves_result(self):
+        lines = [f"w{i % 5}" for i in range(50)]
+        plain = MapReduceEngine().run(lines, word_count_mapper, sum_reducer)
+        combined = MapReduceEngine().run(
+            lines, word_count_mapper, sum_reducer, combiner=sum_combiner
+        )
+        assert plain == combined
+
+    def test_combiner_reduces_shuffle_volume(self):
+        lines = [f"w{i % 2}" for i in range(40)]
+        engine = MapReduceEngine(num_workers=4)
+        engine.run(lines, word_count_mapper, sum_reducer, combiner=sum_combiner)
+        counters = engine.last_counters
+        assert counters.combine_output_records < counters.map_output_records
+
+
+class TestCounters:
+    def test_counters_populated(self):
+        engine = MapReduceEngine()
+        engine.run(["a b", "c"], word_count_mapper, sum_reducer)
+        c = engine.last_counters
+        assert c.input_records == 2
+        assert c.map_output_records == 3
+        assert c.shuffle_keys == 3
+        assert c.reduce_output_records == 3
+
+    def test_history_accumulates(self):
+        engine = MapReduceEngine()
+        engine.run(["a"], word_count_mapper, sum_reducer)
+        engine.run(["b b"], word_count_mapper, sum_reducer)
+        assert len(engine.history) == 2
+        assert engine.total_shuffled_records() == 3
+
+    def test_last_counters_requires_a_run(self):
+        with pytest.raises(RuntimeError):
+            MapReduceEngine().last_counters
+
+
+class TestHelpers:
+    def test_map_only(self):
+        engine = MapReduceEngine()
+        pairs = engine.map_only(["a b"], word_count_mapper)
+        assert sorted(pairs) == [("a", 1), ("b", 1)]
+
+    def test_group_by_key(self):
+        engine = MapReduceEngine()
+        grouped = list(engine.group_by_key([("b", 2), ("a", 1), ("a", 3)]))
+        assert grouped == [("a", [1, 3]), ("b", [2])]

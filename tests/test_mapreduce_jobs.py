@@ -1,0 +1,129 @@
+"""Tests for the MapReduce formulation of PARALLELNOSY."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coverage import validate_schedule
+from repro.core.cost import schedule_cost
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import (
+    MapReduceParallelNosy,
+    adjacency_job,
+    cross_edge_job,
+    mapreduce_parallel_nosy_schedule,
+)
+from repro.workload.rates import log_degree_workload
+
+
+@pytest.fixture
+def graph():
+    return social_copying_graph(120, out_degree=5, copy_fraction=0.6, seed=8)
+
+
+@pytest.fixture
+def workload(graph):
+    return log_degree_workload(graph)
+
+
+class TestAdjacencyJob:
+    def test_records_match_graph(self, graph):
+        engine = MapReduceEngine()
+        records = adjacency_job(engine, sorted(graph.edges(), key=repr))
+        by_node = {r.node: r for r in records}
+        for node in graph.nodes():
+            if graph.in_degree(node) or graph.out_degree(node):
+                record = by_node[node]
+                assert set(record.preds) == set(graph.predecessors_view(node))
+                assert set(record.succs) == set(graph.successors_view(node))
+
+
+class TestCrossEdgeJob:
+    def test_detects_wedge_cross_edges(self):
+        g = SocialGraph([(1, 5), (5, 7), (1, 7), (5, 8)])
+        engine = MapReduceEngine()
+        records = adjacency_job(engine, sorted(g.edges(), key=repr))
+        hub_records, truncated = cross_edge_job(engine, records)
+        by_edge = {(r.hub, r.consumer): r for r in hub_records}
+        assert (5, 7) in by_edge
+        assert by_edge[(5, 7)].x_nodes == (1,)
+        assert (5, 8) not in by_edge  # no cross-edge into 8
+        assert truncated == 0
+
+    def test_bound_truncates_and_counts(self, graph):
+        engine = MapReduceEngine()
+        records = adjacency_job(engine, sorted(graph.edges(), key=repr))
+        unbounded, _ = cross_edge_job(engine, records)
+        total_cross = sum(len(r.x_nodes) for r in unbounded)
+        bounded, truncated_hubs = cross_edge_job(engine, records, cross_edge_bound=2)
+        bounded_cross = sum(len(r.x_nodes) for r in bounded)
+        assert bounded_cross < total_cross
+        assert truncated_hubs > 0
+
+
+class TestEquivalence:
+    def test_matches_in_memory_engine(self, graph, workload):
+        pn = parallel_nosy_schedule(graph, workload, max_iterations=6)
+        mr = mapreduce_parallel_nosy_schedule(graph, workload, max_iterations=6)
+        assert pn.push == mr.push
+        assert pn.pull == mr.pull
+        assert pn.hub_cover == mr.hub_cover
+
+    def test_feasible_and_not_worse_than_hybrid(self, graph, workload):
+        from repro.core.baselines import hybrid_schedule
+
+        mr = mapreduce_parallel_nosy_schedule(graph, workload, max_iterations=6)
+        validate_schedule(graph, mr)
+        assert schedule_cost(mr, workload) <= schedule_cost(
+            hybrid_schedule(graph, workload), workload
+        ) + 1e-9
+
+    def test_bounded_cross_edges_still_feasible(self, graph, workload):
+        mr = mapreduce_parallel_nosy_schedule(
+            graph, workload, max_iterations=4, cross_edge_bound=3
+        )
+        validate_schedule(graph, mr)
+
+    def test_bounded_no_better_than_unbounded(self, graph, workload):
+        bounded = mapreduce_parallel_nosy_schedule(
+            graph, workload, max_iterations=6, cross_edge_bound=1
+        )
+        unbounded = mapreduce_parallel_nosy_schedule(
+            graph, workload, max_iterations=6
+        )
+        assert schedule_cost(unbounded, workload) <= schedule_cost(
+            bounded, workload
+        ) + 1e-9
+
+
+class TestDriver:
+    def test_stats_populated(self, graph, workload):
+        driver = MapReduceParallelNosy(graph, workload)
+        driver.run(max_iterations=4)
+        stats = driver.stats
+        assert stats.iterations >= 1
+        assert stats.hub_graph_records > 0
+        assert stats.lock_requests > 0
+        assert stats.updates > 0
+        assert stats.notifications > 0
+
+    def test_converges_before_cap(self, graph, workload):
+        driver = MapReduceParallelNosy(graph, workload)
+        driver.run(max_iterations=50)
+        assert driver.stats.iterations < 50
+
+    def test_redetection_mode_runs(self, graph, workload):
+        driver = MapReduceParallelNosy(
+            graph, workload, cross_edge_bound=5, redetect_each_iteration=True
+        )
+        schedule = driver.run(max_iterations=3)
+        validate_schedule(graph, schedule)
+
+    def test_engine_counters_shared(self, graph, workload):
+        engine = MapReduceEngine()
+        driver = MapReduceParallelNosy(graph, workload, engine=engine)
+        driver.run(max_iterations=2)
+        assert len(engine.history) > 2  # adjacency + cross + phase jobs

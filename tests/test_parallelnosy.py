@@ -1,0 +1,201 @@
+"""Unit and behavioral tests for PARALLELNOSY (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_uniform
+from repro.core.baselines import hybrid_schedule
+from repro.core.cost import schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.core.parallelnosy import (
+    Candidate,
+    ParallelNosyOptimizer,
+    candidate_gain,
+    improvement_history,
+    parallel_nosy_schedule,
+    parallel_nosy_with_history,
+    pull_leg_cost,
+    push_leg_cost,
+)
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import Workload, log_degree_workload
+
+
+@pytest.fixture
+def star_hub() -> SocialGraph:
+    """Many producers through one hub into one consumer: the PARALLELNOSY
+    sweet spot (multiple cheap pushes vs one expensive pull)."""
+    edges = []
+    for x in range(10, 16):
+        edges.append((x, 5))  # x -> hub
+        edges.append((x, 20))  # cross-edge x -> consumer
+    edges.append((5, 20))  # hub -> consumer
+    return SocialGraph(edges)
+
+
+class TestLegCosts:
+    def test_push_leg_free_when_pushed(self):
+        w = Workload(production={1: 2.0, 5: 1.0}, consumption={1: 1.0, 5: 1.0})
+        assert push_leg_cost(w, {(1, 5)}, set(), 1, 5) == 0.0
+
+    def test_push_leg_full_cost_when_pulled(self):
+        w = Workload(production={1: 2.0, 5: 1.0}, consumption={1: 1.0, 5: 3.0})
+        assert push_leg_cost(w, set(), {(1, 5)}, 1, 5) == 2.0
+
+    def test_push_leg_marginal_when_unscheduled(self):
+        w = Workload(production={1: 2.0, 5: 1.0}, consumption={1: 1.0, 5: 3.0})
+        # c*(1->5) = min(2, 3) = 2 => marginal cost 0
+        assert push_leg_cost(w, set(), set(), 1, 5) == pytest.approx(0.0)
+
+    def test_pull_leg_symmetric(self):
+        w = Workload(production={5: 1.0, 9: 1.0}, consumption={5: 1.0, 9: 4.0})
+        assert pull_leg_cost(w, set(), {(5, 9)}, 5, 9) == 0.0
+        assert pull_leg_cost(w, {(5, 9)}, set(), 5, 9) == 4.0
+        # unscheduled: rc - c* = 4 - min(1,4) = 3
+        assert pull_leg_cost(w, set(), set(), 5, 9) == pytest.approx(3.0)
+
+    def test_candidate_gain_matches_manual(self, star_hub):
+        w = make_uniform(star_hub, rp=1.0, rc=4.0)
+        xs = [x for x in range(10, 16)]
+        # saved: 6 cross-edges at c* = min(1,4) = 1 each => 6
+        # cost: pushes are free marginals (rp == c*), pull leg 4 - 1 = 3
+        gain = candidate_gain(w, set(), set(), xs, 5, 20)
+        assert gain == pytest.approx(3.0)
+
+
+class TestStarHub:
+    def test_selects_the_hub(self, star_hub):
+        w = make_uniform(star_hub, rp=1.0, rc=4.0)
+        schedule = parallel_nosy_schedule(star_hub, w, max_iterations=5)
+        validate_schedule(star_hub, schedule)
+        assert (5, 20) in schedule.pull
+        assert all(schedule.hub_cover.get((x, 20)) == 5 for x in range(10, 16))
+
+    def test_cost_beats_hybrid(self, star_hub):
+        w = make_uniform(star_hub, rp=1.0, rc=4.0)
+        pn_cost = schedule_cost(parallel_nosy_schedule(star_hub, w), w)
+        ff_cost = schedule_cost(hybrid_schedule(star_hub, w), w)
+        assert pn_cost < ff_cost
+
+    def test_no_candidates_when_pulls_cheap(self, star_hub):
+        # rc <= rp everywhere: hybrid already pull-optimal; hubs save nothing
+        w = make_uniform(star_hub, rp=5.0, rc=1.0)
+        optimizer = ParallelNosyOptimizer(star_hub, w)
+        result = optimizer.run_iteration()
+        assert result.candidates == 0
+        assert result.edges_covered == 0
+
+
+class TestConvergence:
+    def test_iterations_monotone_cost(self, small_social, small_workload):
+        optimizer = ParallelNosyOptimizer(small_social, small_workload)
+        costs = []
+        for _ in range(6):
+            costs.append(optimizer.run_iteration().cost_after)
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_run_stops_at_convergence(self, small_social, small_workload):
+        optimizer = ParallelNosyOptimizer(small_social, small_workload)
+        optimizer.run(max_iterations=100)
+        assert len(optimizer.history) < 100
+        assert optimizer.history[-1].edges_covered == 0
+
+    def test_improvement_history_monotone(self, small_social, small_workload):
+        history = improvement_history(small_social, small_workload, 8)
+        assert all(b >= a - 1e-9 for a, b in zip(history, history[1:]))
+        assert history[-1] >= 1.0
+
+    def test_with_history_returns_matching_schedule(
+        self, small_social, small_workload
+    ):
+        schedule, history = parallel_nosy_with_history(
+            small_social, small_workload, 6
+        )
+        assert schedule_cost(schedule, small_workload) == pytest.approx(
+            history[-1].cost_after
+        )
+
+
+class TestCorrectness:
+    def test_feasible(self, small_social, small_workload):
+        schedule = parallel_nosy_schedule(small_social, small_workload)
+        validate_schedule(small_social, schedule)
+
+    def test_never_worse_than_hybrid(self, small_social, small_workload):
+        pn = schedule_cost(
+            parallel_nosy_schedule(small_social, small_workload), small_workload
+        )
+        ff = schedule_cost(
+            hybrid_schedule(small_social, small_workload), small_workload
+        )
+        assert pn <= ff + 1e-9
+
+    def test_deterministic(self, small_social, small_workload):
+        a = parallel_nosy_schedule(small_social, small_workload, 5)
+        b = parallel_nosy_schedule(small_social, small_workload, 5)
+        assert a.push == b.push and a.pull == b.pull and a.hub_cover == b.hub_cover
+
+    def test_zero_iterations_equals_hybrid(self, small_social, small_workload):
+        schedule = parallel_nosy_schedule(small_social, small_workload, 0)
+        ff = hybrid_schedule(small_social, small_workload)
+        assert schedule_cost(schedule, small_workload) == pytest.approx(
+            schedule_cost(ff, small_workload)
+        )
+
+    def test_hub_covers_all_valid(self, small_social, small_workload):
+        schedule = parallel_nosy_schedule(small_social, small_workload)
+        for edge in schedule.hub_cover:
+            assert schedule.piggyback_valid(edge)
+
+    def test_producer_cap_respected_and_feasible(
+        self, small_social, small_workload
+    ):
+        schedule = parallel_nosy_schedule(
+            small_social, small_workload, max_candidate_producers=2
+        )
+        validate_schedule(small_social, schedule)
+
+    def test_finalize_does_not_mutate_state(self, small_social, small_workload):
+        optimizer = ParallelNosyOptimizer(small_social, small_workload)
+        optimizer.run_iteration()
+        before = len(optimizer.state.schedule.push)
+        optimizer.finalize()
+        assert len(optimizer.state.schedule.push) == before
+
+
+class TestLocking:
+    def test_conflicting_candidates_resolved_by_gain(self):
+        """Two hubs compete for the same cross-edge; the higher-gain hub
+        must win the lock and cover it."""
+        edges = []
+        # hub 5 serves cross-edges from 3 producers into consumer 20
+        for x in (10, 11, 12):
+            edges += [(x, 5), (x, 20)]
+        edges.append((5, 20))
+        # hub 6 serves producers 10 and 11 into consumer 20 (lower gain)
+        edges += [(10, 6), (11, 6), (6, 20)]
+        g = SocialGraph(edges)
+        # rc = 2: hub 5 gain = 3*1 - (2-1) = 2; hub 6 gain = 2*1 - (2-1) = 1
+        w = make_uniform(g, rp=1.0, rc=2.0)
+        optimizer = ParallelNosyOptimizer(g, w)
+        candidates = optimizer._phase1_candidates()
+        gains = {c.hub_edge: c.gain for c in candidates}
+        assert gains[(5, 20)] > gains[(6, 20)] > 0
+        schedule = optimizer.run(max_iterations=3)
+        validate_schedule(g, schedule)
+        assert schedule.hub_cover.get((10, 20)) == 5
+        assert schedule.hub_cover.get((11, 20)) == 5
+
+    def test_candidate_locked_edges(self):
+        c = Candidate(hub=5, consumer=20, x_nodes=(10, 11), gain=1.0)
+        assert set(c.locked_edges()) == {
+            (5, 20),
+            (10, 5),
+            (10, 20),
+            (11, 5),
+            (11, 20),
+        }
+        assert c.hub_edge == (5, 20)

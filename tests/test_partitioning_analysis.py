@@ -1,0 +1,125 @@
+"""Tests for partition-aware scheduling analysis (section 4.3 argument)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.partitioning import (
+    PlacementAwareParallelNosy,
+    agnostic_vs_aware_sweep,
+    partition_aware_hybrid,
+    placement_advantage,
+    placement_aware_schedule,
+    repartitioning_penalty,
+)
+from repro.analysis.predicted import partitioned_cost
+from repro.core.baselines import hybrid_schedule
+from repro.core.coverage import validate_schedule
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.graph.generators import social_copying_graph
+from repro.store.partition import HashPartitioner
+from repro.workload.rates import log_degree_workload
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = social_copying_graph(150, out_degree=6, copy_fraction=0.7, seed=12)
+    workload = log_degree_workload(graph)
+    return graph, workload
+
+
+class TestPartitionAwareHybrid:
+    def test_feasible(self, setting):
+        graph, workload = setting
+        schedule = partition_aware_hybrid(graph, workload, 4)
+        validate_schedule(graph, schedule)
+
+    def test_colocated_edges_pushed(self, setting):
+        graph, workload = setting
+        n = 4
+        schedule = partition_aware_hybrid(graph, workload, n)
+        partitioner = HashPartitioner(n)
+        for u, v in graph.edges():
+            if partitioner.server_of(u) == partitioner.server_of(v):
+                assert (u, v) in schedule.push
+
+    def test_degenerates_to_agnostic_cost(self, setting):
+        """The §4.3 observation: under own-view batching, placement
+        knowledge cannot improve *direct* per-edge scheduling at all."""
+        graph, workload = setting
+        for n in (2, 8, 64):
+            aware = partition_aware_hybrid(graph, workload, n)
+            agnostic = hybrid_schedule(graph, workload)
+            aware_cost = partitioned_cost(graph, aware, workload, n).total
+            agnostic_cost = partitioned_cost(graph, agnostic, workload, n).total
+            assert aware_cost == pytest.approx(agnostic_cost)
+
+
+class TestPlacementAwareParallelNosy:
+    def test_feasible(self, setting):
+        graph, workload = setting
+        schedule = placement_aware_schedule(graph, workload, num_servers=4)
+        validate_schedule(graph, schedule)
+
+    def test_beats_agnostic_pn_on_small_cluster(self, setting):
+        """Hub selection is where placement knowledge pays: on a 2-server
+        cluster the aware optimizer avoids hubs that turn free co-located
+        edges into remote traffic."""
+        graph, workload = setting
+        n = 2
+        aware = placement_aware_schedule(graph, workload, n)
+        agnostic = parallel_nosy_schedule(graph, workload, 10)
+        aware_cost = partitioned_cost(graph, aware, workload, n).total
+        agnostic_cost = partitioned_cost(graph, agnostic, workload, n).total
+        assert aware_cost < agnostic_cost
+
+    def test_converges_to_agnostic_at_scale(self, setting):
+        graph, workload = setting
+        n = 4096
+        aware = placement_aware_schedule(graph, workload, n)
+        agnostic = parallel_nosy_schedule(graph, workload, 10)
+        aware_cost = partitioned_cost(graph, aware, workload, n).total
+        agnostic_cost = partitioned_cost(graph, agnostic, workload, n).total
+        assert aware_cost == pytest.approx(agnostic_cost, rel=0.03)
+
+    def test_optimizer_reuses_parallelnosy_machinery(self, setting):
+        graph, workload = setting
+        optimizer = PlacementAwareParallelNosy(graph, workload, num_servers=4)
+        result = optimizer.run_iteration()
+        assert result.iteration == 1
+
+
+class TestPlacementAdvantage:
+    def test_advantage_positive_on_small_cluster(self, setting):
+        graph, workload = setting
+        agnostic = parallel_nosy_schedule(graph, workload, 10)
+        result = placement_advantage(graph, agnostic, workload, 2)
+        assert result.advantage > 1.0
+
+    def test_advantage_vanishes_with_servers(self, setting):
+        graph, workload = setting
+        agnostic = parallel_nosy_schedule(graph, workload, 10)
+        small = placement_advantage(graph, agnostic, workload, 2).advantage
+        large = placement_advantage(graph, agnostic, workload, 2048).advantage
+        assert large < small
+        assert large == pytest.approx(1.0, abs=0.03)
+
+    def test_sweep_rows(self, setting):
+        graph, workload = setting
+        rows = agnostic_vs_aware_sweep(graph, workload, [2, 512], max_iterations=6)
+        assert len(rows) == 2
+        # aware never loses to agnostic on the placement it was tuned for
+        for row in rows:
+            assert row["aware PN"] >= row["agnostic PN"] - 1e-6
+
+
+class TestRepartitioningPenalty:
+    def test_penalty_positive_on_small_cluster(self, setting):
+        graph, workload = setting
+        result = repartitioning_penalty(graph, workload, 4, old_seed=0, new_seed=5)
+        assert result.penalty > 1.0
+
+    def test_same_seed_no_penalty(self, setting):
+        graph, workload = setting
+        result = repartitioning_penalty(graph, workload, 8, old_seed=3, new_seed=3)
+        assert result.penalty == pytest.approx(1.0)

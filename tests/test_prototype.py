@@ -1,0 +1,164 @@
+"""Tests for the prototype: cluster, application servers, throughput."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import hybrid_schedule, push_all_schedule
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.prototype.appserver import ApplicationServer, FrontEnd
+from repro.prototype.cluster import StoreCluster, colocated
+from repro.prototype.metrics import (
+    CLIENT_MESSAGE_BUDGET_PER_SEC,
+    actual_throughput,
+    improvement_ratio,
+)
+from repro.store.views import EventTuple
+from repro.workload.rates import log_degree_workload
+from repro.workload.requests import Request, RequestKind, fixed_count_trace
+
+
+@pytest.fixture
+def graph():
+    return social_copying_graph(80, out_degree=5, copy_fraction=0.6, seed=2)
+
+
+@pytest.fixture
+def workload(graph):
+    return log_degree_workload(graph)
+
+
+class TestStoreCluster:
+    def test_update_message_count_equals_distinct_servers(self):
+        cluster = StoreCluster(num_servers=4, seed=0)
+        users = list(range(40))
+        groups = cluster.group_by_server(users)
+        messages = cluster.update(users, EventTuple(0.0, 1, 99))
+        assert messages == len(groups)
+
+    def test_single_server_always_one_message(self):
+        cluster = StoreCluster(num_servers=1)
+        assert cluster.update(range(50), EventTuple(0.0, 1, 9)) == 1
+        _events, messages = cluster.query(range(50))
+        assert messages == 1
+
+    def test_query_returns_topk_across_servers(self):
+        cluster = StoreCluster(num_servers=3, seed=1)
+        for i in range(30):
+            cluster.update([i % 7], EventTuple(float(i), i, 9))
+        events, _messages = cluster.query(range(7), k=5)
+        assert [e.event_id for e in events] == [29, 28, 27, 26, 25]
+
+    def test_counters_reset(self):
+        cluster = StoreCluster(num_servers=2)
+        cluster.update([1], EventTuple(0.0, 1, 9))
+        cluster.reset_counters()
+        assert cluster.total_messages == 0
+        assert all(s.counters.total_requests == 0 for s in cluster.servers)
+
+    def test_find_event(self):
+        cluster = StoreCluster(num_servers=2)
+        cluster.update([3], EventTuple(0.0, 77, 9))
+        assert cluster.find_event(3, 77)
+        assert not cluster.find_event(3, 78)
+        assert not cluster.find_event(4, 77)
+
+    def test_colocated(self):
+        cluster = StoreCluster(num_servers=1)
+        assert colocated(cluster, 1, 2)
+
+
+class TestApplicationServer:
+    def test_update_touches_own_view_and_push_set(self, graph):
+        schedule = RequestSchedule()
+        user = next(iter(graph.nodes()))
+        follower = next(iter(graph.successors_view(user)), None)
+        if follower is not None:
+            schedule.add_push((user, follower))
+        cluster = StoreCluster(num_servers=2, seed=0)
+        server = ApplicationServer(graph, schedule, cluster)
+        server.handle_update(user, EventTuple(0.0, 5, user))
+        assert cluster.find_event(user, 5)
+        if follower is not None:
+            assert cluster.find_event(follower, 5)
+
+    def test_query_reads_own_and_pull_set(self, graph):
+        user = next(iter(graph.nodes()))
+        producers = list(graph.predecessors_view(user))
+        schedule = RequestSchedule()
+        for p in producers:
+            schedule.add_pull((p, user))
+        cluster = StoreCluster(num_servers=2, seed=0)
+        server = ApplicationServer(graph, schedule, cluster)
+        if producers:
+            # event lands only in the producer's own view (no pushes)
+            server.handle_update(producers[0], EventTuple(1.0, 42, producers[0]))
+            events, _messages = server.handle_query(user)
+            assert 42 in {e.event_id for e in events}
+
+    def test_counters_accumulate(self, graph, workload):
+        schedule = hybrid_schedule(graph, workload)
+        cluster = StoreCluster(num_servers=4, seed=0)
+        server = ApplicationServer(graph, schedule, cluster)
+        trace = fixed_count_trace(workload, 200, seed=0)
+        counters = server.run_trace(trace)
+        assert counters.requests == 200
+        assert counters.messages >= 200  # at least one message per request
+        assert counters.messages == cluster.total_messages
+
+    def test_push_all_update_fanout(self, graph, workload):
+        schedule = push_all_schedule(graph)
+        cluster = StoreCluster(num_servers=50, seed=0)
+        server = ApplicationServer(graph, schedule, cluster)
+        hub = max(graph.nodes(), key=graph.out_degree)
+        messages = server.handle_update(hub, EventTuple(0.0, 1, hub))
+        expected = len(
+            cluster.partitioner.servers_of(
+                set(graph.successors_view(hub)) | {hub}
+            )
+        )
+        assert messages == expected
+
+    def test_front_end_completion_and_feed(self, graph, workload):
+        schedule = hybrid_schedule(graph, workload)
+        cluster = StoreCluster(num_servers=2, seed=0)
+        front = FrontEnd(ApplicationServer(graph, schedule, cluster))
+        user = next(iter(graph.nodes()))
+        front.submit(Request(0.0, user, RequestKind.SHARE, 0))
+        front.submit(Request(1.0, user, RequestKind.QUERY, None))
+        assert front.completed == 2
+        assert user in front.feed_cache
+
+
+class TestMetrics:
+    def test_one_server_throughput_is_budget(self, graph, workload):
+        schedule = hybrid_schedule(graph, workload)
+        cluster = StoreCluster(num_servers=1)
+        server = ApplicationServer(graph, schedule, cluster)
+        counters = server.run_trace(fixed_count_trace(workload, 100, seed=1))
+        measurement = actual_throughput(counters, 1)
+        assert measurement.requests_per_second == pytest.approx(
+            CLIENT_MESSAGE_BUDGET_PER_SEC
+        )
+        assert measurement.messages_per_request == pytest.approx(1.0)
+
+    def test_throughput_decreases_with_servers(self, graph, workload):
+        schedule = hybrid_schedule(graph, workload)
+        trace = fixed_count_trace(workload, 300, seed=2)
+        rps = []
+        for n in (1, 4, 16):
+            cluster = StoreCluster(num_servers=n, seed=0)
+            server = ApplicationServer(graph, schedule, cluster)
+            counters = server.run_trace(trace)
+            rps.append(actual_throughput(counters, n).requests_per_second)
+        assert rps[0] >= rps[1] >= rps[2]
+
+    def test_improvement_ratio(self, graph, workload):
+        schedule = hybrid_schedule(graph, workload)
+        cluster = StoreCluster(num_servers=2, seed=0)
+        server = ApplicationServer(graph, schedule, cluster)
+        counters = server.run_trace(fixed_count_trace(workload, 100, seed=3))
+        m = actual_throughput(counters, 2)
+        assert improvement_ratio(m, m) == pytest.approx(1.0)

@@ -1,0 +1,114 @@
+"""Unit tests for schedule pruning (post-optimization cleanup)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.baselines import hybrid_schedule
+from repro.core.chitchat import chitchat_schedule
+from repro.core.cost import schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.core.pruning import (
+    cleanup_schedule,
+    count_redundant_memberships,
+    hub_usage_histogram,
+    prune_schedule,
+    swap_to_cheaper_direct,
+)
+from repro.core.schedule import RequestSchedule
+from repro.graph.digraph import SocialGraph
+
+
+class TestPrune:
+    def test_drops_double_membership(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=5.0)
+        s = RequestSchedule(
+            push=set(wedge_graph.edges()), pull={(ART, CHARLIE)}
+        )
+        pruned = prune_schedule(wedge_graph, s, w)
+        validate_schedule(wedge_graph, pruned)
+        assert (ART, CHARLIE) not in pruned.pull  # redundant pull dropped
+
+    def test_keeps_hub_dependencies(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        s = RequestSchedule(
+            push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)}
+        )
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        pruned = prune_schedule(wedge_graph, s, w)
+        # both legs needed by the cover: nothing removable
+        assert pruned.push == s.push and pruned.pull == s.pull
+        validate_schedule(wedge_graph, pruned)
+
+    def test_drops_cover_shadowed_by_direct(self, wedge_graph):
+        w = make_uniform(wedge_graph)
+        s = RequestSchedule(push=set(wedge_graph.edges()))
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        pruned = prune_schedule(wedge_graph, s, w)
+        assert (ART, BILLIE) not in pruned.hub_cover
+        validate_schedule(wedge_graph, pruned)
+
+    def test_never_increases_cost(self, small_social, small_workload):
+        schedule = parallel_nosy_schedule(small_social, small_workload, 5)
+        pruned = prune_schedule(small_social, schedule, small_workload)
+        validate_schedule(small_social, pruned)
+        assert schedule_cost(pruned, small_workload) <= schedule_cost(
+            schedule, small_workload
+        ) + 1e-9
+
+    def test_preserves_feasibility_on_chitchat_output(
+        self, small_social, small_workload
+    ):
+        schedule = chitchat_schedule(small_social, small_workload)
+        pruned = prune_schedule(small_social, schedule, small_workload)
+        validate_schedule(small_social, pruned)
+
+
+class TestSwap:
+    def test_swaps_expensive_push_to_pull(self):
+        g = SocialGraph([(1, 2)])
+        from repro.workload.rates import Workload
+
+        w = Workload(production={1: 9.0, 2: 1.0}, consumption={1: 1.0, 2: 2.0})
+        s = RequestSchedule(push={(1, 2)})
+        swapped = swap_to_cheaper_direct(g, s, w)
+        assert (1, 2) in swapped.pull and (1, 2) not in swapped.push
+        validate_schedule(g, swapped)
+
+    def test_keeps_push_needed_by_cover(self, wedge_graph):
+        from repro.workload.rates import Workload
+
+        w = Workload(
+            production={ART: 9.0, BILLIE: 1.0, CHARLIE: 1.0},
+            consumption={ART: 1.0, BILLIE: 1.0, CHARLIE: 2.0},
+        )
+        s = RequestSchedule(push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)})
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        swapped = swap_to_cheaper_direct(wedge_graph, s, w)
+        assert (ART, CHARLIE) in swapped.push  # dependency kept
+        validate_schedule(wedge_graph, swapped)
+
+    def test_hybrid_schedule_is_fixed_point(self, small_social, small_workload):
+        ff = hybrid_schedule(small_social, small_workload)
+        cleaned = cleanup_schedule(small_social, ff, small_workload)
+        assert schedule_cost(cleaned, small_workload) == pytest.approx(
+            schedule_cost(ff, small_workload)
+        )
+
+
+class TestDiagnostics:
+    def test_redundancy_counts(self):
+        s = RequestSchedule(push={(1, 2), (3, 4)}, pull={(1, 2)})
+        s.cover_via_hub((3, 2), 99)
+        counts = count_redundant_memberships(s)
+        assert counts["push_and_pull"] == 1
+        assert counts["covers"] == 1
+
+    def test_hub_usage_histogram(self):
+        s = RequestSchedule()
+        s.cover_via_hub((1, 3), 2)
+        s.cover_via_hub((4, 3), 2)
+        s.cover_via_hub((1, 6), 5)
+        assert hub_usage_histogram(s) == {2: 2, 5: 1}

@@ -1,0 +1,155 @@
+"""Unit tests for the workload rate models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import (
+    REFERENCE_READ_WRITE_RATIO,
+    Workload,
+    log_degree_workload,
+    uniform_workload,
+    workload_from_mappings,
+    zipf_workload,
+)
+
+
+class TestWorkloadValidation:
+    def test_mismatched_user_sets_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(production={1: 1.0}, consumption={2: 1.0})
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(production={1: -1.0}, consumption={1: 1.0})
+
+    def test_nan_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(production={1: float("nan")}, consumption={1: 1.0})
+
+    def test_unknown_user_raises(self):
+        w = Workload(production={1: 1.0}, consumption={1: 2.0})
+        with pytest.raises(WorkloadError):
+            w.rp(9)
+        with pytest.raises(WorkloadError):
+            w.rc(9)
+
+    def test_accessors(self):
+        w = Workload(production={1: 2.0}, consumption={1: 6.0})
+        assert w.rp(1) == 2.0
+        assert w.rc(1) == 6.0
+        assert w.users == frozenset({1})
+        assert w.total_production == 2.0
+        assert w.total_consumption == 6.0
+        assert w.read_write_ratio == pytest.approx(3.0)
+
+
+class TestScaling:
+    def test_scaled_hits_target_ratio(self):
+        w = Workload(production={1: 1.0, 2: 3.0}, consumption={1: 2.0, 2: 2.0})
+        scaled = w.scaled(10.0)
+        assert scaled.read_write_ratio == pytest.approx(10.0)
+        # production untouched
+        assert scaled.production == w.production
+
+    def test_scaled_invalid_target(self):
+        w = Workload(production={1: 1.0}, consumption={1: 1.0})
+        with pytest.raises(WorkloadError):
+            w.scaled(0)
+
+    def test_scale_zero_production_rejected(self):
+        w = Workload(production={1: 0.0}, consumption={1: 1.0})
+        with pytest.raises(WorkloadError):
+            w.scaled(5.0)
+
+    def test_pull_cost_factor(self):
+        w = Workload(production={1: 1.0}, consumption={1: 2.0})
+        k = w.with_pull_cost_factor(3.0)
+        assert k.rc(1) == pytest.approx(6.0)
+        assert k.rp(1) == 1.0
+        with pytest.raises(WorkloadError):
+            w.with_pull_cost_factor(0)
+
+    def test_restricted(self):
+        w = Workload(
+            production={1: 1.0, 2: 2.0}, consumption={1: 1.0, 2: 2.0}
+        )
+        r = w.restricted([1])
+        assert r.users == frozenset({1})
+        with pytest.raises(WorkloadError):
+            w.restricted([99])
+
+
+class TestLogDegreeWorkload:
+    def test_reference_ratio(self):
+        g = social_copying_graph(100, seed=0)
+        w = log_degree_workload(g)
+        assert w.read_write_ratio == pytest.approx(REFERENCE_READ_WRITE_RATIO)
+
+    def test_production_grows_with_followers(self):
+        g = SocialGraph([(0, i) for i in range(1, 20)] + [(1, 2)])
+        w = log_degree_workload(g)
+        assert w.rp(0) > w.rp(2)  # 19 followers vs none
+
+    def test_consumption_grows_with_followees(self):
+        g = SocialGraph([(i, 0) for i in range(1, 20)] + [(1, 2)])
+        w = log_degree_workload(g)
+        assert w.rc(0) > w.rc(1)
+
+    def test_all_rates_positive(self):
+        g = social_copying_graph(150, seed=1)
+        w = log_degree_workload(g)
+        assert all(r > 0 for r in w.production.values())
+        assert all(r > 0 for r in w.consumption.values())
+
+    def test_rates_are_log_shaped(self):
+        # doubling followers should not double production (log curve)
+        g = SocialGraph(
+            [(0, i) for i in range(1, 11)] + [(100, i) for i in range(1, 21)]
+        )
+        w = log_degree_workload(g)
+        assert w.rp(100) < 2 * w.rp(0)
+        assert w.rp(100) == pytest.approx(
+            w.rp(0) * math.log1p(20) / math.log1p(10)
+        )
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(WorkloadError):
+            log_degree_workload(SocialGraph())
+
+
+class TestOtherWorkloads:
+    def test_uniform(self):
+        g = social_copying_graph(50, seed=2)
+        w = uniform_workload(g, 2.0, 4.0)
+        assert all(v == 2.0 for v in w.production.values())
+        assert w.read_write_ratio == pytest.approx(2.0)
+
+    def test_uniform_negative_rejected(self):
+        g = social_copying_graph(20, seed=2)
+        with pytest.raises(WorkloadError):
+            uniform_workload(g, -1.0, 1.0)
+
+    def test_zipf_ratio_and_determinism(self):
+        g = social_copying_graph(60, seed=3)
+        a = zipf_workload(g, read_write_ratio=7.0, seed=1)
+        b = zipf_workload(g, read_write_ratio=7.0, seed=1)
+        assert a.production == b.production
+        assert a.read_write_ratio == pytest.approx(7.0)
+
+    def test_zipf_invalid_exponent(self):
+        g = social_copying_graph(20, seed=3)
+        with pytest.raises(WorkloadError):
+            zipf_workload(g, exponent=0)
+
+    def test_from_mappings_copies(self):
+        prod = {1: 1.0}
+        cons = {1: 2.0}
+        w = workload_from_mappings(prod, cons)
+        prod[1] = 99.0
+        assert w.rp(1) == 1.0

@@ -1,0 +1,116 @@
+"""Unit tests for request-trace generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import log_degree_workload, uniform_workload
+from repro.workload.requests import (
+    RequestKind,
+    empirical_read_write_ratio,
+    fixed_count_trace,
+    generate_trace,
+    iter_windows,
+    split_counts,
+)
+
+
+@pytest.fixture
+def workload():
+    g = social_copying_graph(60, out_degree=4, seed=0)
+    return log_degree_workload(g)
+
+
+class TestGenerateTrace:
+    def test_time_ordered(self, workload):
+        trace = generate_trace(workload, duration=2.0, seed=1)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_times_within_duration(self, workload):
+        trace = generate_trace(workload, duration=1.5, seed=2)
+        assert all(0.0 <= r.time < 1.5 for r in trace)
+
+    def test_event_ids_sequential_in_time(self, workload):
+        trace = generate_trace(workload, duration=2.0, seed=3)
+        ids = [r.event_id for r in trace if r.kind is RequestKind.SHARE]
+        assert ids == list(range(len(ids)))
+
+    def test_queries_have_no_event_id(self, workload):
+        trace = generate_trace(workload, duration=1.0, seed=4)
+        assert all(
+            r.event_id is None for r in trace if r.kind is RequestKind.QUERY
+        )
+
+    def test_deterministic(self, workload):
+        assert generate_trace(workload, 1.0, seed=5) == generate_trace(
+            workload, 1.0, seed=5
+        )
+
+    def test_invalid_duration(self, workload):
+        with pytest.raises(WorkloadError):
+            generate_trace(workload, duration=0)
+
+    def test_rates_drive_volume(self):
+        g = social_copying_graph(40, seed=1)
+        slow = uniform_workload(g, 0.5, 0.5)
+        fast = uniform_workload(g, 5.0, 5.0)
+        assert len(generate_trace(fast, 1.0, seed=0)) > len(
+            generate_trace(slow, 1.0, seed=0)
+        )
+
+    def test_user_restriction(self, workload):
+        users = sorted(workload.users)[:5]
+        trace = generate_trace(workload, 2.0, seed=6, users=users)
+        assert {r.user for r in trace} <= set(users)
+
+
+class TestFixedCountTrace:
+    def test_exact_request_count(self, workload):
+        trace = fixed_count_trace(workload, 500, seed=0)
+        assert len(trace) == 500
+
+    def test_mix_tracks_read_write_ratio(self, workload):
+        trace = fixed_count_trace(workload, 4000, seed=1)
+        ratio = empirical_read_write_ratio(trace)
+        assert 3.5 <= ratio <= 6.5  # target 5 with sampling noise
+
+    def test_invalid_count(self, workload):
+        with pytest.raises(WorkloadError):
+            fixed_count_trace(workload, 0)
+
+    def test_time_sorted_with_sequential_event_ids(self, workload):
+        trace = fixed_count_trace(workload, 300, seed=2)
+        assert [r.time for r in trace] == sorted(r.time for r in trace)
+        ids = [r.event_id for r in trace if r.kind is RequestKind.SHARE]
+        assert ids == list(range(len(ids)))
+
+    def test_zero_rate_workload_rejected(self):
+        g = social_copying_graph(10, seed=0)
+        w = uniform_workload(g, 0.0, 0.0)
+        with pytest.raises(WorkloadError):
+            fixed_count_trace(w, 10)
+
+
+class TestHelpers:
+    def test_split_counts(self, workload):
+        trace = fixed_count_trace(workload, 200, seed=3)
+        shares, queries = split_counts(trace)
+        assert shares + queries == 200
+
+    def test_iter_windows_partitions(self, workload):
+        trace = generate_trace(workload, 2.0, seed=4)
+        windows = list(iter_windows(trace, 0.5))
+        assert sum(len(w) for w in windows) == len(trace)
+        for index, window in enumerate(windows):
+            for request in window:
+                assert index * 0.5 <= request.time < (index + 1) * 0.5
+
+    def test_iter_windows_invalid(self, workload):
+        with pytest.raises(WorkloadError):
+            list(iter_windows([], 0))
+
+    def test_empirical_ratio_infinite_without_shares(self):
+        assert empirical_read_write_ratio([]) == float("inf")

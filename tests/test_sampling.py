@@ -1,0 +1,97 @@
+"""Unit tests for graph sampling (section 4.4 methodology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.graph.sampling import (
+    breadth_first_sample,
+    random_walk_sample,
+    sample_graph,
+)
+
+
+@pytest.fixture
+def base() -> SocialGraph:
+    return social_copying_graph(400, out_degree=6, copy_fraction=0.6, seed=7)
+
+
+class TestRandomWalk:
+    def test_reaches_edge_budget(self, base):
+        sample = random_walk_sample(base, target_edges=300, seed=0)
+        assert sample.num_edges >= 300
+
+    def test_is_subgraph(self, base):
+        sample = random_walk_sample(base, target_edges=200, seed=1)
+        for u, v in sample.edges():
+            assert base.has_edge(u, v)
+
+    def test_deterministic(self, base):
+        a = random_walk_sample(base, 150, seed=3)
+        b = random_walk_sample(base, 150, seed=3)
+        assert a == b
+
+    def test_budget_larger_than_graph_returns_everything_reachable(self, base):
+        sample = random_walk_sample(base, target_edges=10 * base.num_edges, seed=0)
+        assert sample.num_edges <= base.num_edges
+        assert sample.num_nodes == base.num_nodes
+
+    def test_invalid_budget(self, base):
+        with pytest.raises(GraphError):
+            random_walk_sample(base, 0)
+
+    def test_empty_graph(self):
+        assert random_walk_sample(SocialGraph(), 10).num_nodes == 0
+
+
+class TestBreadthFirst:
+    def test_reaches_edge_budget(self, base):
+        sample = breadth_first_sample(base, target_edges=300, seed=0)
+        assert sample.num_edges >= 300
+
+    def test_is_subgraph(self, base):
+        sample = breadth_first_sample(base, target_edges=200, seed=2)
+        for u, v in sample.edges():
+            assert base.has_edge(u, v)
+
+    def test_deterministic(self, base):
+        a = breadth_first_sample(base, 150, seed=4)
+        b = breadth_first_sample(base, 150, seed=4)
+        assert a == b
+
+    def test_handles_disconnected_graph(self):
+        g = SocialGraph([(0, 1), (1, 0), (10, 11), (11, 10)])
+        sample = breadth_first_sample(g, target_edges=4, seed=0)
+        assert sample.num_edges == 4
+
+    def test_invalid_budget(self, base):
+        with pytest.raises(GraphError):
+            breadth_first_sample(base, -5)
+
+
+class TestDispatch:
+    def test_by_name(self, base):
+        assert sample_graph(base, "bfs", 100, seed=0).num_edges >= 100
+        assert sample_graph(base, "random_walk", 100, seed=0).num_edges >= 100
+
+    def test_unknown_method(self, base):
+        with pytest.raises(GraphError, match="unknown sampling method"):
+            sample_graph(base, "teleport", 100)
+
+
+class TestSamplerBias:
+    def test_bfs_preserves_hub_degree_better(self, base):
+        """The paper's explanation of Figure 9a vs 9b: BFS keeps early-node
+        neighborhoods intact, so the max degree in BFS samples should not be
+        below the max degree in random-walk samples (on average)."""
+        target = 400
+        bfs_max = rw_max = 0
+        for seed in range(3):
+            bfs = breadth_first_sample(base, target, seed=seed)
+            rw = random_walk_sample(base, target, seed=seed)
+            bfs_max += max(bfs.out_degree(n) for n in bfs.nodes())
+            rw_max += max(rw.out_degree(n) for n in rw.nodes())
+        assert bfs_max >= rw_max * 0.8  # allow sampling noise, not inversion

