@@ -17,7 +17,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.schedule import RequestSchedule
-from repro.graph.digraph import SocialGraph
+from repro.graph.view import GraphView
 from repro.store.partition import HashPartitioner
 from repro.workload.rates import Workload
 
@@ -45,7 +45,7 @@ class LoadBalanceResult:
 
 
 def per_server_query_load(
-    graph: SocialGraph,
+    graph: GraphView,
     schedule: RequestSchedule,
     workload: Workload,
     num_servers: int,
@@ -69,7 +69,7 @@ def per_server_query_load(
 
 
 def load_balance(
-    graph: SocialGraph,
+    graph: GraphView,
     schedule: RequestSchedule,
     workload: Workload,
     num_servers: int,

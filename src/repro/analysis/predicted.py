@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.core.cost import schedule_cost
 from repro.core.schedule import RequestSchedule
-from repro.graph.digraph import SocialGraph
+from repro.graph.view import GraphView
 from repro.store.partition import HashPartitioner
 from repro.workload.rates import Workload
 
@@ -44,7 +44,7 @@ class PartitionedCost:
 
 
 def partitioned_cost(
-    graph: SocialGraph,
+    graph: GraphView,
     schedule: RequestSchedule,
     workload: Workload,
     num_servers: int,
@@ -67,7 +67,7 @@ def partitioned_cost(
 
 
 def normalized_predicted_throughput(
-    graph: SocialGraph,
+    graph: GraphView,
     schedule: RequestSchedule,
     workload: Workload,
     num_servers: int,
@@ -87,7 +87,7 @@ def normalized_predicted_throughput(
 
 
 def predicted_improvement_vs_servers(
-    graph: SocialGraph,
+    graph: GraphView,
     schedule: RequestSchedule,
     baseline: RequestSchedule,
     workload: Workload,

@@ -1,4 +1,19 @@
-"""Core contribution: schedules, cost model, CHITCHAT, PARALLELNOSY."""
+"""Core contribution: schedules, cost model, CHITCHAT, PARALLELNOSY.
+
+Every algorithm here reads the social graph through the
+:class:`~repro.graph.view.GraphView` protocol, so both adjacency backends
+work interchangeably: the mutable dict-of-sets
+:class:`~repro.graph.digraph.SocialGraph` and the frozen numpy
+:class:`~repro.graph.csr.CSRGraph` snapshot.  Scheduler entry points take a
+``backend=`` parameter: ``"auto"`` (default) freezes dense-id graphs with
+at least :data:`~repro.graph.view.CSR_FASTPATH_THRESHOLD` nodes to CSR
+before running — on that path hub-graph construction, singleton pricing,
+hybrid decisions, and the densest-subgraph oracle's element filtering all
+run as vectorized kernels over flat edge arrays, while ``"dict"``/``"csr"``
+force a backend.  Both backends are property-tested to produce identical
+schedules and costs (``tests/test_graphview.py``), so the fast path is a
+pure performance choice.
+"""
 
 from repro.core.active import (
     ActiveSchedule,

@@ -11,30 +11,36 @@ These are the schedules commercial systems used before social piggybacking
 * **hybrid (FF)** — per edge, the cheaper of push and pull:
   ``c*(u→v) = min(rp(u), rc(v))``.  This is the state of the art the paper
   compares against and the baseline of every figure.
+
+All three accept any :class:`~repro.graph.view.GraphView`.  On the CSR
+backend the hybrid decision ``rp(u) <= rc(v)`` is evaluated for every edge
+in one vectorized pass over the edge arrays.
 """
 
 from __future__ import annotations
 
 from repro.core.schedule import RequestSchedule
-from repro.graph.digraph import SocialGraph
+from repro.errors import WorkloadError
+from repro.graph.csr import CSRGraph
+from repro.graph.view import GraphView, edge_list
 from repro.workload.rates import Workload
 
 
-def push_all_schedule(graph: SocialGraph) -> RequestSchedule:
+def push_all_schedule(graph: GraphView) -> RequestSchedule:
     """Every edge served by push (section 1's push-all)."""
     schedule = RequestSchedule()
-    schedule.push.update(graph.edges())
+    schedule.push.update(edge_list(graph))
     return schedule
 
 
-def pull_all_schedule(graph: SocialGraph) -> RequestSchedule:
+def pull_all_schedule(graph: GraphView) -> RequestSchedule:
     """Every edge served by pull (section 1's pull-all)."""
     schedule = RequestSchedule()
-    schedule.pull.update(graph.edges())
+    schedule.pull.update(edge_list(graph))
     return schedule
 
 
-def hybrid_schedule(graph: SocialGraph, workload: Workload) -> RequestSchedule:
+def hybrid_schedule(graph: GraphView, workload: Workload) -> RequestSchedule:
     """The FEEDINGFRENZY hybrid: per edge, cheaper of push and pull.
 
     Ties break toward push, matching the paper's convention that production
@@ -42,6 +48,22 @@ def hybrid_schedule(graph: SocialGraph, workload: Workload) -> RequestSchedule:
     keeping the choice deterministic.
     """
     schedule = RequestSchedule()
+    if isinstance(graph, CSRGraph):
+        try:
+            rp, rc = workload.as_arrays(graph.num_nodes)
+        except WorkloadError:
+            rp = rc = None
+        if rp is not None:
+            src, dst = graph.edge_arrays()
+            pushed = rp[src] <= rc[dst]
+            schedule.push.update(
+                zip(src[pushed].tolist(), dst[pushed].tolist())
+            )
+            pulled = ~pushed
+            schedule.pull.update(
+                zip(src[pulled].tolist(), dst[pulled].tolist())
+            )
+            return schedule
     for u, v in graph.edges():
         if workload.rp(u) <= workload.rc(v):
             schedule.push.add((u, v))

@@ -32,10 +32,12 @@ from dataclasses import dataclass, field
 
 from repro.core.baselines import hybrid_schedule
 from repro.core.cost import hybrid_edge_cost, schedule_cost
-from repro.core.densest import DensestResult, densest_subgraph
+from repro.core.densest import DensestResult, ScheduleMirror, densest_subgraph
 from repro.core.hubgraph import HubGraph, build_hub_graph
 from repro.core.schedule import RequestSchedule
-from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import Edge, Node
+from repro.graph.view import GraphView, NeighborSetCache, as_graph_view, edge_list
 from repro.workload.rates import Workload
 
 
@@ -57,7 +59,8 @@ class BatchedChitchat:
     Parameters
     ----------
     graph, workload:
-        The DISSEMINATION instance.
+        The DISSEMINATION instance; ``graph`` may be either adjacency
+        backend (``backend="auto"`` freezes large dense-id graphs to CSR).
     max_cross_edges:
         Per-hub cross-edge bound forwarded to hub-graph construction.
     acceptance_slack:
@@ -69,23 +72,32 @@ class BatchedChitchat:
 
     def __init__(
         self,
-        graph: SocialGraph,
+        graph: GraphView,
         workload: Workload,
         max_cross_edges: int | None = None,
         acceptance_slack: float = 2.0,
+        backend: str = "auto",
     ) -> None:
         if acceptance_slack < 1.0:
             raise ValueError("acceptance_slack must be >= 1.0")
-        self.graph = graph
+        self.graph = as_graph_view(graph, backend)
         self.workload = workload
         self.max_cross_edges = max_cross_edges
         self.acceptance_slack = acceptance_slack
         self.schedule = RequestSchedule()
         self.stats = BatchedStats()
-        self._uncovered: set[Edge] = set(graph.edges())
+        edges = edge_list(self.graph)
+        self._uncovered: set[Edge] = set(edges)
+        # dense edge-id mirrors of the scheduler state (CSR mode)
+        self._mirror: ScheduleMirror | None = (
+            ScheduleMirror(self.graph, workload, edges)
+            if isinstance(self.graph, CSRGraph)
+            else None
+        )
+        self._adjacency = NeighborSetCache(self.graph)
         self._hub_cache: dict[Node, HubGraph] = {}
         self._champion_cache: dict[Node, DensestResult | None] = {}
-        self._dirty: set[Node] = set(graph.nodes())
+        self._dirty: set[Node] = set(self.graph.nodes())
 
     # ------------------------------------------------------------------
     def _champions(self) -> list[DensestResult]:
@@ -106,8 +118,14 @@ class BatchedChitchat:
                 hub_graph = build_hub_graph(self.graph, hub, self.max_cross_edges)
                 self._hub_cache[hub] = hub_graph
             self.stats.oracle_calls += 1
+            mirror = self._mirror
             result = densest_subgraph(
-                hub_graph, self.workload, self.schedule, self._uncovered
+                hub_graph,
+                self.workload,
+                self.schedule,
+                self._uncovered,
+                uncovered_mask=mirror.uncovered_mask if mirror else None,
+                arrays=mirror.arrays if mirror else None,
             )
             self._champion_cache[hub] = (
                 result if result is not None and result.covered else None
@@ -122,26 +140,33 @@ class BatchedChitchat:
         for a, b in covered_edges:
             self._dirty.add(a)
             self._dirty.add(b)
-            succ_a = self.graph.successors_view(a)
-            pred_b = self.graph.predecessors_view(b)
-            if len(succ_a) <= len(pred_b):
-                self._dirty.update(w for w in succ_a if w in pred_b)
-            else:
-                self._dirty.update(w for w in pred_b if w in succ_a)
+            self._dirty.update(self._adjacency.wedge(a, b))
+
+    def _add_push(self, edge: Edge) -> None:
+        self.schedule.add_push(edge)
+        if self._mirror is not None:
+            self._mirror.add_push(edge)
+
+    def _add_pull(self, edge: Edge) -> None:
+        self.schedule.add_pull(edge)
+        if self._mirror is not None:
+            self._mirror.add_pull(edge)
 
     def _apply(self, result: DensestResult) -> int:
         """Apply an accepted champion; returns newly covered edge count."""
         hub = result.hub
         newly = result.covered & self._uncovered
         for x in result.x_selected:
-            self.schedule.add_push((x, hub))
+            self._add_push((x, hub))
         for y in result.y_selected:
-            self.schedule.add_pull((hub, y))
+            self._add_pull((hub, y))
         for edge in result.covered:
             u, v = edge
             if u != hub and v != hub:
                 self.schedule.cover_via_hub(edge, hub)
         self._uncovered -= result.covered
+        if self._mirror is not None:
+            self._mirror.cover(result.covered, result.covered_ids)
         return len(newly)
 
     def _beats_singletons(self, result: DensestResult) -> bool:
@@ -208,41 +233,49 @@ class BatchedChitchat:
         for edge in sorted(self._uncovered, key=repr):
             u, v = edge
             if self.workload.rp(u) <= self.workload.rc(v):
-                self.schedule.add_push(edge)
+                self._add_push(edge)
             else:
-                self.schedule.add_pull(edge)
+                self._add_pull(edge)
             self.stats.singleton_fallbacks += 1
         self._uncovered.clear()
+        if self._mirror is not None:
+            self._mirror.cover_all()
         return self.schedule
 
 
 def batched_chitchat_schedule(
-    graph: SocialGraph,
+    graph: GraphView,
     workload: Workload,
     max_cross_edges: int | None = None,
     acceptance_slack: float = 2.0,
     max_rounds: int = 50,
+    backend: str = "auto",
 ) -> RequestSchedule:
     """One-shot BATCHEDCHITCHAT run returning a feasible schedule."""
-    runner = BatchedChitchat(graph, workload, max_cross_edges, acceptance_slack)
+    runner = BatchedChitchat(
+        graph, workload, max_cross_edges, acceptance_slack, backend=backend
+    )
     return runner.run(max_rounds)
 
 
 def batched_chitchat_with_stats(
-    graph: SocialGraph,
+    graph: GraphView,
     workload: Workload,
     max_cross_edges: int | None = None,
     acceptance_slack: float = 2.0,
     max_rounds: int = 50,
+    backend: str = "auto",
 ) -> tuple[RequestSchedule, BatchedStats]:
     """Like :func:`batched_chitchat_schedule`, returning diagnostics too."""
-    runner = BatchedChitchat(graph, workload, max_cross_edges, acceptance_slack)
+    runner = BatchedChitchat(
+        graph, workload, max_cross_edges, acceptance_slack, backend=backend
+    )
     schedule = runner.run(max_rounds)
     return schedule, runner.stats
 
 
 def quality_gap_vs_hybrid(
-    graph: SocialGraph, workload: Workload, schedule: RequestSchedule
+    graph: GraphView, workload: Workload, schedule: RequestSchedule
 ) -> float:
     """Improvement ratio over the hybrid baseline (reporting helper)."""
     base = schedule_cost(hybrid_schedule(graph, workload), workload)

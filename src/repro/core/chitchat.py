@@ -13,20 +13,32 @@ sub-hub-graph of ``G(w)``; a priority queue keeps the per-hub champions and
 the champions of hubs touched by a selection are recomputed (lines 14–18).
 
 Combined guarantee (Theorem 4): ``O(2 ln n) = O(ln n)``.
+
+The scheduler runs on any :class:`~repro.graph.view.GraphView`.  With
+``backend="auto"`` (the default) large dense-id graphs are frozen into a
+:class:`~repro.graph.csr.CSRGraph` first; on that backend the singleton
+prices are computed in one vectorized pass over the edge arrays, the
+uncovered set is mirrored in a dense edge-id bitmask that the oracle uses
+to filter hub-graph elements without Python set lookups, and hub
+invalidation intersects sorted CSR slices.  Both backends produce identical
+schedules (property-tested).
 """
 
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.baselines import hybrid_schedule
 from repro.core.cost import hybrid_edge_cost, schedule_cost
-from repro.core.densest import DensestResult, densest_subgraph
+from repro.core.densest import DensestResult, ScheduleMirror, densest_subgraph
 from repro.core.hubgraph import HubGraph, build_hub_graph
 from repro.core.schedule import RequestSchedule
-from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import Edge, Node
+from repro.graph.view import GraphView, NeighborSetCache, as_graph_view, edge_list
 from repro.workload.rates import Workload
 
 
@@ -48,7 +60,8 @@ class ChitchatScheduler:
     Parameters
     ----------
     graph, workload:
-        The DISSEMINATION instance.
+        The DISSEMINATION instance.  ``graph`` may be either adjacency
+        backend.
     max_cross_edges:
         Optional per-hub cross-edge bound (the MapReduce ``b`` of section
         3.2), trading optimization opportunities for memory/time on dense
@@ -56,28 +69,49 @@ class ChitchatScheduler:
     record_log:
         When True, every greedy selection is appended to
         ``stats.selection_log`` as ``(kind, cost_per_element, covered)``.
+    backend:
+        ``"auto"`` (default) applies the CSR fast path above
+        :data:`~repro.graph.view.CSR_FASTPATH_THRESHOLD` nodes; ``"csr"``
+        and ``"dict"`` force a backend.
     """
 
     def __init__(
         self,
-        graph: SocialGraph,
+        graph: GraphView,
         workload: Workload,
         max_cross_edges: int | None = None,
         record_log: bool = False,
+        backend: str = "auto",
     ) -> None:
-        self.graph = graph
+        self.graph = as_graph_view(graph, backend)
         self.workload = workload
         self.max_cross_edges = max_cross_edges
         self.stats = ChitchatStats()
         self._record_log = record_log
         self.schedule = RequestSchedule()
-        self._uncovered: set[Edge] = set(graph.edges())
+        edges = edge_list(self.graph)
+        self._uncovered: set[Edge] = set(edges)
+        # dense edge-id mirrors of the scheduler state (CSR mode): the
+        # oracle filters hub-graph elements and prices legs with vectorized
+        # lookups instead of Python set membership
+        self._mirror: ScheduleMirror | None = None
+        singleton_costs: list[float] | None = None
+        if isinstance(self.graph, CSRGraph):
+            self._mirror = ScheduleMirror(self.graph, workload, edges)
+            if self._mirror.arrays is not None:
+                src, dst = self.graph.edge_arrays()
+                singleton_costs = np.minimum(
+                    self._mirror.arrays.rp[src], self._mirror.arrays.rc[dst]
+                ).tolist()
+        if singleton_costs is None:  # non-dense rates: price per edge
+            singleton_costs = [hybrid_edge_cost(e, workload) for e in edges]
+        self._adjacency = NeighborSetCache(self.graph)
         self._hub_version: dict[Node, int] = {}
         self._hub_cache: dict[Node, HubGraph] = {}
         # heap of (cost_per_element, tiebreak, hub, version, result)
         self._hub_heap: list[tuple[float, str, Node, int, DensestResult]] = []
         self._singleton_heap: list[tuple[float, str, Edge]] = [
-            (hybrid_edge_cost(e, workload), repr(e), e) for e in self._uncovered
+            (cost, repr(e), e) for cost, e in zip(singleton_costs, edges)
         ]
         heapq.heapify(self._singleton_heap)
 
@@ -116,7 +150,15 @@ class ChitchatScheduler:
             hub_graph = build_hub_graph(self.graph, hub, self.max_cross_edges)
             self._hub_cache[hub] = hub_graph
         self.stats.oracle_calls += 1
-        result = densest_subgraph(hub_graph, self.workload, self.schedule, self._uncovered)
+        mirror = self._mirror
+        result = densest_subgraph(
+            hub_graph,
+            self.workload,
+            self.schedule,
+            self._uncovered,
+            uncovered_mask=mirror.uncovered_mask if mirror else None,
+            arrays=mirror.arrays if mirror else None,
+        )
         if result is None or not result.covered:
             return
         heapq.heappush(
@@ -145,6 +187,22 @@ class ChitchatScheduler:
     # ------------------------------------------------------------------
     # Selection application
     # ------------------------------------------------------------------
+    def _cover(self, edges, edge_ids: np.ndarray | None) -> None:
+        """Drop ``edges`` from the uncovered set (and its bitmask mirror)."""
+        self._uncovered.difference_update(edges)
+        if self._mirror is not None:
+            self._mirror.cover(edges, edge_ids)
+
+    def _add_push(self, edge: Edge) -> None:
+        self.schedule.add_push(edge)
+        if self._mirror is not None:
+            self._mirror.add_push(edge)
+
+    def _add_pull(self, edge: Edge) -> None:
+        self.schedule.add_pull(edge)
+        if self._mirror is not None:
+            self._mirror.add_pull(edge)
+
     def _apply_hub(self, result: DensestResult) -> None:
         hub = result.hub
         newly = result.covered & self._uncovered
@@ -152,14 +210,14 @@ class ChitchatScheduler:
             self._refresh_hub(hub)
             return
         for x in result.x_selected:
-            self.schedule.add_push((x, hub))
+            self._add_push((x, hub))
         for y in result.y_selected:
-            self.schedule.add_pull((hub, y))
+            self._add_pull((hub, y))
         for edge in result.covered:
             u, v = edge
             if u != hub and v != hub:  # cross-edge: piggybacked through hub
                 self.schedule.cover_via_hub(edge, hub)
-        self._uncovered -= result.covered
+        self._cover(result.covered, result.covered_ids)
         self.stats.hub_selections += 1
         self.stats.edges_covered_by_hubs += len(newly)
         if self._record_log:
@@ -171,10 +229,10 @@ class ChitchatScheduler:
     def _apply_singleton(self, edge: Edge) -> None:
         u, v = edge
         if self.workload.rp(u) <= self.workload.rc(v):
-            self.schedule.add_push(edge)
+            self._add_push(edge)
         else:
-            self.schedule.add_pull(edge)
-        self._uncovered.discard(edge)
+            self._add_pull(edge)
+        self._cover((edge,), None)
         self.stats.singleton_selections += 1
         if self._record_log:
             self.stats.selection_log.append(
@@ -193,37 +251,36 @@ class ChitchatScheduler:
         for a, b in covered_edges:
             affected.add(a)
             affected.add(b)
-            succ_a = self.graph.successors_view(a)
-            pred_b = self.graph.predecessors_view(b)
-            if len(succ_a) <= len(pred_b):
-                affected.update(w for w in succ_a if w in pred_b)
-            else:
-                affected.update(w for w in pred_b if w in succ_a)
+            affected.update(self._adjacency.wedge(a, b))
         for hub in affected:
             self._refresh_hub(hub)
 
 
 def chitchat_schedule(
-    graph: SocialGraph,
+    graph: GraphView,
     workload: Workload,
     max_cross_edges: int | None = None,
+    backend: str = "auto",
 ) -> RequestSchedule:
     """Run CHITCHAT on a DISSEMINATION instance and return the schedule."""
-    return ChitchatScheduler(graph, workload, max_cross_edges).run()
+    return ChitchatScheduler(graph, workload, max_cross_edges, backend=backend).run()
 
 
 def chitchat_with_stats(
-    graph: SocialGraph,
+    graph: GraphView,
     workload: Workload,
     max_cross_edges: int | None = None,
+    backend: str = "auto",
 ) -> tuple[RequestSchedule, ChitchatStats]:
     """Like :func:`chitchat_schedule` but also returns run diagnostics."""
-    scheduler = ChitchatScheduler(graph, workload, max_cross_edges, record_log=True)
+    scheduler = ChitchatScheduler(
+        graph, workload, max_cross_edges, record_log=True, backend=backend
+    )
     schedule = scheduler.run()
     return schedule, scheduler.stats
 
 
-def greedy_upper_bound(graph: SocialGraph, workload: Workload) -> float:
+def greedy_upper_bound(graph: GraphView, workload: Workload) -> float:
     """Cost of the hybrid schedule — CHITCHAT can never do worse.
 
     CHITCHAT's candidate pool contains every hybrid singleton, so its greedy

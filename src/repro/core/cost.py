@@ -18,10 +18,61 @@ and querying it is implicit in every schedule, so it cancels in comparisons).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.schedule import RequestSchedule
-from repro.errors import ScheduleError
+from repro.errors import ScheduleError, WorkloadError
 from repro.graph.digraph import Edge
 from repro.workload.rates import Workload
+
+#: Edge-set size above which cost aggregation switches to the vectorized
+#: path (dense rate vectors fancy-indexed by endpoint arrays).  Below it the
+#: plain Python loop wins on constant factors.
+_BATCH_COST_THRESHOLD = 2048
+
+
+def _batch_edge_cost(
+    edges: "set[Edge] | frozenset[Edge]",
+    rates: np.ndarray,
+    endpoint: int,
+) -> float:
+    """Sum ``rates[edge[endpoint]]`` over ``edges`` via one numpy gather.
+
+    Raises ``IndexError`` for ids outside ``0..n-1`` (numpy would wrap
+    negatives silently); the caller falls back to the scalar loop, which
+    reports the offending user via :class:`WorkloadError`.
+    """
+    if not edges:
+        return 0.0
+    idx = np.fromiter(
+        (edge[endpoint] for edge in edges), dtype=np.int64, count=len(edges)
+    )
+    if int(idx.min()) < 0 or int(idx.max()) >= rates.shape[0]:
+        raise IndexError("edge endpoint outside the workload's dense id range")
+    return float(rates[idx].sum())
+
+
+def _push_pull_costs(
+    schedule: RequestSchedule, workload: Workload
+) -> tuple[float, float]:
+    """Batch push/pull cost accounting with a scalar fallback.
+
+    Large schedules over dense-id workloads aggregate through
+    :meth:`Workload.as_arrays`; anything else (small schedules, non-integer
+    user ids) takes the per-edge loop.
+    """
+    if len(schedule.push) + len(schedule.pull) >= _BATCH_COST_THRESHOLD:
+        try:
+            rp, rc = workload.as_arrays()
+            return (
+                _batch_edge_cost(schedule.push, rp, 0),
+                _batch_edge_cost(schedule.pull, rc, 1),
+            )
+        except (WorkloadError, TypeError, IndexError):
+            pass  # non-dense ids: price edge by edge below
+    push_cost = sum(workload.rp(u) for (u, _v) in schedule.push)
+    pull_cost = sum(workload.rc(v) for (_u, v) in schedule.pull)
+    return push_cost, pull_cost
 
 
 def push_edge_cost(edge: Edge, workload: Workload) -> float:
@@ -51,13 +102,12 @@ def schedule_cost(schedule: RequestSchedule, workload: Workload) -> float:
     An edge present in both ``H`` and ``L`` pays both costs — this happens
     when piggybacking needs a push on an edge that an earlier decision
     already serves by pull (PARALLELNOSY's ``cX`` case analysis, section 3.2).
+
+    Large schedules on dense-integer workloads aggregate through the
+    vectorized batch path (see :meth:`Workload.as_arrays`).
     """
-    cost = 0.0
-    for edge in schedule.push:
-        cost += workload.rp(edge[0])
-    for edge in schedule.pull:
-        cost += workload.rc(edge[1])
-    return cost
+    push_cost, pull_cost = _push_pull_costs(schedule, workload)
+    return push_cost + pull_cost
 
 
 def predicted_throughput(schedule: RequestSchedule, workload: Workload) -> float:
@@ -83,8 +133,7 @@ def improvement_ratio(
 
 def cost_breakdown(schedule: RequestSchedule, workload: Workload) -> dict[str, float]:
     """Split the total cost into its push and pull components."""
-    push_cost = sum(workload.rp(u) for (u, _v) in schedule.push)
-    pull_cost = sum(workload.rc(v) for (_u, v) in schedule.pull)
+    push_cost, pull_cost = _push_pull_costs(schedule, workload)
     return {
         "push_cost": push_cost,
         "pull_cost": pull_cost,

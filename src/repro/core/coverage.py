@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.core.schedule import RequestSchedule
 from repro.errors import InfeasibleScheduleError, ScheduleError
-from repro.graph.digraph import Edge, SocialGraph
+from repro.graph.digraph import Edge
+from repro.graph.view import GraphView, edge_list
 
 
 @dataclass(frozen=True)
@@ -34,8 +35,11 @@ class CoverageReport:
         return not self.uncovered and not self.broken_hubs
 
 
-def check_coverage(graph: SocialGraph, schedule: RequestSchedule) -> CoverageReport:
+def check_coverage(graph: GraphView, schedule: RequestSchedule) -> CoverageReport:
     """Classify how each edge of ``graph`` is served by ``schedule``.
+
+    Works on either adjacency backend; the edge scan is batched through
+    :func:`~repro.graph.view.edge_list` (one C pass on CSR snapshots).
 
     An edge recorded in ``hub_cover`` whose push or pull leg is missing is
     reported in ``broken_hubs`` (and counts as uncovered unless it is also
@@ -44,7 +48,7 @@ def check_coverage(graph: SocialGraph, schedule: RequestSchedule) -> CoverageRep
     push_served = pull_served = hub_served = 0
     uncovered: list[Edge] = []
     broken: list[Edge] = []
-    for edge in graph.edges():
+    for edge in edge_list(graph):
         if edge in schedule.push:
             push_served += 1
         elif edge in schedule.pull:
@@ -68,7 +72,7 @@ def check_coverage(graph: SocialGraph, schedule: RequestSchedule) -> CoverageRep
 
 
 def validate_schedule(
-    graph: SocialGraph,
+    graph: GraphView,
     schedule: RequestSchedule,
     strict: bool = True,
 ) -> CoverageReport:

@@ -20,6 +20,22 @@ Hypergraph note: a leg element touches a single weighted vertex (the hub
 itself has weight zero and is structurally always present), while a
 cross-edge touches one X-vertex and one Y-vertex.  The peeling treats both
 uniformly: an element stays alive while all its weighted endpoints are alive.
+
+Implementation notes
+--------------------
+The peeling state (degrees, weights, liveness, incidence) is kept in flat
+index-addressed arrays rather than per-vertex dicts, and the peel only
+admits vertices incident to at least one *uncovered* element — vertices
+whose elements are all covered either peel off first at ratio 0 (positive
+weight) or are dropped from the result as useless (zero weight), so
+excluding them up front is output-equivalent and keeps late-run oracle
+calls proportional to the remaining uncovered elements, not the hub size.
+
+When the hub-graph was built on the CSR backend it carries the global edge
+id of every element (:attr:`HubGraph.element_ids`); callers that maintain a
+dense uncovered bitmask (the CHITCHAT CSR fast path) can pass it as
+``uncovered_mask`` and the element filtering becomes one vectorized numpy
+lookup instead of per-element set membership.
 """
 
 from __future__ import annotations
@@ -28,8 +44,11 @@ import heapq
 import math
 from dataclasses import dataclass
 
-from repro.core.hubgraph import X_SIDE, Y_SIDE, HubGraph, HubVertex
+import numpy as np
+
+from repro.core.hubgraph import X_SIDE, HubGraph, HubVertex
 from repro.core.schedule import RequestSchedule
+from repro.errors import WorkloadError
 from repro.graph.digraph import Edge, Node
 from repro.workload.rates import Workload
 
@@ -40,6 +59,8 @@ class DensestResult:
 
     ``cost_per_element`` is ``g(S) / |covered|`` — the SET-COVER selection
     key (0.0 when the subgraph is free, ``inf`` when it covers nothing).
+    ``covered_ids`` holds the global CSR edge ids of ``covered`` (same
+    iteration order) when the hub-graph was CSR-built, else ``None``.
     """
 
     hub: Node
@@ -47,6 +68,7 @@ class DensestResult:
     y_selected: tuple[Node, ...]
     covered: frozenset[Edge]
     weight: float
+    covered_ids: np.ndarray | None = None
 
     @property
     def density(self) -> float:
@@ -65,87 +87,203 @@ class DensestResult:
         return self.weight / len(self.covered)
 
 
+@dataclass(frozen=True)
+class OracleArrays:
+    """Dense mirrors of the scheduler state for the vectorized oracle.
+
+    Maintained by the CSR-mode CHITCHAT schedulers alongside their
+    :class:`RequestSchedule`: ``rp``/``rc`` are the
+    :meth:`Workload.as_arrays` rate vectors, ``push_mask``/``pull_mask``
+    are bool vectors over global edge ids marking scheduled legs.  With
+    these (plus the hub-graph's :attr:`HubGraph.element_ids`) vertex
+    weights are computed in one ``np.where`` instead of per-vertex set
+    membership.
+    """
+
+    rp: np.ndarray
+    rc: np.ndarray
+    push_mask: np.ndarray
+    pull_mask: np.ndarray
+
+
+class ScheduleMirror:
+    """Keeps the dense oracle mirrors in lockstep with a scheduler's state.
+
+    CSR-mode schedulers (CHITCHAT, BATCHEDCHITCHAT) own one of these and
+    route every mutation through it: :meth:`add_push`/:meth:`add_pull`
+    after the corresponding :class:`RequestSchedule` update, and
+    :meth:`cover` whenever edges leave the uncovered set.  ``arrays`` is
+    ``None`` when the workload has no dense id space (the oracle then
+    prices legs in Python); the uncovered bitmask works regardless.
+    """
+
+    __slots__ = ("edge_ids", "uncovered_mask", "arrays")
+
+    def __init__(self, graph, workload: Workload, edges: list[Edge]) -> None:
+        self.edge_ids: dict[Edge, int] = {
+            edge: i for i, edge in enumerate(edges)
+        }
+        self.uncovered_mask = np.ones(len(edges), dtype=bool)
+        try:
+            rp, rc = workload.as_arrays(graph.num_nodes)
+        except WorkloadError:
+            self.arrays: OracleArrays | None = None
+        else:
+            self.arrays = OracleArrays(
+                rp=rp,
+                rc=rc,
+                push_mask=np.zeros(len(edges), dtype=bool),
+                pull_mask=np.zeros(len(edges), dtype=bool),
+            )
+
+    def add_push(self, edge: Edge) -> None:
+        if self.arrays is not None:
+            self.arrays.push_mask[self.edge_ids[edge]] = True
+
+    def add_pull(self, edge: Edge) -> None:
+        if self.arrays is not None:
+            self.arrays.pull_mask[self.edge_ids[edge]] = True
+
+    def cover(self, edges, edge_ids: np.ndarray | None = None) -> None:
+        """Clear uncovered bits for ``edges`` (by precomputed ids if given)."""
+        if edge_ids is not None:
+            self.uncovered_mask[edge_ids] = False
+        else:
+            for edge in edges:
+                self.uncovered_mask[self.edge_ids[edge]] = False
+
+    def cover_all(self) -> None:
+        self.uncovered_mask[:] = False
+
+
 def densest_subgraph(
     hub_graph: HubGraph,
     workload: Workload,
     schedule: RequestSchedule,
     uncovered: set[Edge],
+    uncovered_mask: np.ndarray | None = None,
+    arrays: OracleArrays | None = None,
 ) -> DensestResult | None:
     """Run the weighted peeling on ``hub_graph`` against ``uncovered``.
 
     Returns ``None`` when no sub-hub-graph covers any uncovered element.
     Deterministic: ties in the weighted degree break by vertex ordering.
+    ``uncovered_mask`` is an optional dense bool vector over global edge
+    ids (must agree with ``uncovered``) and ``arrays`` the matching
+    schedule mirrors; both are used only when the hub-graph carries
+    :attr:`HubGraph.element_ids`, turning element filtering, degree
+    counting, and weight computation into vectorized ops.
     """
     hub = hub_graph.hub
+    index = hub_graph.element_index()
+    peel = hub_graph.peel_index()
+    verts = peel.verts
+    endpoint_idx = peel.endpoint_idx
+    incident = peel.incident
+    num_verts = len(verts)
+    num_elems = len(index)
+    element_ids = hub_graph.element_ids
+    vectorized = element_ids is not None
 
-    # --- Build the element incidence restricted to uncovered elements.
-    vertices: list[HubVertex] = [(X_SIDE, x) for x in hub_graph.x_nodes]
-    vertices += [(Y_SIDE, y) for y in hub_graph.y_nodes]
-    incident: dict[HubVertex, list[int]] = {v: [] for v in vertices}
-
-    elements: list[tuple[Edge, tuple[HubVertex, ...]]] = []
-
-    def add_element(edge: Edge, endpoints: tuple[HubVertex, ...]) -> None:
-        if edge not in uncovered:
-            return
-        index = len(elements)
-        elements.append((edge, endpoints))
-        for vertex in endpoints:
-            incident[vertex].append(index)
-
-    for x in hub_graph.x_nodes:
-        add_element((x, hub), ((X_SIDE, x),))
-    for y in hub_graph.y_nodes:
-        add_element((hub, y), ((Y_SIDE, y),))
-    for x, y in hub_graph.cross_edges:
-        add_element((x, y), ((X_SIDE, x), (Y_SIDE, y)))
-
-    if not elements:
+    # --- Restrict to the still-uncovered elements.
+    if uncovered_mask is not None and vectorized:
+        alive_arr = uncovered_mask[element_ids]
+        alive_element = alive_arr.tolist()
+        alive_count = int(alive_arr.sum())
+    else:
+        alive_arr = None
+        alive_element = [edge in uncovered for edge, _ in index]
+        alive_count = sum(alive_element)
+    if alive_count == 0:
         return None
+    # the peel mutates alive_element; reconstruction needs the initial
+    # state (alive_arr already preserves it on the vectorized path)
+    initial_alive = alive_element.copy() if alive_arr is None else None
 
-    weight = {v: hub_graph.vertex_weight(v, workload, schedule) for v in vertices}
+    # --- Degrees over alive elements; only incident vertices join the peel
+    # (a positive-weight vertex with no alive element would peel off first
+    # at ratio 0, a free one would be dropped as useless — excluding them
+    # up front is output-equivalent and skips their bookkeeping).
+    if alive_arr is not None:
+        degree_arr = np.bincount(
+            peel.inc_vert[alive_arr[peel.inc_elem]], minlength=num_verts
+        )
+        degree = degree_arr.tolist()
+        active = np.nonzero(degree_arr)[0].tolist()
+    else:
+        degree = [0] * num_verts
+        for ei, alive in enumerate(alive_element):
+            if alive:
+                for i in endpoint_idx[ei]:
+                    degree[i] += 1
+        active = [i for i in range(num_verts) if degree[i] > 0]
 
-    # --- Peeling state.
-    alive_vertex = {v: True for v in vertices}
-    alive_element = [True] * len(elements)
-    degree = {v: len(incident[v]) for v in vertices}
-    total_weight = sum(weight.values())
-    alive_count = len(elements)
+    # --- Vertex weights (vectorized when the leg masks are available;
+    # leg element i touches exactly vertex i, so element_ids[:num_verts]
+    # are the leg edge ids in vertex order).
+    if arrays is not None and vectorized:
+        num_x = len(hub_graph.x_nodes)
+        weight_x = np.where(
+            arrays.push_mask[element_ids[:num_x]], 0.0, arrays.rp[peel.x_arr]
+        )
+        weight_y = np.where(
+            arrays.pull_mask[element_ids[num_x:num_verts]],
+            0.0,
+            arrays.rc[peel.y_arr],
+        )
+        weight = np.concatenate((weight_x, weight_y)).tolist()
+    else:
+        weight = [
+            hub_graph.vertex_weight(verts[i], workload, schedule)
+            if degree[i] > 0
+            else 0.0
+            for i in range(num_verts)
+        ]
 
-    def ratio(v: HubVertex) -> float:
-        if weight[v] <= 0.0:
+    # --- Peeling state (index-addressed).
+    alive_vertex = [False] * num_verts
+    total_weight = 0.0
+    for i in active:
+        alive_vertex[i] = True
+        total_weight += weight[i]
+
+    def ratio(i: int) -> float:
+        if weight[i] <= 0.0:
             return math.inf  # free vertices are never peeled
-        return degree[v] / weight[v]
+        return degree[i] / weight[i]
 
-    heap: list[tuple[float, HubVertex]] = [(ratio(v), v) for v in vertices]
+    # Heap keys are (ratio, vertex); the trailing index is payload only —
+    # it can never influence ordering since equal (ratio, vertex) implies
+    # the same vertex, hence the same index.
+    heap: list[tuple[float, HubVertex, int]] = [
+        (ratio(i), verts[i], i) for i in active
+    ]
     heapq.heapify(heap)
 
     # Track the best intermediate subgraph.  `removal_order` reconstructs it.
-    # The initial (full) subgraph is the first candidate; `elements` is
-    # non-empty here, so alive_count > 0.
     best_cost = 0.0 if total_weight <= 0.0 else total_weight / alive_count
     best_covered = alive_count
     best_removed = 0  # prefix length of removal_order giving the best set
-    removal_order: list[HubVertex] = []
+    removal_order: list[int] = []
 
     while heap:
-        r, v = heapq.heappop(heap)
-        if not alive_vertex[v] or r != ratio(v):
+        r, v, i = heapq.heappop(heap)
+        if not alive_vertex[i] or r != ratio(i):
             continue  # stale heap entry
         if math.isinf(r):
             break  # only free vertices remain; peeling them never helps
-        alive_vertex[v] = False
-        removal_order.append(v)
-        total_weight -= weight[v]
-        for ei in incident[v]:
+        alive_vertex[i] = False
+        removal_order.append(i)
+        total_weight -= weight[i]
+        for ei in incident[i]:
             if not alive_element[ei]:
                 continue
             alive_element[ei] = False
             alive_count -= 1
-            for other in elements[ei][1]:
-                if other != v and alive_vertex[other]:
-                    degree[other] -= 1
-                    heapq.heappush(heap, (ratio(other), other))
+            for j in endpoint_idx[ei]:
+                if j != i and alive_vertex[j]:
+                    degree[j] -= 1
+                    heapq.heappush(heap, (ratio(j), verts[j], j))
         if alive_count > 0:
             cost = 0.0 if total_weight <= 0.0 else total_weight / alive_count
             if cost < best_cost or (
@@ -158,33 +296,50 @@ def densest_subgraph(
     if best_covered <= 0 or math.isinf(best_cost):
         return None
 
-    # --- Reconstruct the best subgraph: everything not in the removed prefix.
-    removed = set(removal_order[:best_removed])
-    selected = [v for v in vertices if v not in removed]
-    selected_set = set(selected)
-    covered: set[Edge] = set()
-    for edge, endpoints in elements:
-        if all(p in selected_set for p in endpoints):
-            covered.add(edge)
-    # Drop selected vertices that contribute nothing: positive weight but no
-    # covered element.  (The peel usually removes them, but free-vertex early
-    # exit can leave them behind.)
-    useful: set[HubVertex] = set()
-    for edge, endpoints in elements:
-        if edge in covered:
-            useful.update(endpoints)
-    selected = [v for v in selected if v in useful]
-    if not covered:
+    # --- Reconstruct the best subgraph: everything not in the removed
+    # prefix.  One pass over the flat incidence arrays marks elements with
+    # a removed endpoint; survivors among the initially-alive elements are
+    # covered, and the distinct endpoints of covered elements (minus the
+    # removed) are the selected vertices — dropping positive-weight
+    # survivors that cover nothing (free-vertex early exit leaves them
+    # behind), which would pad the cost for no coverage.
+    removed_prefix = removal_order[:best_removed]
+    removed_mask = np.zeros(num_verts, dtype=bool)
+    if removed_prefix:
+        removed_mask[np.asarray(removed_prefix, dtype=np.int64)] = True
+    elem_removed = np.zeros(num_elems, dtype=bool)
+    elem_removed[peel.inc_elem[removed_mask[peel.inc_vert]]] = True
+    covered_arr = ~elem_removed
+    covered_arr &= (
+        alive_arr
+        if alive_arr is not None
+        else np.asarray(initial_alive, dtype=bool)
+    )
+    covered_pos = np.nonzero(covered_arr)[0].tolist()
+    if not covered_pos:
         return None
-    xs = tuple(sorted((n for s, n in selected if s == X_SIDE), key=repr))
-    ys = tuple(sorted((n for s, n in selected if s == Y_SIDE), key=repr))
-    final_weight = sum(weight[v] for v in selected)
+    covered = {index[ei][0] for ei in covered_pos}
+    useful = np.unique(peel.inc_vert[covered_arr[peel.inc_elem]])
+    selected = useful[~removed_mask[useful]].tolist()
+    xs = tuple(
+        sorted((verts[i][1] for i in selected if verts[i][0] == X_SIDE), key=repr)
+    )
+    ys = tuple(
+        sorted((verts[i][1] for i in selected if verts[i][0] != X_SIDE), key=repr)
+    )
+    final_weight = sum(weight[i] for i in selected)
+    covered_ids = (
+        element_ids[np.asarray(covered_pos, dtype=np.int64)]
+        if vectorized
+        else None
+    )
     return DensestResult(
         hub=hub,
         x_selected=xs,
         y_selected=ys,
         covered=frozenset(covered),
         weight=final_weight,
+        covered_ids=covered_ids,
     )
 
 

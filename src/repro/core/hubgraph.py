@@ -17,14 +17,29 @@ Because a node can be both a predecessor and a successor of ``w`` (mutual
 follows), hub-graph vertices are role-tagged ``(side, node)`` pairs: the same
 user contributes an X-vertex weighted by its production rate and an
 independent Y-vertex weighted by its consumption rate.
+
+Construction is backend-dispatched through the
+:class:`~repro.graph.view.GraphView` protocol.  On the dict backend the
+cross-edge enumeration intersects Python neighbor sets per producer; on the
+CSR backend one vectorized kernel scans the concatenated successor slices of
+all of ``X`` against the sorted ``Y`` slice, and records each cross-edge's
+global CSR edge id so the densest-subgraph oracle can filter elements
+against the scheduler's uncovered-edge bitmask without touching Python sets.
+Both paths produce identical hub-graphs (same canonical ordering, truncation
+behavior, and Python-int node ids) — property-tested in
+``tests/test_graphview.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.schedule import RequestSchedule
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.graph.view import GraphView, NeighborSetCache, sorted_array_intersect
 from repro.workload.rates import Workload
 
 #: Role tags for hub-graph vertices.
@@ -32,6 +47,26 @@ X_SIDE = "x"
 Y_SIDE = "y"
 
 HubVertex = tuple[str, Node]
+
+
+@dataclass(frozen=True)
+class PeelIndex:
+    """Static per-hub-graph structure reused by every oracle call.
+
+    ``verts`` lists the weighted vertices X side first (in ``x_nodes``
+    order) then Y side, so leg element ``i`` touches exactly vertex ``i``.
+    ``inc_vert``/``inc_elem`` are the flattened (vertex, element) incidence
+    pairs for vectorized degree counting; ``x_arr``/``y_arr`` are the side
+    node ids as int64 arrays (CSR builds only, else ``None``).
+    """
+
+    verts: list[HubVertex]
+    endpoint_idx: list[tuple[int, ...]]
+    incident: list[list[int]]
+    inc_vert: np.ndarray
+    inc_elem: np.ndarray
+    x_arr: np.ndarray | None
+    y_arr: np.ndarray | None
 
 
 @dataclass
@@ -49,6 +84,10 @@ class HubGraph:
         the ``max_cross_edges`` bound, mirroring the MapReduce bound ``b``).
     truncated:
         True when the cross-edge bound clipped the enumeration.
+    element_ids:
+        Global CSR edge ids of the elements in :meth:`element_index` order,
+        populated only by CSR-backed construction.  Lets the oracle filter
+        elements against a dense uncovered-edge mask in one vectorized op.
     """
 
     hub: Node
@@ -56,6 +95,11 @@ class HubGraph:
     y_nodes: list[Node]
     cross_edges: list[Edge]
     truncated: bool = False
+    element_ids: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _element_index: list[tuple[Edge, tuple[HubVertex, ...]]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _peel_index: "PeelIndex | None" = field(default=None, repr=False, compare=False)
 
     @property
     def num_vertices(self) -> int:
@@ -67,6 +111,62 @@ class HubGraph:
         legs_in = [(x, self.hub) for x in self.x_nodes]
         legs_out = [(self.hub, y) for y in self.y_nodes]
         return legs_in + legs_out + list(self.cross_edges)
+
+    def element_index(self) -> list[tuple[Edge, tuple[HubVertex, ...]]]:
+        """Elements paired with their weighted endpoints, built once.
+
+        Canonical order: push legs (``x_nodes`` order), pull legs
+        (``y_nodes`` order), then cross-edges.  A leg touches its single
+        side vertex; a cross-edge touches one X- and one Y-vertex.  Aligned
+        with :attr:`element_ids` when the CSR build populated them.
+        """
+        if self._element_index is None:
+            index: list[tuple[Edge, tuple[HubVertex, ...]]] = [
+                ((x, self.hub), ((X_SIDE, x),)) for x in self.x_nodes
+            ]
+            index += [((self.hub, y), ((Y_SIDE, y),)) for y in self.y_nodes]
+            index += [
+                ((x, y), ((X_SIDE, x), (Y_SIDE, y))) for x, y in self.cross_edges
+            ]
+            self._element_index = index
+        return self._element_index
+
+    def peel_index(self) -> "PeelIndex":
+        """Static peeling structure for the densest-subgraph oracle.
+
+        Built once per hub-graph and reused by every oracle call (the
+        CHITCHAT schedulers cache hub-graphs for exactly this reason): the
+        vertex list (X side then Y side, aligned so leg element ``i``
+        touches vertex ``i``), per-element endpoint indices, per-vertex
+        static incidence lists, and the flat incidence arrays the
+        vectorized degree computation bincounts over.
+        """
+        if self._peel_index is None:
+            index = self.element_index()
+            verts: list[HubVertex] = [(X_SIDE, x) for x in self.x_nodes]
+            verts += [(Y_SIDE, y) for y in self.y_nodes]
+            vert_pos = {v: i for i, v in enumerate(verts)}
+            endpoint_idx = [
+                tuple(vert_pos[v] for v in endpoints) for _, endpoints in index
+            ]
+            incident: list[list[int]] = [[] for _ in verts]
+            for ei, idxs in enumerate(endpoint_idx):
+                for i in idxs:
+                    incident[i].append(ei)
+            pairs = [
+                (i, ei) for ei, idxs in enumerate(endpoint_idx) for i in idxs
+            ]
+            inc_vert = np.asarray([i for i, _ in pairs], dtype=np.int64)
+            inc_elem = np.asarray([ei for _, ei in pairs], dtype=np.int64)
+            if self.element_ids is not None:  # CSR build: integer node ids
+                x_arr = np.asarray(self.x_nodes, dtype=np.int64)
+                y_arr = np.asarray(self.y_nodes, dtype=np.int64)
+            else:
+                x_arr = y_arr = None
+            self._peel_index = PeelIndex(
+                verts, endpoint_idx, incident, inc_vert, inc_elem, x_arr, y_arr
+            )
+        return self._peel_index
 
     def vertex_weight(
         self,
@@ -91,7 +191,7 @@ class HubGraph:
 
 
 def build_hub_graph(
-    graph: SocialGraph,
+    graph: GraphView,
     hub: Node,
     max_cross_edges: int | None = None,
 ) -> HubGraph:
@@ -99,6 +199,8 @@ def build_hub_graph(
 
     Parameters
     ----------
+    graph:
+        Either backend; the CSR backend uses the vectorized kernel.
     max_cross_edges:
         Optional cap on enumerated cross-edges, the counterpart of the
         paper's MapReduce bound ``b`` (section 3.2): hubs of very dense
@@ -108,11 +210,24 @@ def build_hub_graph(
 
     Notes
     -----
-    Cross-edge enumeration iterates, for each producer ``x``, over the
-    smaller of ``successors(x)`` and ``Y`` — the same neighborhood
-    intersection the MapReduce job performs with ``x``'s out-list shipped to
-    the hub's reducer.
+    Cross-edge enumeration on the dict backend iterates, for each producer
+    ``x``, over the smaller of ``successors(x)`` and ``Y`` — the same
+    neighborhood intersection the MapReduce job performs with ``x``'s
+    out-list shipped to the hub's reducer.  The CSR backend instead scans
+    the concatenated successor slices of all producers against the sorted
+    ``Y`` slice in one numpy pass.
     """
+    if isinstance(graph, CSRGraph):
+        return _build_hub_graph_csr(graph, hub, max_cross_edges)
+    return _build_hub_graph_dict(graph, hub, max_cross_edges)
+
+
+def _build_hub_graph_dict(
+    graph: SocialGraph,
+    hub: Node,
+    max_cross_edges: int | None,
+) -> HubGraph:
+    """Per-producer set-intersection construction (dict backend)."""
     x_nodes = sorted(graph.predecessors_view(hub), key=repr)
     y_nodes = sorted(graph.successors_view(hub), key=repr)
     y_set = set(y_nodes)
@@ -136,12 +251,90 @@ def build_hub_graph(
     )
 
 
+def _build_hub_graph_csr(
+    graph: CSRGraph,
+    hub: Node,
+    max_cross_edges: int | None,
+) -> HubGraph:
+    """Vectorized construction on the CSR snapshot.
+
+    One kernel scans the concatenated successor slices of every producer
+    against the sorted consumer slice; the flat positions of the hits *are*
+    their global edge ids, captured into :attr:`HubGraph.element_ids`
+    together with the leg ids.  Output ordering matches the dict path
+    exactly (producers and, per producer, consumers in ``repr`` order) so
+    truncation clips the same prefix on both backends.
+    """
+    hub = int(hub)
+    x_arr = graph.predecessors(hub)
+    y_arr = graph.successors(hub)
+    x_nodes = sorted(x_arr.tolist(), key=repr)
+    y_nodes = sorted(y_arr.tolist(), key=repr)
+
+    indptr = graph.out_indptr
+    starts = indptr[x_arr]
+    counts = indptr[x_arr + 1] - starts
+    total = int(counts.sum())
+    cross: list[Edge] = []
+    cross_ids: list[int] = []
+    truncated = False
+    x_leg_ids: dict[int, int] = {}
+    if total:
+        # flat positions of every producer's successor slice in out_indices;
+        # a position in out_indices is the edge's global id
+        group_ends = np.cumsum(counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            group_ends - counts, counts
+        )
+        positions = np.repeat(starts, counts) + within
+        cand_x = np.repeat(x_arr, counts)
+        cand_y = graph.out_indices[positions]
+        # x-leg ids fall out of the same scan: the hits where y == hub
+        leg_mask = cand_y == hub
+        x_leg_ids = dict(
+            zip(cand_x[leg_mask].tolist(), positions[leg_mask].tolist())
+        )
+        if y_arr.size:
+            slot = np.searchsorted(y_arr, cand_y)
+            slot_clipped = np.minimum(slot, y_arr.size - 1)
+            hit = y_arr[slot_clipped] == cand_y
+            xs = cand_x[hit].tolist()
+            ys = cand_y[hit].tolist()
+            ids = positions[hit].tolist()
+            x_rank = {x: i for i, x in enumerate(x_nodes)}
+            order = sorted(
+                range(len(xs)), key=lambda i: (x_rank[xs[i]], repr(ys[i]))
+            )
+            if max_cross_edges is not None and len(order) > max_cross_edges:
+                truncated = True
+                order = order[:max_cross_edges]
+            cross = [(xs[i], ys[i]) for i in order]
+            cross_ids = [ids[i] for i in order]
+
+    y_slice_start = int(indptr[hub])
+    y_leg_ids = (
+        y_slice_start + np.searchsorted(y_arr, np.asarray(y_nodes, dtype=np.int64))
+    ).tolist()
+    element_ids = np.asarray(
+        [x_leg_ids[x] for x in x_nodes] + y_leg_ids + cross_ids, dtype=np.int64
+    )
+    return HubGraph(
+        hub=hub,
+        x_nodes=x_nodes,
+        y_nodes=y_nodes,
+        cross_edges=cross,
+        truncated=truncated,
+        element_ids=element_ids,
+    )
+
+
 def single_consumer_hub_graph(
-    graph: SocialGraph,
+    graph: GraphView,
     hub: Node,
     consumer: Node,
     schedule: RequestSchedule,
     covered: dict[Edge, Node],
+    adjacency: NeighborSetCache | None = None,
 ) -> list[Node]:
     """The producer set ``X`` of PARALLELNOSY's hub-graph ``G(X, w, {y})``.
 
@@ -151,13 +344,30 @@ def single_consumer_hub_graph(
       (pushing over it would undo a previous optimization);
     * the cross-edge ``x -> y`` must exist and be neither covered nor
       already scheduled as a push or pull (covering it again is useless).
+
+    ``adjacency`` optionally supplies a
+    :class:`~repro.graph.view.NeighborSetCache`; callers probing many
+    edges (PARALLELNOSY's phase 1 scans every edge per iteration) pass one
+    so repeated neighborhoods are materialized as Python sets once.
     """
-    preds_w = graph.predecessors_view(hub)
-    preds_y = graph.predecessors_view(consumer)
-    if len(preds_y) <= len(preds_w):
-        candidates = (x for x in preds_y if x in preds_w)
+    if adjacency is not None:
+        preds_w = adjacency.predecessors(hub)
+        preds_y = adjacency.predecessors(consumer)
+        if len(preds_y) <= len(preds_w):
+            candidates: list[Node] = [x for x in preds_y if x in preds_w]
+        else:
+            candidates = [x for x in preds_w if x in preds_y]
+    elif isinstance(graph, CSRGraph):
+        candidates = sorted_array_intersect(
+            graph.predecessors(hub), graph.predecessors(consumer)
+        )
     else:
-        candidates = (x for x in preds_w if x in preds_y)
+        preds_w = graph.predecessors_view(hub)
+        preds_y = graph.predecessors_view(consumer)
+        if len(preds_y) <= len(preds_w):
+            candidates = [x for x in preds_y if x in preds_w]
+        else:
+            candidates = [x for x in preds_w if x in preds_y]
     xs: list[Node] = []
     for x in candidates:
         if x == consumer:

@@ -22,7 +22,8 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
 from repro.errors import ScheduleError
-from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.graph.digraph import Edge, Node
+from repro.graph.view import GraphView
 
 
 @dataclass
@@ -117,13 +118,13 @@ class RequestSchedule:
             return "hub"
         return "unserved"
 
-    def uncovered_edges(self, graph: SocialGraph) -> Iterator[Edge]:
+    def uncovered_edges(self, graph: "GraphView") -> Iterator[Edge]:
         """Edges of ``graph`` not served by this schedule."""
         for edge in graph.edges():
             if not self.serves(edge):
                 yield edge
 
-    def is_feasible(self, graph: SocialGraph) -> bool:
+    def is_feasible(self, graph: "GraphView") -> bool:
         """Whether every edge of ``graph`` is served (Theorem 1 condition)."""
         return next(self.uncovered_edges(graph), None) is None
 

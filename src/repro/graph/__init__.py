@@ -1,7 +1,35 @@
-"""Graph substrate: structures, I/O, statistics, generators, samplers."""
+"""Graph substrate: structures, I/O, statistics, generators, samplers.
+
+Two adjacency backends implement the read-only :class:`GraphView` protocol
+that every scheduling algorithm in :mod:`repro.core` consumes:
+
+* :class:`SocialGraph` — mutable dict-of-sets adjacency, the default for
+  construction, churn, and small instances;
+* :class:`CSRGraph` — a frozen numpy CSR snapshot (dense ``0..n-1`` node
+  ids, sorted adjacency slices) powering the vectorized kernels of the
+  algorithm hot path.
+
+:func:`as_graph_view` picks between them: with ``backend="auto"`` a
+dense-id :class:`SocialGraph` of at least :data:`CSR_FASTPATH_THRESHOLD`
+nodes is frozen via :func:`to_csr` before the algorithms run — the CSR
+fast path — while smaller or non-dense graphs stay on the dict backend.
+Both backends are property-tested to produce identical schedules.
+"""
 
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node, SocialGraph
+from repro.graph.view import (
+    CSR_FASTPATH_THRESHOLD,
+    GraphView,
+    NeighborSetCache,
+    as_graph_view,
+    edge_list,
+    has_dense_int_ids,
+    sorted_array_intersect,
+    to_csr,
+    to_social_graph,
+    wedge_nodes,
+)
 from repro.graph.generators import (
     configuration_model_graph,
     erdos_renyi_graph,
@@ -28,12 +56,22 @@ from repro.graph.stats import (
 
 __all__ = [
     "CSRGraph",
+    "CSR_FASTPATH_THRESHOLD",
     "DegreeSummary",
     "Edge",
     "GraphStats",
+    "GraphView",
+    "NeighborSetCache",
     "Node",
     "SocialGraph",
+    "as_graph_view",
     "average_clustering",
+    "edge_list",
+    "has_dense_int_ids",
+    "sorted_array_intersect",
+    "to_csr",
+    "to_social_graph",
+    "wedge_nodes",
     "breadth_first_sample",
     "configuration_model_graph",
     "count_wedges",

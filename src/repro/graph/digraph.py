@@ -293,6 +293,16 @@ class SocialGraph:
             sub.add_edge(producer, consumer)
         return sub
 
+    def to_csr(self):
+        """Freeze into a :class:`~repro.graph.csr.CSRGraph` snapshot.
+
+        Requires dense integer node ids ``0..n-1``; see
+        :meth:`relabeled` for the escape hatch when ids are arbitrary.
+        """
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
+
     def relabeled(self) -> tuple["SocialGraph", dict[Node, int]]:
         """Relabel nodes to ``0..n-1`` integers.
 

@@ -1,0 +1,248 @@
+"""The :class:`GraphView` protocol and backend selection helpers.
+
+Every scheduling algorithm in :mod:`repro.core` reads the social graph
+through the same small read-only adjacency interface — successors,
+predecessors, degrees, edge membership, node/edge iteration.  Two backends
+implement it:
+
+* :class:`~repro.graph.digraph.SocialGraph` — the mutable dict-of-sets
+  structure, best for incremental updates and small instances;
+* :class:`~repro.graph.csr.CSRGraph` — the frozen numpy CSR snapshot,
+  best for the algorithms' read-mostly hot loops on large instances
+  (flat-array adjacency, cache-friendly scans, vectorized kernels).
+
+:func:`as_graph_view` implements the automatic ``to_csr()`` fast path: a
+``SocialGraph`` with dense integer node ids and at least
+:data:`CSR_FASTPATH_THRESHOLD` nodes is frozen into a ``CSRGraph`` before
+the algorithms run, which both schedulers' property tests assert is
+behavior-preserving (identical schedules and costs).  The helpers below
+(:func:`wedge_nodes`, :func:`edge_list`, :func:`sorted_array_intersect`)
+give the core algorithms one backend-dispatched implementation of their
+inner adjacency operations.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Iterator
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import Edge, Node, SocialGraph
+
+def _threshold_from_env() -> int:
+    raw = os.environ.get("REPRO_CSR_THRESHOLD", "5000")
+    try:
+        return int(raw)
+    except ValueError:
+        raise GraphError(
+            f"REPRO_CSR_THRESHOLD must be an integer, got {raw!r}"
+        ) from None
+
+
+#: Node count at which ``backend="auto"`` upgrades a dense-integer
+#: :class:`SocialGraph` to a :class:`CSRGraph` snapshot before running the
+#: scheduling algorithms.  Below it the dict backend's per-node Python sets
+#: win (no freeze cost, cheap tiny-set intersections); above it the CSR
+#: backend's flat arrays and vectorized kernels win.  Override with the
+#: ``REPRO_CSR_THRESHOLD`` environment variable.
+CSR_FASTPATH_THRESHOLD = _threshold_from_env()
+
+#: Valid values for the ``backend=`` parameter of the scheduling entry
+#: points (:func:`repro.core.chitchat.chitchat_schedule` and friends).
+BACKENDS = ("auto", "dict", "csr")
+
+#: Below this combined adjacency size, :func:`wedge_nodes` on a CSR backend
+#: intersects via Python sets instead of ``numpy`` (per-call numpy overhead
+#: dominates on tiny neighborhoods).
+_SMALL_INTERSECT = 64
+
+
+@runtime_checkable
+class GraphView(Protocol):
+    """Read-only adjacency interface shared by both graph backends.
+
+    ``successors(u)``/``predecessors(u)`` return an iterable of neighbor
+    ids (a ``frozenset`` on the dict backend, a sorted ``numpy`` slice on
+    the CSR backend); callers that need a particular container must copy.
+    """
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    def nodes(self) -> Iterator[Node]: ...
+
+    def edges(self) -> Iterator[Edge]: ...
+
+    def successors(self, node: Node) -> Iterable[Node]: ...
+
+    def predecessors(self, node: Node) -> Iterable[Node]: ...
+
+    def out_degree(self, node: Node) -> int: ...
+
+    def in_degree(self, node: Node) -> int: ...
+
+    def has_node(self, node: Node) -> bool: ...
+
+    def has_edge(self, producer: Node, consumer: Node) -> bool: ...
+
+
+def has_dense_int_ids(graph: GraphView) -> bool:
+    """Whether node ids are exactly the integers ``0..n-1`` (CSR-ready)."""
+    if isinstance(graph, CSRGraph):
+        return True
+    n = graph.num_nodes
+    for node in graph.nodes():
+        if type(node) is not int or not 0 <= node < n:
+            return False
+    return True
+
+
+def to_csr(graph: GraphView) -> CSRGraph:
+    """Freeze any :class:`GraphView` into a :class:`CSRGraph` snapshot.
+
+    Raises :class:`~repro.errors.GraphError` when node ids are not dense
+    ``0..n-1`` integers; relabel with :meth:`SocialGraph.relabeled` first.
+    """
+    if isinstance(graph, CSRGraph):
+        return graph
+    return CSRGraph.from_graph(graph)
+
+
+def to_social_graph(graph: GraphView) -> SocialGraph:
+    """Thaw any :class:`GraphView` into a mutable :class:`SocialGraph`."""
+    if isinstance(graph, SocialGraph):
+        return graph
+    thawed = SocialGraph()
+    thawed.add_nodes_from(graph.nodes())
+    thawed.add_edges_from(graph.edges())
+    return thawed
+
+
+def as_graph_view(
+    graph: GraphView,
+    backend: str = "auto",
+    threshold: int | None = None,
+) -> GraphView:
+    """Resolve the backend an algorithm should run on.
+
+    * ``"auto"`` — upgrade a dense-integer :class:`SocialGraph` with at
+      least ``threshold`` (default :data:`CSR_FASTPATH_THRESHOLD`) nodes to
+      a :class:`CSRGraph`; otherwise return the graph unchanged.  Graphs
+      with non-dense ids always stay on the dict backend.
+    * ``"csr"`` — force the CSR backend (raises
+      :class:`~repro.errors.GraphError` for non-dense node ids).
+    * ``"dict"`` — force the dict backend (thaws CSR snapshots).
+    """
+    if backend not in BACKENDS:
+        raise GraphError(f"unknown graph backend {backend!r}; options: {BACKENDS}")
+    if backend == "csr":
+        return to_csr(graph)
+    if backend == "dict":
+        return to_social_graph(graph)
+    if isinstance(graph, CSRGraph):
+        return graph
+    limit = CSR_FASTPATH_THRESHOLD if threshold is None else threshold
+    if graph.num_nodes >= limit and has_dense_int_ids(graph):
+        return to_csr(graph)
+    return graph
+
+
+def sorted_array_intersect(a: np.ndarray, b: np.ndarray) -> list[int]:
+    """Intersection of two sorted, duplicate-free int arrays as Python ints.
+
+    Dispatches on size: tiny inputs go through Python sets (lower constant
+    than a ``numpy`` call), larger ones through ``np.intersect1d``.
+    """
+    if a.size == 0 or b.size == 0:
+        return []
+    if a.size + b.size < _SMALL_INTERSECT:
+        small, large = (a, b) if a.size <= b.size else (b, a)
+        members = set(large.tolist())
+        return [x for x in small.tolist() if x in members]
+    return np.intersect1d(a, b, assume_unique=True).tolist()
+
+
+def wedge_nodes(graph: GraphView, a: Node, b: Node) -> list[Node]:
+    """All intermediaries ``w`` of wedges ``a -> w -> b`` (unordered).
+
+    This is the neighborhood intersection at the heart of hub detection:
+    ``successors(a) ∩ predecessors(b)``.  The CSR backend intersects the
+    sorted adjacency slices; the dict backend scans the smaller set.
+    """
+    if isinstance(graph, CSRGraph):
+        return sorted_array_intersect(graph.successors(a), graph.predecessors(b))
+    succ_a = graph.successors_view(a) if isinstance(graph, SocialGraph) else set(
+        graph.successors(a)
+    )
+    pred_b = graph.predecessors_view(b) if isinstance(graph, SocialGraph) else set(
+        graph.predecessors(b)
+    )
+    if len(succ_a) <= len(pred_b):
+        return [w for w in succ_a if w in pred_b]
+    return [w for w in pred_b if w in succ_a]
+
+
+class NeighborSetCache:
+    """Lazily memoized Python-set adjacency over any backend.
+
+    The schedulers' scalar inner loops (PARALLELNOSY's per-edge candidate
+    intersection, hub invalidation after a selection) repeatedly intersect
+    the same nodes' neighborhoods.  On the dict backend the sets already
+    exist; on the CSR backend this cache materializes each touched slice as
+    a Python set once, so repeated probes cost a dict hit instead of a
+    numpy call.  Read-only: never mutate the returned sets.
+    """
+
+    __slots__ = ("_graph", "_succ", "_pred", "_is_social")
+
+    def __init__(self, graph: GraphView) -> None:
+        self._graph = graph
+        self._is_social = isinstance(graph, SocialGraph)
+        self._succ: dict[Node, set[Node]] = {}
+        self._pred: dict[Node, set[Node]] = {}
+
+    def successors(self, node: Node) -> set[Node]:
+        if self._is_social:
+            return self._graph.successors_view(node)
+        cached = self._succ.get(node)
+        if cached is None:
+            cached = set(np.asarray(self._graph.successors(node)).tolist())
+            self._succ[node] = cached
+        return cached
+
+    def predecessors(self, node: Node) -> set[Node]:
+        if self._is_social:
+            return self._graph.predecessors_view(node)
+        cached = self._pred.get(node)
+        if cached is None:
+            cached = set(np.asarray(self._graph.predecessors(node)).tolist())
+            self._pred[node] = cached
+        return cached
+
+    def wedge(self, a: Node, b: Node) -> list[Node]:
+        """Intermediaries of wedges ``a -> w -> b`` via the cached sets."""
+        succ_a = self.successors(a)
+        pred_b = self.predecessors(b)
+        if len(succ_a) <= len(pred_b):
+            return [w for w in succ_a if w in pred_b]
+        return [w for w in pred_b if w in succ_a]
+
+
+def edge_list(graph: GraphView) -> list[Edge]:
+    """All edges as a list of ``(producer, consumer)`` Python-int tuples.
+
+    On the CSR backend this converts the flat arrays in one C pass instead
+    of iterating per node, which matters when the schedulers materialize
+    the full edge set (uncovered tracking, hybrid completion).
+    """
+    if isinstance(graph, CSRGraph):
+        src, dst = graph.edge_arrays()
+        return list(zip(src.tolist(), dst.tolist()))
+    return list(graph.edges())

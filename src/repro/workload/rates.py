@@ -25,6 +25,8 @@ import random
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import WorkloadError
 from repro.graph.digraph import Node, SocialGraph
 
@@ -89,6 +91,52 @@ class Workload:
         if tp == 0:
             return math.inf
         return self.total_consumption / tp
+
+    def as_arrays(self, num_nodes: int | None = None) -> "tuple[np.ndarray, np.ndarray]":
+        """Rates as dense numpy vectors ``(rp, rc)`` indexed by user id.
+
+        Requires users to be exactly the integers ``0..n-1`` (the id space
+        of :class:`~repro.graph.csr.CSRGraph`); raises
+        :class:`~repro.errors.WorkloadError` otherwise.  The arrays are
+        built once, cached, and returned read-only — they back the
+        vectorized cost kernels of :mod:`repro.core`, which fancy-index
+        them by edge-endpoint arrays.
+
+        Parameters
+        ----------
+        num_nodes:
+            Optional expected user count; a mismatch raises, catching
+            graph/workload drift early.
+        """
+        cached = self.__dict__.get("_dense_arrays")
+        if cached is None:
+            n = len(self.production)
+            production = np.empty(n, dtype=np.float64)
+            consumption = np.empty(n, dtype=np.float64)
+            for user, rate in self.production.items():
+                if (
+                    isinstance(user, bool)
+                    or not isinstance(user, int)
+                    or not 0 <= user < n
+                ):
+                    raise WorkloadError(
+                        "Workload.as_arrays() requires dense integer user "
+                        f"ids 0..{n - 1}; got {user!r} (relabel the graph "
+                        "and rebuild the workload first)"
+                    )
+                production[user] = rate
+            for user, rate in self.consumption.items():
+                consumption[user] = rate
+            production.flags.writeable = False
+            consumption.flags.writeable = False
+            cached = (production, consumption)
+            # frozen dataclass: stash the cache outside the declared fields
+            object.__setattr__(self, "_dense_arrays", cached)
+        if num_nodes is not None and len(cached[0]) != num_nodes:
+            raise WorkloadError(
+                f"workload covers {len(cached[0])} users, graph has {num_nodes}"
+            )
+        return cached
 
     # ------------------------------------------------------------------
     def scaled(self, read_write_ratio: float) -> "Workload":

@@ -24,8 +24,29 @@ class TestConstruction:
 
     def test_requires_dense_int_ids(self):
         g = SocialGraph([("a", "b")])
-        with pytest.raises(GraphError):
+        with pytest.raises(GraphError, match="relabeled"):
             CSRGraph.from_graph(g)
+
+    def test_rejects_sparse_int_ids(self):
+        g = SocialGraph([(0, 7)])  # ids exist but are not 0..n-1
+        with pytest.raises(GraphError, match="dense integer node ids"):
+            CSRGraph.from_graph(g)
+
+    def test_rejects_bool_ids(self):
+        g = SocialGraph([(False, True)])
+        with pytest.raises(GraphError, match="dense integer node ids"):
+            CSRGraph.from_graph(g)
+
+    def test_relabeled_escape_hatch(self):
+        g = SocialGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        dense, mapping = g.relabeled()
+        csr = CSRGraph.from_graph(dense)
+        assert csr.num_edges == 3
+        assert csr.has_edge(mapping["a"], mapping["b"])
+
+    def test_to_csr_method(self, tri):
+        csr = tri.to_csr()
+        assert sorted(csr.edges()) == sorted(tri.edges())
 
     def test_from_arrays_mismatched_lengths(self):
         with pytest.raises(GraphError):
@@ -34,6 +55,24 @@ class TestConstruction:
     def test_from_arrays_out_of_range(self):
         with pytest.raises(GraphError):
             CSRGraph.from_arrays(2, np.array([0]), np.array([5]))
+
+    def test_from_arrays_rejects_float_arrays(self):
+        with pytest.raises(GraphError, match="integer-typed"):
+            CSRGraph.from_arrays(2, np.array([0.5]), np.array([1.0]))
+
+    def test_from_arrays_rejects_object_arrays(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_arrays(2, np.array(["a"]), np.array(["b"]))
+
+    def test_from_arrays_rejects_negative_num_nodes(self):
+        with pytest.raises(GraphError, match="num_nodes"):
+            CSRGraph.from_arrays(-1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_graph(SocialGraph())
+        assert csr.num_nodes == 0
+        assert csr.num_edges == 0
+        assert list(csr.edges()) == []
 
 
 class TestAccessors:
@@ -65,6 +104,47 @@ class TestAccessors:
         assert len(src) == len(dst) == 3
         rebuilt = CSRGraph.from_arrays(3, src, dst)
         assert sorted(rebuilt.edges()) == sorted(csr.edges())
+
+
+class TestGraphViewAccessors:
+    def test_nodes_iteration_and_len(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        assert list(csr.nodes()) == [0, 1, 2]
+        assert list(csr) == [0, 1, 2]
+        assert len(csr) == 3
+
+    def test_has_node(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        assert csr.has_node(0) and 2 in csr
+        assert not csr.has_node(3)
+        assert not csr.has_node("a")
+        assert not csr.has_node(True)
+
+    def test_edges_yield_python_ints(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        for u, v in csr.edges():
+            assert type(u) is int and type(v) is int
+
+    def test_adjacency_slices_sorted(self):
+        g = social_copying_graph(80, out_degree=5, seed=2)
+        csr = CSRGraph.from_graph(g)
+        for node in range(csr.num_nodes):
+            succ = csr.successors(node)
+            assert (np.diff(succ) > 0).all()
+            pred = csr.predecessors(node)
+            assert (np.diff(pred) > 0).all()
+
+    def test_edge_id_matches_csr_order(self):
+        g = social_copying_graph(50, out_degree=4, seed=5)
+        csr = CSRGraph.from_graph(g)
+        src, dst = csr.edge_arrays()
+        for i, (u, v) in enumerate(zip(src.tolist(), dst.tolist())):
+            assert csr.edge_id(u, v) == i
+
+    def test_edge_id_missing_edge_raises(self, tri):
+        csr = CSRGraph.from_graph(tri)
+        with pytest.raises(GraphError):
+            csr.edge_id(2, 0)
 
 
 class TestRoundTrip:

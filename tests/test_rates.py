@@ -49,6 +49,50 @@ class TestWorkloadValidation:
         assert w.read_write_ratio == pytest.approx(3.0)
 
 
+class TestAsArrays:
+    def test_dense_arrays_roundtrip(self):
+        w = Workload(
+            production={0: 1.0, 1: 2.0, 2: 0.5},
+            consumption={0: 3.0, 1: 4.0, 2: 0.25},
+        )
+        rp, rc = w.as_arrays(3)
+        assert rp.tolist() == [1.0, 2.0, 0.5]
+        assert rc.tolist() == [3.0, 4.0, 0.25]
+
+    def test_arrays_cached_and_read_only(self):
+        w = Workload(production={0: 1.0}, consumption={0: 2.0})
+        first = w.as_arrays()
+        assert w.as_arrays() is first
+        with pytest.raises(ValueError):
+            first[0][0] = 9.0
+
+    def test_non_dense_ids_rejected(self):
+        w = Workload(production={"a": 1.0}, consumption={"a": 2.0})
+        with pytest.raises(WorkloadError, match="dense integer user ids"):
+            w.as_arrays()
+        sparse = Workload(production={0: 1.0, 5: 1.0}, consumption={0: 1.0, 5: 1.0})
+        with pytest.raises(WorkloadError):
+            sparse.as_arrays()
+
+    def test_negative_ids_rejected(self):
+        w = Workload(production={-1: 1.0, 0: 1.0}, consumption={-1: 1.0, 0: 1.0})
+        with pytest.raises(WorkloadError):
+            w.as_arrays()
+
+    def test_num_nodes_mismatch_rejected(self):
+        w = Workload(production={0: 1.0}, consumption={0: 2.0})
+        with pytest.raises(WorkloadError, match="covers 1 users"):
+            w.as_arrays(4)
+
+    def test_matches_scalar_accessors(self):
+        graph = social_copying_graph(60, out_degree=4, seed=1)
+        w = log_degree_workload(graph)
+        rp, rc = w.as_arrays(graph.num_nodes)
+        for u in graph.nodes():
+            assert rp[u] == w.rp(u)
+            assert rc[u] == w.rc(u)
+
+
 class TestScaling:
     def test_scaled_hits_target_ratio(self):
         w = Workload(production={1: 1.0, 2: 3.0}, consumption={1: 2.0, 2: 2.0})
