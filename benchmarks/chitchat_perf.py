@@ -1,0 +1,166 @@
+"""Shared measurement collectors for the CHITCHAT perf-regression suite.
+
+Each collector runs a deterministic experiment at a given ``scale`` and
+returns plain dicts (rows + headline ratios) so the same code backs both
+the pytest benchmarks (which add assertions) and the machine-readable
+``benchmarks/run_benchmarks.py`` emitter that records the perf trajectory
+across commits.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.baselines import hybrid_schedule
+from repro.core.batched import batched_chitchat_with_stats
+from repro.core.chitchat import ChitchatScheduler
+from repro.core.cost import schedule_cost
+from repro.core.parallelnosy import parallel_nosy_schedule
+from repro.experiments.datasets import load_dataset
+from repro.graph.generators import social_copying_graph
+from repro.graph.sampling import breadth_first_sample
+from repro.graph.view import as_graph_view
+from repro.workload.rates import log_degree_workload
+
+#: E12 instance at bench scale 1.0 (default scale 0.25 gives the n=3000
+#: acceptance instance).  Dense enough that eager invalidation's wedge
+#: blow-up — the cost the lazy heap eliminates — dominates.
+E12_BASE_NODES = 12_000
+E12_OUT_DEGREE = 24
+E12_READ_WRITE_RATIO = 8.0
+
+
+def _schedules_equal(a, b) -> bool:
+    return a.push == b.push and a.pull == b.pull and a.hub_cover == b.hub_cover
+
+
+def e12_lazy_vs_eager(scale: float) -> dict:
+    """E12 — lazy vs eager CHITCHAT on the CSR backend.
+
+    Returns rows for both modes plus the headline ``call_ratio`` (eager
+    full peels / lazy full peels) and ``wall_ratio``; ``equal`` certifies
+    the two schedules are byte-identical.
+    """
+    n = max(600, int(E12_BASE_NODES * scale))
+    graph = social_copying_graph(
+        num_nodes=n,
+        out_degree=E12_OUT_DEGREE,
+        copy_fraction=0.7,
+        reciprocity=0.2,
+        seed=7,
+    )
+    workload = log_degree_workload(graph, read_write_ratio=E12_READ_WRITE_RATIO)
+    rows = []
+    runs = {}
+    for mode, lazy in (("eager", False), ("lazy", True)):
+        started = time.perf_counter()
+        scheduler = ChitchatScheduler(graph, workload, backend="csr", lazy=lazy)
+        schedule = scheduler.run()
+        elapsed = time.perf_counter() - started
+        runs[mode] = (schedule, scheduler.stats, elapsed)
+        rows.append(
+            {
+                "mode": mode,
+                "nodes": n,
+                "edges": graph.num_edges,
+                "oracle_calls": scheduler.stats.oracle_calls,
+                "oracle_early_exits": scheduler.stats.oracle_early_exits,
+                "oracle_calls_saved": scheduler.stats.oracle_calls_saved,
+                "hubs_pruned": scheduler.stats.hubs_pruned,
+                "cost": round(scheduler.stats.final_cost, 1),
+                "seconds": round(elapsed, 2),
+            }
+        )
+    eager_schedule, eager_stats, eager_secs = runs["eager"]
+    lazy_schedule, lazy_stats, lazy_secs = runs["lazy"]
+    return {
+        "nodes": n,
+        "rows": rows,
+        "equal": _schedules_equal(eager_schedule, lazy_schedule),
+        "call_ratio": eager_stats.oracle_calls / max(1, lazy_stats.oracle_calls),
+        "wall_ratio": eager_secs / max(1e-9, lazy_secs),
+    }
+
+
+def e10_scaling(scale: float) -> dict:
+    """E10 — oracle-call volume of the scaling techniques (compact form)."""
+    dataset = load_dataset("twitter", scale=min(scale, 0.3))
+    sample = breadth_first_sample(
+        dataset.graph, target_edges=dataset.graph.num_edges // 4, seed=0
+    )
+    sample, _mapping = sample.relabeled()
+    workload = log_degree_workload(sample, read_write_ratio=2.0)
+    ff_cost = schedule_cost(hybrid_schedule(sample, workload), workload)
+    rows = []
+
+    for name, lazy in (("ChitChat (eager)", False), ("ChitChat (lazy)", True)):
+        started = time.perf_counter()
+        scheduler = ChitchatScheduler(sample, workload, backend="dict", lazy=lazy)
+        schedule = scheduler.run()
+        rows.append(
+            {
+                "algorithm": name,
+                "vs_hybrid": round(ff_cost / schedule_cost(schedule, workload), 3),
+                "oracle_calls": scheduler.stats.oracle_calls,
+                "seconds": round(time.perf_counter() - started, 2),
+            }
+        )
+
+    started = time.perf_counter()
+    bc_schedule, bc_stats = batched_chitchat_with_stats(sample, workload)
+    rows.append(
+        {
+            "algorithm": "BatchedChitChat",
+            "vs_hybrid": round(ff_cost / schedule_cost(bc_schedule, workload), 3),
+            "oracle_calls": bc_stats.oracle_calls,
+            "seconds": round(time.perf_counter() - started, 2),
+        }
+    )
+
+    started = time.perf_counter()
+    pn_schedule = parallel_nosy_schedule(sample, workload, max_iterations=10)
+    rows.append(
+        {
+            "algorithm": "ParallelNosy",
+            "vs_hybrid": round(ff_cost / schedule_cost(pn_schedule, workload), 3),
+            "oracle_calls": 0,
+            "seconds": round(time.perf_counter() - started, 2),
+        }
+    )
+    return {"nodes": sample.num_nodes, "rows": rows}
+
+
+def e11_backends(scale: float) -> dict:
+    """E11 — per-backend wall clock of sequential CHITCHAT (compact form)."""
+    n = max(600, int(12_000 * scale))
+    graph = social_copying_graph(
+        num_nodes=n, out_degree=10, copy_fraction=0.7, reciprocity=0.2, seed=7
+    )
+    workload = log_degree_workload(graph)
+    rows = []
+    schedules = {}
+    for backend in ("dict", "csr"):
+        resolved = as_graph_view(graph, backend)
+        started = time.perf_counter()
+        scheduler = ChitchatScheduler(resolved, workload, backend=backend)
+        schedules[backend] = scheduler.run()
+        rows.append(
+            {
+                "backend": backend,
+                "nodes": n,
+                "oracle_calls": scheduler.stats.oracle_calls,
+                "seconds": round(time.perf_counter() - started, 2),
+            }
+        )
+    return {
+        "nodes": n,
+        "rows": rows,
+        "equal": _schedules_equal(schedules["dict"], schedules["csr"]),
+    }
+
+
+COLLECTORS = {
+    "E10": e10_scaling,
+    "E11": e11_backends,
+    "E12": e12_lazy_vs_eager,
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Machine-readable benchmark emitter for the CHITCHAT perf trajectory.
+
+Runs the scheduling benchmarks (E10 scaling, E11 backends, E12 lazy vs
+eager) through the shared collectors in :mod:`benchmarks.chitchat_perf`
+and writes one JSON document with wall-clock times and oracle-call
+counts, so successive commits can be compared mechanically (CI uploads
+the file as an artifact)::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --json BENCH_chitchat.json
+    python benchmarks/run_benchmarks.py --scale 0.1 --experiments E12
+
+``--scale`` defaults to the ``REPRO_BENCH_SCALE`` environment variable
+(0.25 if unset), matching the pytest benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(_ROOT), str(_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import numpy as np  # noqa: E402  (after sys.path setup)
+
+from benchmarks.chitchat_perf import COLLECTORS  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=Path("BENCH_chitchat.json"),
+        help="output path for the JSON document (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.25")),
+        help="dataset scale multiplier (default: env REPRO_BENCH_SCALE or 0.25)",
+    )
+    parser.add_argument(
+        "--experiments",
+        default=",".join(COLLECTORS),
+        help="comma-separated subset of %s (default: all)" % ",".join(COLLECTORS),
+    )
+    args = parser.parse_args(argv)
+
+    wanted = [name.strip().upper() for name in args.experiments.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in COLLECTORS]
+    if unknown:
+        parser.error(f"unknown experiments {unknown}; options: {sorted(COLLECTORS)}")
+
+    experiments = {}
+    for name in wanted:
+        started = time.perf_counter()
+        result = COLLECTORS[name](args.scale)
+        result["total_seconds"] = round(time.perf_counter() - started, 2)
+        experiments[name] = result
+        print(f"{name}: done in {result['total_seconds']}s")
+
+    document = {
+        "schema": SCHEMA_VERSION,
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "experiments": experiments,
+    }
+    args.json.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

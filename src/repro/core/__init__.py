@@ -58,6 +58,7 @@ from repro.core.cost import (
 from repro.core.coverage import CoverageReport, check_coverage, validate_schedule
 from repro.core.densest import (
     DensestResult,
+    OracleCutoff,
     densest_subgraph,
     unweighted_densest_subgraph,
 )
@@ -108,6 +109,7 @@ __all__ = [
     "ChitchatStats",
     "CoverageReport",
     "DensestResult",
+    "OracleCutoff",
     "HubGraph",
     "IncrementalMaintainer",
     "IterationResult",

@@ -24,29 +24,60 @@ shrink geometrically, so the number of oracle calls drops from
 guarantee degrades (accepted champions other than the round's first may be
 stale), which is exactly the quality/scalability trade the ablation bench
 quantifies.
+
+The per-round refresh shares CHITCHAT's lazy-oracle machinery (``lazy=True``,
+the default): dirty hubs are probed in ascending order of their cached
+bounds with the round's acceptance threshold as the oracle ``upper_bound``,
+so hubs that provably cannot be accepted this round abandon after an O(m)
+probe (:class:`~repro.core.densest.OracleCutoff`) and their certified
+bounds are cached until a later round's threshold (or a dirtying event)
+makes them competitive again.  Lazy and eager rounds accept identical
+champion sets (property-tested).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.baselines import hybrid_schedule
 from repro.core.cost import hybrid_edge_cost, schedule_cost
-from repro.core.densest import DensestResult, ScheduleMirror, densest_subgraph
+from repro.core.densest import (
+    DensestResult,
+    OracleCutoff,
+    ScheduleMirror,
+    densest_subgraph,
+)
 from repro.core.hubgraph import HubGraph, build_hub_graph
 from repro.core.schedule import RequestSchedule
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node
-from repro.graph.view import GraphView, NeighborSetCache, as_graph_view, edge_list
+from repro.graph.view import (
+    GraphView,
+    NeighborSetCache,
+    affected_hubs,
+    as_graph_view,
+    edge_list,
+    node_ranks,
+)
 from repro.workload.rates import Workload
 
 
 @dataclass
 class BatchedStats:
-    """Run diagnostics: rounds, oracle calls, acceptance behavior."""
+    """Run diagnostics: rounds, oracle calls, acceptance behavior.
+
+    ``oracle_calls`` counts full densest-subgraph peels;
+    ``oracle_early_exits`` counts bounded probes abandoned via the
+    oracle's pre-peel lower bound; ``oracle_calls_saved`` is how many full
+    peels the eager per-round refresh would have run that the lazy bounds
+    avoided (0 in eager mode).
+    """
 
     rounds: int = 0
     oracle_calls: int = 0
+    oracle_early_exits: int = 0
+    oracle_calls_saved: int = 0
     champions_accepted: int = 0
     champions_rejected: int = 0
     singleton_fallbacks: int = 0
@@ -68,6 +99,11 @@ class BatchedChitchat:
         multiplicative factor of the round's best champion (1.0 accepts
         only ties with the best; larger values accept more per round and
         converge in fewer rounds at some quality risk).  Default 2.0.
+    lazy:
+        When True (default) dirty hubs are re-oracled with the round's
+        acceptance threshold as an early-exit bound and certified bounds
+        are cached across rounds; ``False`` restores the fully eager
+        per-round refresh.  Both modes accept identical champions.
     """
 
     def __init__(
@@ -77,6 +113,7 @@ class BatchedChitchat:
         max_cross_edges: int | None = None,
         acceptance_slack: float = 2.0,
         backend: str = "auto",
+        lazy: bool = True,
     ) -> None:
         if acceptance_slack < 1.0:
             raise ValueError("acceptance_slack must be >= 1.0")
@@ -86,6 +123,7 @@ class BatchedChitchat:
         self.acceptance_slack = acceptance_slack
         self.schedule = RequestSchedule()
         self.stats = BatchedStats()
+        self._lazy = lazy
         edges = edge_list(self.graph)
         self._uncovered: set[Edge] = set(edges)
         # dense edge-id mirrors of the scheduler state (CSR mode)
@@ -95,9 +133,15 @@ class BatchedChitchat:
             else None
         )
         self._adjacency = NeighborSetCache(self.graph)
+        self._rank = node_ranks(self.graph)
         self._hub_cache: dict[Node, HubGraph] = {}
         self._champion_cache: dict[Node, DensestResult | None] = {}
+        # clean hubs whose last probe was an OracleCutoff: certified lower
+        # bounds on their champion cost, valid until the hub is dirtied
+        self._bound_cache: dict[Node, float] = {}
         self._dirty: set[Node] = set(self.graph.nodes())
+        # full peels the eager per-round refresh would have issued
+        self._eager_equivalent = 0
 
     # ------------------------------------------------------------------
     def _champions(self) -> list[DensestResult]:
@@ -108,16 +152,56 @@ class BatchedChitchat:
         champion.  This is the same invalidation rule CHITCHAT applies
         after each single selection (Algorithm 1 line 14), amortized over
         a whole round.
+
+        Lazy mode adds two cuts that provably change no acceptance: each
+        oracle call is bounded by ``slack × best-champion-so-far`` (the
+        running value only overestimates the round's final threshold, so a
+        cutoff hub would have been rejected anyway), and clean hubs with a
+        cached bound above the bar are skipped without any call.
         """
-        for hub in sorted(self._dirty, key=repr):
+        dirty_set = set(self._dirty)
+        jobs: list[tuple[float, int, Node]] = []
+        for hub in dirty_set:
             if self.graph.in_degree(hub) == 0 or self.graph.out_degree(hub) == 0:
                 self._champion_cache[hub] = None
+                self._bound_cache.pop(hub, None)
                 continue
+            jobs.append((0.0, self._rank[hub], hub))
+        self._eager_equivalent += len(jobs)
+        if self._lazy:
+            jobs += [
+                (bound, self._rank[hub], hub)
+                for hub, bound in self._bound_cache.items()
+                if hub not in dirty_set
+            ]
+        jobs.sort(key=lambda job: job[:2])
+        self._dirty.clear()
+        # incumbent: cheapest *clean* cached champion (true values only —
+        # a dirty hub's stale cost may overestimate after a leg payment)
+        best = min(
+            (
+                r.cost_per_element
+                for hub, r in self._champion_cache.items()
+                if r is not None and hub not in dirty_set
+            ),
+            default=math.inf,
+        )
+        for cached_bound, _rank, hub in jobs:
+            bar: float | None = None
+            if self._lazy and math.isfinite(best):
+                bar = best * self.acceptance_slack + 1e-12
+            if hub not in dirty_set:
+                # clean hub with a certified bound: skip it while the bar
+                # sits below the bound; once past, peel directly — its
+                # state is unchanged, so a re-probe would reproduce the
+                # cached bound (deterministic) and can never cut off
+                if bar is not None and cached_bound > bar:
+                    continue
+                bar = None
             hub_graph = self._hub_cache.get(hub)
             if hub_graph is None:
                 hub_graph = build_hub_graph(self.graph, hub, self.max_cross_edges)
                 self._hub_cache[hub] = hub_graph
-            self.stats.oracle_calls += 1
             mirror = self._mirror
             result = densest_subgraph(
                 hub_graph,
@@ -126,21 +210,31 @@ class BatchedChitchat:
                 self._uncovered,
                 uncovered_mask=mirror.uncovered_mask if mirror else None,
                 arrays=mirror.arrays if mirror else None,
+                upper_bound=bar,
             )
-            self._champion_cache[hub] = (
-                result if result is not None and result.covered else None
-            )
-        self._dirty.clear()
+            if isinstance(result, OracleCutoff):
+                self.stats.oracle_early_exits += 1
+                self._bound_cache[hub] = result.lower_bound
+                self._champion_cache.pop(hub, None)
+                continue
+            self.stats.oracle_calls += 1
+            self._bound_cache.pop(hub, None)
+            if result is not None and result.covered:
+                self._champion_cache[hub] = result
+                if result.cost_per_element < best:
+                    best = result.cost_per_element
+            else:
+                self._champion_cache[hub] = None
+        self.stats.oracle_calls_saved = (
+            self._eager_equivalent - self.stats.oracle_calls
+        )
         champions = [r for r in self._champion_cache.values() if r is not None]
-        champions.sort(key=lambda r: (r.cost_per_element, repr(r.hub)))
+        champions.sort(key=lambda r: (r.cost_per_element, self._rank[r.hub]))
         return champions
 
     def _mark_affected(self, covered_edges) -> None:
         """Dirty every hub whose hub-graph contains a covered element."""
-        for a, b in covered_edges:
-            self._dirty.add(a)
-            self._dirty.add(b)
-            self._dirty.update(self._adjacency.wedge(a, b))
+        self._dirty |= affected_hubs(self._adjacency, covered_edges)
 
     def _add_push(self, edge: Edge) -> None:
         self.schedule.add_push(edge)
@@ -230,7 +324,8 @@ class BatchedChitchat:
         for _ in range(max_rounds):
             if self.run_round() == 0:
                 break
-        for edge in sorted(self._uncovered, key=repr):
+        rank = self._rank
+        for edge in sorted(self._uncovered, key=lambda e: (rank[e[0]], rank[e[1]])):
             u, v = edge
             if self.workload.rp(u) <= self.workload.rc(v):
                 self._add_push(edge)
@@ -250,10 +345,11 @@ def batched_chitchat_schedule(
     acceptance_slack: float = 2.0,
     max_rounds: int = 50,
     backend: str = "auto",
+    lazy: bool = True,
 ) -> RequestSchedule:
     """One-shot BATCHEDCHITCHAT run returning a feasible schedule."""
     runner = BatchedChitchat(
-        graph, workload, max_cross_edges, acceptance_slack, backend=backend
+        graph, workload, max_cross_edges, acceptance_slack, backend=backend, lazy=lazy
     )
     return runner.run(max_rounds)
 
@@ -265,10 +361,11 @@ def batched_chitchat_with_stats(
     acceptance_slack: float = 2.0,
     max_rounds: int = 50,
     backend: str = "auto",
+    lazy: bool = True,
 ) -> tuple[RequestSchedule, BatchedStats]:
     """Like :func:`batched_chitchat_schedule`, returning diagnostics too."""
     runner = BatchedChitchat(
-        graph, workload, max_cross_edges, acceptance_slack, backend=backend
+        graph, workload, max_cross_edges, acceptance_slack, backend=backend, lazy=lazy
     )
     schedule = runner.run(max_rounds)
     return schedule, runner.stats

@@ -9,46 +9,104 @@ The greedy SET-COVER step — "pick the candidate with minimum cost per newly
 covered element" — cannot enumerate the exponentially many hub-graphs, so
 Algorithm 1 uses an oracle: for every hub ``w``, the weighted
 densest-subgraph peeling of :mod:`repro.core.densest` finds the best
-sub-hub-graph of ``G(w)``; a priority queue keeps the per-hub champions and
-the champions of hubs touched by a selection are recomputed (lines 14–18).
+sub-hub-graph of ``G(w)``; a priority queue keeps the per-hub champions.
 
 Combined guarantee (Theorem 4): ``O(2 ln n) = O(ln n)``.
+
+Lazy oracle re-evaluation
+-------------------------
+Algorithm 1 line 14 invalidates, after every selection, each hub whose
+hub-graph contains a covered element — for a social graph that is the two
+endpoints *plus every wedge intermediary*, so an eager implementation
+re-oracles a near-quadratic number of hubs over a run.  This scheduler
+applies the CELF trick instead, exploiting a monotonicity split:
+
+* **covering elements only raises** a hub champion's cost per element (the
+  same vertex weights buy less coverage), so a heap key computed before
+  the covering event is still a valid *lower bound* — those hubs are
+  merely marked dirty, and a dirty entry is re-oracled only when it
+  reaches the heap top (a clean top entry is therefore the true global
+  best);
+* **paying a push/pull leg lowers** the owning hub-graph's vertex weight
+  and can cheapen its champion below the stale key, so the (few) hubs
+  incident to newly scheduled legs are refreshed eagerly.
+
+Two further cuts avoid oracle work entirely: the bootstrap prices every
+hub's trivial champion lower bound in one vectorized pass (no peeling) and
+skips hubs that provably can never beat the singletons covering their own
+elements; and lazy recomputes pass the cheapest competing candidate as an
+``upper_bound`` so the oracle can abandon non-competitive hubs after an
+``O(m)`` probe (:class:`~repro.core.densest.OracleCutoff`).  The lazy and
+eager modes produce byte-identical schedules (property-tested); eager
+remains available via ``lazy=False`` as the reference implementation.
 
 The scheduler runs on any :class:`~repro.graph.view.GraphView`.  With
 ``backend="auto"`` (the default) large dense-id graphs are frozen into a
 :class:`~repro.graph.csr.CSRGraph` first; on that backend the singleton
-prices are computed in one vectorized pass over the edge arrays, the
-uncovered set is mirrored in a dense edge-id bitmask that the oracle uses
-to filter hub-graph elements without Python set lookups, and hub
-invalidation intersects sorted CSR slices.  Both backends produce identical
-schedules (property-tested).
+prices and bootstrap bounds are computed in vectorized passes over the
+edge arrays, and the oracle filters hub-graph elements with a dense
+edge-id bitmask.  Both backends produce identical schedules
+(property-tested).
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.baselines import hybrid_schedule
 from repro.core.cost import hybrid_edge_cost, schedule_cost
-from repro.core.densest import DensestResult, ScheduleMirror, densest_subgraph
+from repro.core.densest import (
+    OPT_BOUND_MARGIN,
+    DensestResult,
+    OracleCutoff,
+    ScheduleMirror,
+    densest_subgraph,
+)
 from repro.core.hubgraph import HubGraph, build_hub_graph
 from repro.core.schedule import RequestSchedule
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node
-from repro.graph.view import GraphView, NeighborSetCache, as_graph_view, edge_list
+from repro.graph.view import (
+    GraphView,
+    NeighborSetCache,
+    affected_hubs,
+    as_graph_view,
+    edge_list,
+    edge_ranks,
+    node_ranks,
+)
 from repro.workload.rates import Workload
+
+#: Heap entry: (cost key, node rank tiebreak, hub, version, champion).
+#: ``champion`` is ``None`` for unpriced entries (bootstrap bounds and
+#: oracle cutoffs) — those hubs are in the dirty set and re-oracled when
+#: they reach the heap top.
+HubEntry = tuple[float, int, Node, int, "DensestResult | None"]
 
 
 @dataclass
 class ChitchatStats:
-    """Diagnostics accumulated during a CHITCHAT run."""
+    """Diagnostics accumulated during a CHITCHAT run.
+
+    ``oracle_calls`` counts full densest-subgraph peels (cheap no-op calls
+    on fully covered hub-graphs included, matching the eager accounting);
+    ``oracle_early_exits`` counts bounded probes the oracle abandoned via
+    its pre-peel lower bound; ``oracle_calls_saved`` is the number of full
+    peels the eager invalidation rule would have run that the lazy
+    dirty-hub heap never needed (0 in eager mode); ``hubs_pruned`` counts
+    hubs the lazy bootstrap proved can never beat their own singletons.
+    """
 
     hub_selections: int = 0
     singleton_selections: int = 0
     oracle_calls: int = 0
+    oracle_early_exits: int = 0
+    oracle_calls_saved: int = 0
+    hubs_pruned: int = 0
     edges_covered_by_hubs: int = 0
     final_cost: float = 0.0
     selection_log: list[tuple[str, float, int]] = field(default_factory=list)
@@ -73,6 +131,11 @@ class ChitchatScheduler:
         ``"auto"`` (default) applies the CSR fast path above
         :data:`~repro.graph.view.CSR_FASTPATH_THRESHOLD` nodes; ``"csr"``
         and ``"dict"`` force a backend.
+    lazy:
+        When True (default) hubs invalidated by coverage-only events are
+        re-oracled lazily via the CELF dirty-hub heap (see the module
+        docstring); ``False`` restores the eager Algorithm 1 line 14
+        refresh — identical schedules, far more oracle calls.
     """
 
     def __init__(
@@ -82,12 +145,14 @@ class ChitchatScheduler:
         max_cross_edges: int | None = None,
         record_log: bool = False,
         backend: str = "auto",
+        lazy: bool = True,
     ) -> None:
         self.graph = as_graph_view(graph, backend)
         self.workload = workload
         self.max_cross_edges = max_cross_edges
         self.stats = ChitchatStats()
         self._record_log = record_log
+        self._lazy = lazy
         self.schedule = RequestSchedule()
         edges = edge_list(self.graph)
         self._uncovered: set[Edge] = set(edges)
@@ -106,26 +171,73 @@ class ChitchatScheduler:
         if singleton_costs is None:  # non-dense rates: price per edge
             singleton_costs = [hybrid_edge_cost(e, workload) for e in edges]
         self._adjacency = NeighborSetCache(self.graph)
+        self._rank = node_ranks(self.graph)
+        # hubs that can relay at all (static degrees; checked once) — the
+        # bool mask backs the vectorized bootstrap, the set the hot loops
+        self._eligible_mask: np.ndarray | None = None
+        if isinstance(self.graph, CSRGraph):
+            self._eligible_mask = (self.graph.in_degrees() > 0) & (
+                self.graph.out_degrees() > 0
+            )
+            self._eligible: set[Node] = set(
+                np.nonzero(self._eligible_mask)[0].tolist()
+            )
+        else:
+            self._eligible = {
+                node
+                for node in self.graph.nodes()
+                if self.graph.in_degree(node) > 0
+                and self.graph.out_degree(node) > 0
+            }
         self._hub_version: dict[Node, int] = {}
         self._hub_cache: dict[Node, HubGraph] = {}
-        # heap of (cost_per_element, tiebreak, hub, version, result)
-        self._hub_heap: list[tuple[float, str, Node, int, DensestResult]] = []
-        self._singleton_heap: list[tuple[float, str, Edge]] = [
-            (cost, repr(e), e) for cost, e in zip(singleton_costs, edges)
+        self._hub_heap: list[HubEntry] = []
+        # hubs whose heap key is a stale-but-valid lower bound, re-oracled
+        # only when their entry reaches the heap top (lazy mode)
+        self._dirty: set[Node] = set()
+        # hubs with a live heap entry (retired / pruned hubs are absent)
+        self._queued: set[Node] = set()
+        # best certified lower bound on each hub's *true optimum* cost per
+        # element — valid across coverage events (unlike the peel output,
+        # which is only 2-approximate and can dip when elements vanish);
+        # reset whenever the hub is re-oracled, which eager weight-drop
+        # refreshes guarantee happens before any weight can fall
+        self._opt_lb: dict[Node, float] = {}
+        # per-hub oracle-input versions: bumped whenever a covering event
+        # or leg payment touches the hub-graph.  A cutoff records the
+        # version it probed (``_bound_state``); when the parked entry
+        # resurfaces at the same version the probe would reproduce the
+        # same bound — and a popped entry's key never exceeds the bar — so
+        # the redundant probe is skipped and the peel runs directly.
+        self._state_version: dict[Node, int] = {}
+        self._bound_state: dict[Node, int] = {}
+        # full peels the eager invalidation rule would have issued
+        self._eager_equivalent = 0
+        self._bootstrapped = False
+        self._singleton_heap: list[tuple[float, int, Edge]] = [
+            (cost, erank, e)
+            for cost, erank, e in zip(
+                singleton_costs, edge_ranks(self.graph, edges, self._rank), edges
+            )
         ]
         heapq.heapify(self._singleton_heap)
 
     # ------------------------------------------------------------------
     def run(self) -> RequestSchedule:
         """Execute the greedy loop until every edge is covered."""
-        for node in self.graph.nodes():
-            self._refresh_hub(node)
+        if not self._bootstrapped:
+            self._bootstrapped = True
+            if self._lazy:
+                self._seed_lazy_heap()
+            else:
+                for node in self.graph.nodes():
+                    if node in self._eligible:
+                        self._refresh_hub(node)
         while self._uncovered:
-            hub_entry = self._best_hub_entry()
             singleton = self._best_singleton()
-            if hub_entry is not None and (
-                singleton is None or hub_entry[0] <= singleton[0]
-            ):
+            limit = singleton[0] if singleton is not None else math.inf
+            hub_entry = self._best_hub_entry(limit)
+            if hub_entry is not None and hub_entry[0] <= limit:
                 heapq.heappop(self._hub_heap)
                 self._apply_hub(hub_entry[4])
             elif singleton is not None:
@@ -133,23 +245,176 @@ class ChitchatScheduler:
                 self._apply_singleton(singleton[2])
             else:  # pragma: no cover - defensive; singletons always exist
                 raise RuntimeError("no candidate available but edges remain uncovered")
+        if self._lazy:
+            self.stats.oracle_calls_saved = (
+                self._eager_equivalent - self.stats.oracle_calls
+            )
         self.stats.final_cost = schedule_cost(self.schedule, self.workload)
         return self.schedule
 
     # ------------------------------------------------------------------
     # Candidate maintenance
     # ------------------------------------------------------------------
-    def _refresh_hub(self, hub: Node) -> None:
-        """Recompute hub ``w``'s champion sub-hub-graph and (re)queue it."""
+    def _seed_lazy_heap(self) -> None:
+        """Price every hub's trivial champion lower bound; peel nothing.
+
+        With untouched weights, any sub-hub-graph of ``w`` covers at most
+        ``1 + min(outdeg(x), outdeg(w))`` elements per selected producer
+        ``x`` (its leg plus its possible cross-edges) and one element per
+        selected consumer ``y``, so by the mediant inequality the champion
+        costs at least::
+
+            LB(w) = min(min_x rp(x) / (1 + min(outdeg(x), outdeg(w))),
+                        min_y rc(y))
+
+        — a valid heap key until one of ``G(w)``'s legs is paid for (an
+        eager refresh replaces the entry then).  A hub whose bound exceeds
+        the dearest possible hybrid price among its own elements::
+
+            M(w) = max(min(max_x rp(x), rc(w)),
+                       min(rp(w), max_y rc(y)),
+                       min(max_x rp(x), max_y rc(y)))
+
+        can never win a greedy step before a leg payment (every element it
+        could cover has a strictly cheaper singleton available), so it is
+        not seeded at all.  The last term of ``M`` prices hypothetical
+        cross-edges and always dominates both bounds, so the prune can
+        only fire for hubs provably *cross-free* (every predecessor's sole
+        successor is the hub itself): there the per-producer cap is 1 and
+        the cross term drops, leaving the sharper pair ::
+
+            LB(w) = min(min_x rp(x), min_y rc(y))
+            M(w)  = max(min(max_x rp(x), rc(w)), min(rp(w), max_y rc(y)))
+
+        On the CSR backend everything comes from one vectorized pass over
+        the adjacency arrays.
+        """
+        graph = self.graph
+        entries: list[HubEntry] = []
+        pruned = 0
+        arrays = self._mirror.arrays if self._mirror is not None else None
+        if isinstance(graph, CSRGraph) and arrays is not None:
+            n = graph.num_nodes
+            indeg = graph.in_degrees()
+            outdeg = graph.out_degrees()
+            eligible = self._eligible_mask
+            self._eager_equivalent += int(eligible.sum())
+            rp, rc = arrays.rp, arrays.rc
+            outdeg_f = outdeg.astype(np.float64)
+            in_ptr, in_idx = graph.in_indptr, graph.in_indices
+            out_ptr, out_idx = graph.out_indptr, graph.out_indices
+            # per-predecessor ratios / rates, segment-reduced per hub
+            # (empty in-slices occupy no room in in_idx, so the non-empty
+            # segments tile the flat array and reduceat sees exactly them)
+            hub_out = np.repeat(outdeg_f, indeg)
+            x_ratio = rp[in_idx] / (1.0 + np.minimum(outdeg_f[in_idx], hub_out))
+            x_min = np.full(n, np.inf)
+            x_min_plain = np.full(n, np.inf)
+            x_max = np.zeros(n)
+            pred_max_out = np.zeros(n, dtype=np.int64)
+            nz_in = np.nonzero(indeg)[0]
+            if nz_in.size:
+                starts = in_ptr[:-1][nz_in]
+                x_min[nz_in] = np.minimum.reduceat(x_ratio, starts)
+                x_min_plain[nz_in] = np.minimum.reduceat(rp[in_idx], starts)
+                x_max[nz_in] = np.maximum.reduceat(rp[in_idx], starts)
+                pred_max_out[nz_in] = np.maximum.reduceat(outdeg[in_idx], starts)
+            y_min = np.full(n, np.inf)
+            y_max = np.zeros(n)
+            nz_out = np.nonzero(outdeg)[0]
+            if nz_out.size:
+                starts = out_ptr[:-1][nz_out]
+                y_min[nz_out] = np.minimum.reduceat(rc[out_idx], starts)
+                y_max[nz_out] = np.maximum.reduceat(rc[out_idx], starts)
+            # a predecessor whose only successor is the hub contributes no
+            # cross-edge; when that holds for all of them, both bounds
+            # drop their cross terms (see docstring)
+            crossfree = pred_max_out <= 1
+            lower = (
+                np.where(
+                    crossfree,
+                    np.minimum(x_min_plain, y_min),
+                    np.minimum(x_min, y_min),
+                )
+                * OPT_BOUND_MARGIN
+            )
+            leg_dearest = np.maximum(
+                np.minimum(x_max, rc), np.minimum(rp, y_max)
+            )
+            dearest = np.where(
+                crossfree,
+                leg_dearest,
+                np.maximum(leg_dearest, np.minimum(x_max, y_max)),
+            )
+            seed = eligible & ~(lower > dearest)
+            pruned = int(eligible.sum()) - int(seed.sum())
+            for hub in np.nonzero(seed)[0].tolist():
+                self._hub_version[hub] = 1
+                self._dirty.add(hub)
+                entries.append((float(lower[hub]), hub, hub, 1, None))
+        else:
+            workload = self.workload
+            for hub in graph.nodes():
+                if hub not in self._eligible:
+                    continue
+                self._eager_equivalent += 1
+                out_w = graph.out_degree(hub)
+                lower = math.inf
+                lower_plain = math.inf
+                x_max = 0.0
+                crossfree = True
+                for x in graph.predecessors(hub):
+                    rpx = workload.rp(x)
+                    out_x = graph.out_degree(x)
+                    if out_x > 1:
+                        crossfree = False
+                    lower = min(lower, rpx / (1.0 + min(out_x, out_w)))
+                    lower_plain = min(lower_plain, rpx)
+                    x_max = max(x_max, rpx)
+                y_min = math.inf
+                y_max = 0.0
+                for y in graph.successors(hub):
+                    rcy = workload.rc(y)
+                    y_min = min(y_min, rcy)
+                    y_max = max(y_max, rcy)
+                lower = min(lower_plain if crossfree else lower, y_min)
+                lower *= OPT_BOUND_MARGIN
+                dearest = max(
+                    min(x_max, workload.rc(hub)),
+                    min(workload.rp(hub), y_max),
+                )
+                if not crossfree:
+                    dearest = max(dearest, min(x_max, y_max))
+                if lower > dearest:
+                    pruned += 1
+                    continue
+                self._hub_version[hub] = 1
+                self._dirty.add(hub)
+                entries.append((lower, self._rank[hub], hub, 1, None))
+        self.stats.hubs_pruned = pruned
+        self._hub_heap = entries
+        for _key, _rank, hub, _version, _result in entries:
+            self._queued.add(hub)
+            self._opt_lb[hub] = _key
+        heapq.heapify(self._hub_heap)
+
+    def _refresh_hub(self, hub: Node, upper_bound: float | None = None) -> None:
+        """Recompute hub ``w``'s champion sub-hub-graph and (re)queue it.
+
+        With ``upper_bound`` (lazy recomputes) the oracle may abandon the
+        peel once its pre-peel relaxation proves the champion cannot beat
+        the current best candidate; the certified bound is requeued as a
+        dirty entry (still a valid lower bound) instead of a champion.
+        """
         version = self._hub_version.get(hub, 0) + 1
         self._hub_version[hub] = version
-        if self.graph.in_degree(hub) == 0 or self.graph.out_degree(hub) == 0:
+        self._dirty.discard(hub)
+        if hub not in self._eligible:
             return  # cannot relay anything
         hub_graph = self._hub_cache.get(hub)
         if hub_graph is None:
             hub_graph = build_hub_graph(self.graph, hub, self.max_cross_edges)
             self._hub_cache[hub] = hub_graph
-        self.stats.oracle_calls += 1
         mirror = self._mirror
         result = densest_subgraph(
             hub_graph,
@@ -158,25 +423,69 @@ class ChitchatScheduler:
             self._uncovered,
             uncovered_mask=mirror.uncovered_mask if mirror else None,
             arrays=mirror.arrays if mirror else None,
+            upper_bound=upper_bound,
         )
-        if result is None or not result.covered:
+        if isinstance(result, OracleCutoff):
+            self.stats.oracle_early_exits += 1
+            self._dirty.add(hub)
+            self._queued.add(hub)
+            self._opt_lb[hub] = result.lower_bound
+            self._bound_state[hub] = self._state_version.get(hub, 0)
+            heapq.heappush(
+                self._hub_heap,
+                (result.lower_bound, self._rank[hub], hub, version, None),
+            )
             return
+        self.stats.oracle_calls += 1
+        if result is None or not result.covered:
+            # no uncovered element left in this hub-graph: coverage only
+            # shrinks further, so the hub is retired until a leg payment
+            # routes it back through an eager refresh
+            self._queued.discard(hub)
+            return
+        self._queued.add(hub)
+        self._opt_lb[hub] = result.opt_lower_bound
         heapq.heappush(
             self._hub_heap,
-            (result.cost_per_element, repr(hub), hub, version, result),
+            (result.cost_per_element, self._rank[hub], hub, version, result),
         )
 
-    def _best_hub_entry(self) -> tuple[float, str, Node, int, DensestResult] | None:
-        """Peek the freshest hub champion, discarding stale heap entries."""
-        while self._hub_heap:
-            entry = self._hub_heap[0]
-            _, _, hub, version, _ = entry
-            if version == self._hub_version.get(hub, 0):
+    def _best_hub_entry(self, limit: float = math.inf) -> HubEntry | None:
+        """Freshest hub champion, or None when no hub can beat ``limit``.
+
+        Discards stale-version entries.  In lazy mode, an entry whose hub
+        is dirty carries a lower bound of the true champion cost, so it is
+        re-oracled only when it reaches the heap top — a *clean* top entry
+        is therefore the global best hub candidate.  Each recompute passes
+        the cheapest competing candidate (``limit`` = best singleton, or
+        the next heap key) as the oracle's ``upper_bound`` so hubs that
+        cannot win this step abandon after an O(m) probe.
+        """
+        heap = self._hub_heap
+        while heap:
+            entry = heap[0]
+            key, _rank, hub, version, _result = entry
+            if version != self._hub_version.get(hub, 0):
+                heapq.heappop(heap)
+                continue
+            if key > limit:
+                # every entry's true cost is at least its key: a singleton
+                # wins this step regardless of what a recompute would find
+                return None
+            if hub not in self._dirty:
                 return entry
-            heapq.heappop(self._hub_heap)
+            heapq.heappop(heap)
+            if self._bound_state.get(hub) == self._state_version.get(hub, 0):
+                # this exact state was already probed (the parked bound is
+                # the probe's answer, and a popped key never exceeds the
+                # bar) — a second probe cannot cut off, peel directly
+                self._refresh_hub(hub)
+            else:
+                bar = limit if not heap else min(limit, heap[0][0])
+                self._refresh_hub(hub, upper_bound=bar)
         return None
 
-    def _best_singleton(self) -> tuple[float, str, Edge] | None:
+    def _best_singleton(self) -> tuple[float, int, Edge] | None:
         while self._singleton_heap:
             entry = self._singleton_heap[0]
             if entry[2] in self._uncovered:
@@ -224,36 +533,73 @@ class ChitchatScheduler:
             self.stats.selection_log.append(
                 ("hub", result.cost_per_element, len(newly))
             )
-        self._refresh_affected(result.covered)
+        # the selection's own hub-graph lost vertex weights (its legs were
+        # just paid) — the only hub whose champion can get cheaper
+        self._invalidate(result.covered, weight_drops=(hub,))
 
     def _apply_singleton(self, edge: Edge) -> None:
         u, v = edge
         if self.workload.rp(u) <= self.workload.rc(v):
             self._add_push(edge)
+            drops = (v,)  # edge is the push leg x -> w of G(v)
         else:
             self._add_pull(edge)
+            drops = (u,)  # edge is the pull leg w -> y of G(u)
         self._cover((edge,), None)
         self.stats.singleton_selections += 1
         if self._record_log:
             self.stats.selection_log.append(
                 ("singleton", hybrid_edge_cost(edge, self.workload), 1)
             )
-        self._refresh_affected([edge])
+        self._invalidate([edge], weight_drops=drops)
 
-    def _refresh_affected(self, covered_edges) -> None:
-        """Recompute every hub whose hub-graph contains a covered element.
+    def _invalidate(self, covered_edges, weight_drops: tuple[Node, ...]) -> None:
+        """Algorithm 1 line 14, split by how a hub's champion can move.
 
-        Edge ``a -> b`` appears in ``G(b)`` (as a push leg), ``G(a)`` (as a
-        pull leg), and ``G(w)`` for every wedge ``a -> w -> b`` (as a
-        cross-edge) — Algorithm 1 line 14.
+        Covering elements only *raises* champion costs, so in lazy mode
+        those hubs' heap keys remain valid lower bounds and the hubs are
+        merely marked dirty.  Paying a leg *lowers* the owning hub-graph's
+        vertex weight, which can cheapen its champion below the stale key,
+        so ``weight_drops`` (the selection's own hub, or the singleton's
+        push/pull counterpart) is refreshed eagerly.  Eager mode refreshes
+        every affected hub, exactly as published.
         """
-        affected: set[Node] = set()
-        for a, b in covered_edges:
-            affected.add(a)
-            affected.add(b)
-            affected.update(self._adjacency.wedge(a, b))
-        for hub in affected:
-            self._refresh_hub(hub)
+        affected = affected_hubs(self._adjacency, covered_edges)
+        affected &= self._eligible
+        if self._lazy:
+            self._eager_equivalent += len(affected)
+            versions = self._state_version
+            for hub in affected:
+                versions[hub] = versions.get(hub, 0) + 1
+            for hub in weight_drops:
+                versions[hub] = versions.get(hub, 0) + 1
+            for hub in affected & self._queued:
+                if hub in self._dirty:
+                    continue  # key already a valid optimum lower bound
+                if hub in weight_drops:
+                    continue  # the eager refresh below replaces its entry
+                # the live entry's key is the peel *output*, which is only
+                # 2-approximate and may overestimate the hub's champion
+                # after this covering event — downgrade the key to the
+                # certified optimum bound recorded at the last oracle call
+                version = self._hub_version.get(hub, 0) + 1
+                self._hub_version[hub] = version
+                self._dirty.add(hub)
+                heapq.heappush(
+                    self._hub_heap,
+                    (self._opt_lb[hub], self._rank[hub], hub, version, None),
+                )
+            # weight-drop refreshes happen at the current state, so their
+            # probes certify fresh bounds — bounding them by the best
+            # singleton parks hubs whose residual champion can't compete
+            singleton = self._best_singleton()
+            bar = singleton[0] if singleton is not None else None
+            for hub in weight_drops:
+                if hub in self._eligible:
+                    self._refresh_hub(hub, upper_bound=bar)
+        else:
+            for hub in affected:
+                self._refresh_hub(hub)
 
 
 def chitchat_schedule(
@@ -261,9 +607,12 @@ def chitchat_schedule(
     workload: Workload,
     max_cross_edges: int | None = None,
     backend: str = "auto",
+    lazy: bool = True,
 ) -> RequestSchedule:
     """Run CHITCHAT on a DISSEMINATION instance and return the schedule."""
-    return ChitchatScheduler(graph, workload, max_cross_edges, backend=backend).run()
+    return ChitchatScheduler(
+        graph, workload, max_cross_edges, backend=backend, lazy=lazy
+    ).run()
 
 
 def chitchat_with_stats(
@@ -271,10 +620,11 @@ def chitchat_with_stats(
     workload: Workload,
     max_cross_edges: int | None = None,
     backend: str = "auto",
+    lazy: bool = True,
 ) -> tuple[RequestSchedule, ChitchatStats]:
     """Like :func:`chitchat_schedule` but also returns run diagnostics."""
     scheduler = ChitchatScheduler(
-        graph, workload, max_cross_edges, record_log=True, backend=backend
+        graph, workload, max_cross_edges, record_log=True, backend=backend, lazy=lazy
     )
     schedule = scheduler.run()
     return schedule, scheduler.stats

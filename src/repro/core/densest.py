@@ -47,6 +47,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hubgraph import X_SIDE, HubGraph, HubVertex
+
+#: Relative margin shaved off every certified optimum lower bound.  The
+#: bounds are mathematically valid for real arithmetic, but the peel's
+#: float evaluation of the *same* champion can drift by ulps between
+#: states (summation order changes with the alive set); keys a hair below
+#: the certificate are always safe — they only trigger a recompute a
+#: moment earlier — whereas a key one ulp above the true value would make
+#: the lazy scheduler diverge from eager on cost ties.
+OPT_BOUND_MARGIN = 1.0 - 1e-9
 from repro.core.schedule import RequestSchedule
 from repro.errors import WorkloadError
 from repro.graph.digraph import Edge, Node
@@ -61,6 +70,15 @@ class DensestResult:
     key (0.0 when the subgraph is free, ``inf`` when it covers nothing).
     ``covered_ids`` holds the global CSR edge ids of ``covered`` (same
     iteration order) when the hub-graph was CSR-built, else ``None``.
+
+    ``opt_lower_bound`` is a certified lower bound on the *true optimum*
+    cost per element over all sub-hub-graphs (``max`` of the pre-peel
+    mediant relaxation and ``cost_per_element / 2`` from the Lemma 1
+    factor-2 guarantee).  Unlike the peel's output — which can dip when
+    covering events reshuffle the peel order — the true optimum only
+    rises while no leg of the hub-graph is paid for, so this bound stays
+    valid across coverage events: the lazy CHITCHAT heap uses it as the
+    downgraded key of a dirtied champion.
     """
 
     hub: Node
@@ -69,6 +87,7 @@ class DensestResult:
     covered: frozenset[Edge]
     weight: float
     covered_ids: np.ndarray | None = None
+    opt_lower_bound: float = 0.0
 
     @property
     def density(self) -> float:
@@ -85,6 +104,29 @@ class DensestResult:
         if not self.covered:
             return math.inf
         return self.weight / len(self.covered)
+
+
+@dataclass(frozen=True)
+class OracleCutoff:
+    """Early-exit outcome of a bounded oracle call.
+
+    Returned by :func:`densest_subgraph` when ``upper_bound`` is given and
+    the pre-peel mediant relaxation proves every sub-hub-graph of this hub
+    costs at least ``lower_bound`` (> ``upper_bound``) per covered
+    element: the caller's incumbent candidate cannot be beaten, so the
+    ``O(m log m)`` peel is skipped after an ``O(m)`` probe.
+
+    ``lower_bound`` is certified for the schedule state probed and remains
+    a valid lower bound on the hub's champion cost while none of the
+    hub-graph's legs is paid for: covering elements only shrinks the
+    coverage a sub-hub-graph gets for the same weight (cost per element
+    rises), whereas paying a leg zeroes a vertex weight (cost can drop).
+    The lazy CHITCHAT schedulers requeue the bound as a dirty heap key and
+    eagerly re-oracle hubs whose legs get scheduled.
+    """
+
+    hub: Node
+    lower_bound: float
 
 
 @dataclass(frozen=True)
@@ -156,6 +198,128 @@ class ScheduleMirror:
         self.uncovered_mask[:] = False
 
 
+#: Water-filling rounds of the bounded probe.  Each round costs a couple
+#: of weighted bincounts and the probe exits the moment its floor beats
+#: the caller's bound, so typical probes stop after one or two rounds.
+_PROBE_ROUNDS = 6
+#: Charge fraction a cross-edge shifts toward its less congested endpoint
+#: per round.
+_PROBE_STEP = 0.25
+#: Below this element count the probe runs its scalar twin even on the
+#: CSR path — per-call numpy overhead dominates on tiny hub-graphs.
+_PROBE_VECTOR_THRESHOLD = 192
+
+
+def _probe_bound_vectorized(
+    peel,
+    weight: np.ndarray,
+    alive: np.ndarray,
+    num_verts: int,
+) -> float:
+    """Best water-filled mediant floor found (margin applied), vectorized.
+
+    Deterministic in the oracle inputs alone — it always runs to
+    stagnation (or the round cap) so callers may cache the answer per
+    hub-state and skip re-probing an unchanged state.
+    """
+    prim = peel.assign_vert[alive]
+    alt = peel.assign_alt[alive]
+    w_prim = weight[prim]
+    w_alt = weight[alt]
+    # start all charge on the X side, except crosses whose X endpoint is
+    # already free while Y is not (charging a free vertex floors the bound
+    # at zero; both endpoints free genuinely means free coverage)
+    z = np.where((w_prim <= 0.0) & (w_alt > 0.0), 0.0, 1.0)
+    movable = (prim != alt) & (w_prim > 0.0) & (w_alt > 0.0)
+    any_movable = bool(movable.any())
+    # zero-weight vertices get garbage congestion via the 1.0 stand-in;
+    # they are never endpoints of a movable element, so it is masked out
+    safe_weight = np.where(weight > 0.0, weight, 1.0)
+    best = 0.0
+    for _ in range(_PROBE_ROUNDS):
+        load = np.bincount(prim, weights=z, minlength=num_verts)
+        load += np.bincount(alt, weights=1.0 - z, minlength=num_verts)
+        charged = load > 0.0
+        bound = float(np.min(weight[charged] / load[charged])) * OPT_BOUND_MARGIN
+        if bound <= best:
+            break  # water-filling stagnated
+        best = bound
+        if not any_movable:
+            break
+        congestion = load / safe_weight
+        delta = np.sign(congestion[prim] - congestion[alt])
+        z = np.where(movable, np.clip(z - _PROBE_STEP * delta, 0.0, 1.0), z)
+    return best
+
+
+def _probe_bound_python(
+    peel,
+    weight: list[float],
+    alive_element: list[bool],
+    num_verts: int,
+) -> float:
+    """Scalar twin of :func:`_probe_bound_vectorized`.
+
+    Used on the dict backend and, for small hub-graphs, on the CSR path
+    too (tight loops over a few dozen elements beat numpy call overhead).
+    """
+    prim_all = peel.assign_vert_list
+    alt_all = peel.assign_alt_list
+    prim: list[int] = []
+    alt: list[int] = []
+    z: list[float] = []
+    movable: list[int] = []
+    touched: set[int] = set()
+    for ei, is_alive in enumerate(alive_element):
+        if not is_alive:
+            continue
+        p, q = prim_all[ei], alt_all[ei]
+        wp, wq = weight[p], weight[q]
+        z.append(0.0 if (wp <= 0.0 and wq > 0.0) else 1.0)
+        prim.append(p)
+        alt.append(q)
+        touched.add(p)
+        touched.add(q)
+        if p != q and wp > 0.0 and wq > 0.0:
+            movable.append(len(z) - 1)
+    charged = list(touched)
+    load = [0.0] * num_verts
+    for k, p in enumerate(prim):
+        load[p] += z[k]
+        load[alt[k]] += 1.0 - z[k]
+    best = 0.0
+    for _ in range(_PROBE_ROUNDS):
+        bound = min(
+            weight[v] / load[v] for v in charged if load[v] > 0.0
+        ) * OPT_BOUND_MARGIN
+        if bound <= best:
+            break  # water-filling stagnated
+        best = bound
+        if not movable:
+            break
+        # shift charge toward the less congested endpoint, updating loads
+        # in place (Gauss-Seidel) so each round is one pass over the
+        # movable cross-edges instead of a full recount
+        for k in movable:
+            p, q = prim[k], alt[k]
+            congestion_p = load[p] / weight[p]
+            congestion_q = load[q] / weight[q]
+            if congestion_p > congestion_q:
+                shift = z[k] if z[k] < _PROBE_STEP else _PROBE_STEP
+                if shift > 0.0:
+                    z[k] -= shift
+                    load[p] -= shift
+                    load[q] += shift
+            elif congestion_q > congestion_p:
+                room = 1.0 - z[k]
+                shift = room if room < _PROBE_STEP else _PROBE_STEP
+                if shift > 0.0:
+                    z[k] += shift
+                    load[p] += shift
+                    load[q] -= shift
+    return best
+
+
 def densest_subgraph(
     hub_graph: HubGraph,
     workload: Workload,
@@ -163,7 +327,8 @@ def densest_subgraph(
     uncovered: set[Edge],
     uncovered_mask: np.ndarray | None = None,
     arrays: OracleArrays | None = None,
-) -> DensestResult | None:
+    upper_bound: float | None = None,
+) -> DensestResult | OracleCutoff | None:
     """Run the weighted peeling on ``hub_graph`` against ``uncovered``.
 
     Returns ``None`` when no sub-hub-graph covers any uncovered element.
@@ -173,6 +338,11 @@ def densest_subgraph(
     schedule mirrors; both are used only when the hub-graph carries
     :attr:`HubGraph.element_ids`, turning element filtering, degree
     counting, and weight computation into vectorized ops.
+
+    ``upper_bound`` enables the early exit: when the pre-peel relaxation
+    proves the champion's cost per element strictly exceeds it, the peel
+    is abandoned and an :class:`OracleCutoff` carrying the certified
+    bound is returned instead of a result.
     """
     hub = hub_graph.hub
     index = hub_graph.element_index()
@@ -184,9 +354,10 @@ def densest_subgraph(
     num_elems = len(index)
     element_ids = hub_graph.element_ids
     vectorized = element_ids is not None
+    use_vectorized = vectorized and uncovered_mask is not None
 
     # --- Restrict to the still-uncovered elements.
-    if uncovered_mask is not None and vectorized:
+    if use_vectorized:
         alive_arr = uncovered_mask[element_ids]
         alive_element = alive_arr.tolist()
         alive_count = int(alive_arr.sum())
@@ -203,25 +374,30 @@ def densest_subgraph(
     # --- Degrees over alive elements; only incident vertices join the peel
     # (a positive-weight vertex with no alive element would peel off first
     # at ratio 0, a free one would be dropped as useless — excluding them
-    # up front is output-equivalent and skips their bookkeeping).
-    if alive_arr is not None:
-        degree_arr = np.bincount(
-            peel.inc_vert[alive_arr[peel.inc_elem]], minlength=num_verts
-        )
-        degree = degree_arr.tolist()
-        active = np.nonzero(degree_arr)[0].tolist()
-    else:
-        degree = [0] * num_verts
+    # up front is output-equivalent and skips their bookkeeping).  Cutoff
+    # probes never need degrees, so the vectorized path defers them until
+    # after the probe's possible early exit.
+    def compute_degrees() -> tuple[list[int], list[int]]:
+        if alive_arr is not None:
+            degree_arr = np.bincount(
+                peel.inc_vert[alive_arr[peel.inc_elem]], minlength=num_verts
+            )
+            return degree_arr.tolist(), np.nonzero(degree_arr)[0].tolist()
+        counts = [0] * num_verts
         for ei, alive in enumerate(alive_element):
             if alive:
                 for i in endpoint_idx[ei]:
-                    degree[i] += 1
-        active = [i for i in range(num_verts) if degree[i] > 0]
+                    counts[i] += 1
+        return counts, [i for i in range(num_verts) if counts[i] > 0]
 
     # --- Vertex weights (vectorized when the leg masks are available;
     # leg element i touches exactly vertex i, so element_ids[:num_verts]
-    # are the leg edge ids in vertex order).
-    if arrays is not None and vectorized:
+    # are the leg edge ids in vertex order).  The scalar path prices only
+    # vertices with an alive element, so it needs the degrees up front.
+    weight_arr: np.ndarray | None = None
+    degree: list[int] | None = None
+    active: list[int] | None = None
+    if arrays is not None and use_vectorized:
         num_x = len(hub_graph.x_nodes)
         weight_x = np.where(
             arrays.push_mask[element_ids[:num_x]], 0.0, arrays.rp[peel.x_arr]
@@ -231,14 +407,47 @@ def densest_subgraph(
             0.0,
             arrays.rc[peel.y_arr],
         )
-        weight = np.concatenate((weight_x, weight_y)).tolist()
+        weight_arr = np.concatenate((weight_x, weight_y))
+        weight = weight_arr.tolist()
     else:
+        degree, active = compute_degrees()
         weight = [
             hub_graph.vertex_weight(verts[i], workload, schedule)
             if degree[i] > 0
             else 0.0
             for i in range(num_verts)
         ]
+
+    # --- Bounded probe (lazy CHITCHAT): a mediant relaxation floors the
+    # *optimum* cost per element without peeling.  Distribute each alive
+    # element's unit charge over its weighted endpoints: any sub-hub-graph
+    # S covers at most ``sum(load[v] for v in S)`` elements at weight
+    # ``sum(w[v] for v in S)``, so its ratio is at least
+    # ``min_v w[v] / load[v]`` — valid for *every* fractional assignment
+    # (by LP duality the best assignment attains the optimum exactly).  A
+    # few water-filling rounds move cross-edge charge toward the less
+    # congested endpoint, tightening the floor to near-exact; the moment
+    # it beats ``upper_bound`` the peel is abandoned.
+    mediant_bound = 0.0
+    if upper_bound is not None:
+        if alive_arr is not None and num_elems >= _PROBE_VECTOR_THRESHOLD:
+            mediant_bound = _probe_bound_vectorized(
+                peel,
+                weight_arr if weight_arr is not None else np.asarray(weight),
+                alive_arr,
+                num_verts,
+            )
+        else:
+            mediant_bound = _probe_bound_python(
+                peel, weight, alive_element, num_verts
+            )
+        if mediant_bound > upper_bound:
+            # even the relaxation costs more than the caller's incumbent:
+            # no sub-hub-graph here can win — abandon before peeling
+            return OracleCutoff(hub=hub, lower_bound=mediant_bound)
+
+    if degree is None:
+        degree, active = compute_degrees()
 
     # --- Peeling state (index-addressed).
     alive_vertex = [False] * num_verts
@@ -265,6 +474,13 @@ def densest_subgraph(
     best_covered = alive_count
     best_removed = 0  # prefix length of removal_order giving the best set
     removal_order: list[int] = []
+    # Certificate for ``opt_lower_bound``: when the peel first removes a
+    # vertex u of the optimal subgraph S*, the whole of S* is still alive,
+    # so u's ratio is at least d(u in S*)/w(u) >= opt density (removing u
+    # from S* cannot improve its density).  Hence opt density <= the
+    # maximum removal ratio, i.e. optimum cost >= 1 / max_removal_ratio —
+    # usually far tighter than the factor-2 worst case.
+    max_removal_ratio = 0.0
 
     while heap:
         r, v, i = heapq.heappop(heap)
@@ -272,6 +488,8 @@ def densest_subgraph(
             continue  # stale heap entry
         if math.isinf(r):
             break  # only free vertices remain; peeling them never helps
+        if r > max_removal_ratio:
+            max_removal_ratio = r
         alive_vertex[i] = False
         removal_order.append(i)
         total_weight -= weight[i]
@@ -321,18 +539,24 @@ def densest_subgraph(
     covered = {index[ei][0] for ei in covered_pos}
     useful = np.unique(peel.inc_vert[covered_arr[peel.inc_elem]])
     selected = useful[~removed_mask[useful]].tolist()
-    xs = tuple(
-        sorted((verts[i][1] for i in selected if verts[i][0] == X_SIDE), key=repr)
-    )
-    ys = tuple(
-        sorted((verts[i][1] for i in selected if verts[i][0] != X_SIDE), key=repr)
-    )
+    # `selected` is ascending vertex indices and the vertex list follows
+    # the canonical (repr-sorted) x_nodes/y_nodes order, so splitting by
+    # side preserves the historical output order without re-sorting.
+    xs = tuple(verts[i][1] for i in selected if verts[i][0] == X_SIDE)
+    ys = tuple(verts[i][1] for i in selected if verts[i][0] != X_SIDE)
     final_weight = sum(weight[i] for i in selected)
     covered_ids = (
         element_ids[np.asarray(covered_pos, dtype=np.int64)]
         if vectorized
         else None
     )
+    cost_per_element = final_weight / len(covered)
+    opt_lb = max(mediant_bound, cost_per_element / 2.0)
+    if max_removal_ratio > 0.0:
+        opt_lb = max(opt_lb, OPT_BOUND_MARGIN / max_removal_ratio)
+    # the returned subgraph is itself feasible, so the optimum can never
+    # exceed its cost; the clamp guards the certificate against float fuzz
+    opt_lb = min(opt_lb, cost_per_element * OPT_BOUND_MARGIN)
     return DensestResult(
         hub=hub,
         x_selected=xs,
@@ -340,6 +564,7 @@ def densest_subgraph(
         covered=frozenset(covered),
         weight=final_weight,
         covered_ids=covered_ids,
+        opt_lower_bound=opt_lb,
     )
 
 
@@ -369,7 +594,10 @@ def unweighted_densest_subgraph(
     alive = {v: True for v in nodes}
     edge_count = sum(degree.values()) // 2
     node_count = len(nodes)
-    heap = [(degree[v], repr(v), v) for v in nodes]
+    # integer tie-break ranks (one repr sort up front instead of a string
+    # per heap entry); rank order matches the historical repr ordering
+    rank = {v: i for i, v in enumerate(sorted(nodes, key=repr))}
+    heap = [(degree[v], rank[v], v) for v in nodes]
     heapq.heapify(heap)
     best_density = edge_count / node_count
     best_removed = 0
@@ -385,7 +613,7 @@ def unweighted_densest_subgraph(
         for u in adjacency[v]:
             if alive[u]:
                 degree[u] -= 1
-                heapq.heappush(heap, (degree[u], repr(u), u))
+                heapq.heappush(heap, (degree[u], rank[u], u))
         density = edge_count / node_count
         if density > best_density:
             best_density = density

@@ -56,8 +56,13 @@ class PeelIndex:
     ``verts`` lists the weighted vertices X side first (in ``x_nodes``
     order) then Y side, so leg element ``i`` touches exactly vertex ``i``.
     ``inc_vert``/``inc_elem`` are the flattened (vertex, element) incidence
-    pairs for vectorized degree counting; ``x_arr``/``y_arr`` are the side
-    node ids as int64 arrays (CSR builds only, else ``None``).
+    pairs for vectorized degree counting; ``assign_vert[e]`` /
+    ``assign_alt[e]`` are the primary and alternate vertices element ``e``
+    can be *charged* to by the oracle's early-exit relaxation (legs touch
+    one vertex, so both are that vertex; a cross-edge's primary is its X
+    endpoint and alternate its Y endpoint — the probe reroutes charge away
+    from zero-weight endpoints); ``x_arr``/``y_arr`` are the side node ids
+    as int64 arrays (CSR builds only, else ``None``).
     """
 
     verts: list[HubVertex]
@@ -65,6 +70,10 @@ class PeelIndex:
     incident: list[list[int]]
     inc_vert: np.ndarray
     inc_elem: np.ndarray
+    assign_vert: np.ndarray
+    assign_alt: np.ndarray
+    assign_vert_list: list[int]
+    assign_alt_list: list[int]
     x_arr: np.ndarray | None
     y_arr: np.ndarray | None
 
@@ -158,13 +167,27 @@ class HubGraph:
             ]
             inc_vert = np.asarray([i for i, _ in pairs], dtype=np.int64)
             inc_elem = np.asarray([ei for _, ei in pairs], dtype=np.int64)
+            assign_vert_list = [idxs[0] for idxs in endpoint_idx]
+            assign_alt_list = [idxs[-1] for idxs in endpoint_idx]
+            assign_vert = np.asarray(assign_vert_list, dtype=np.int64)
+            assign_alt = np.asarray(assign_alt_list, dtype=np.int64)
             if self.element_ids is not None:  # CSR build: integer node ids
                 x_arr = np.asarray(self.x_nodes, dtype=np.int64)
                 y_arr = np.asarray(self.y_nodes, dtype=np.int64)
             else:
                 x_arr = y_arr = None
             self._peel_index = PeelIndex(
-                verts, endpoint_idx, incident, inc_vert, inc_elem, x_arr, y_arr
+                verts,
+                endpoint_idx,
+                incident,
+                inc_vert,
+                inc_elem,
+                assign_vert,
+                assign_alt,
+                assign_vert_list,
+                assign_alt_list,
+                x_arr,
+                y_arr,
             )
         return self._peel_index
 

@@ -24,7 +24,7 @@ from collections import defaultdict
 
 from repro.core.cost import schedule_cost
 from repro.core.schedule import RequestSchedule
-from repro.errors import ScheduleError
+from repro.errors import ScheduleError, WorkloadError
 from repro.graph.digraph import Edge, Node, SocialGraph
 from repro.workload.rates import Workload
 
@@ -64,6 +64,15 @@ class IncrementalMaintainer:
         self._by_hub: dict[Node, set[Edge]] = defaultdict(set)
         for edge, hub in schedule.hub_cover.items():
             self._by_hub[hub].add(edge)
+        # floor rates for users outside the original workload, computed
+        # once here instead of rescanning every rate per fallback call
+        # (``cost()`` hits the fallback for every post-construction user)
+        self._rp_floor = min(
+            (r for r in workload.production.values() if r > 0), default=1.0
+        )
+        self._rc_floor = min(
+            (r for r in workload.consumption.values() if r > 0), default=1.0
+        )
 
     # ------------------------------------------------------------------
     # Rate access tolerant to users outside the original workload
@@ -71,16 +80,14 @@ class IncrementalMaintainer:
     def _rp(self, user: Node) -> float:
         try:
             return self.workload.rp(user)
-        except Exception:
-            positives = [r for r in self.workload.production.values() if r > 0]
-            return min(positives) if positives else 1.0
+        except WorkloadError:  # user joined after construction
+            return self._rp_floor
 
     def _rc(self, user: Node) -> float:
         try:
             return self.workload.rc(user)
-        except Exception:
-            positives = [r for r in self.workload.consumption.values() if r > 0]
-            return min(positives) if positives else 1.0
+        except WorkloadError:  # user joined after construction
+            return self._rc_floor
 
     def _serve_directly(self, edge: Edge) -> None:
         u, v = edge

@@ -235,6 +235,67 @@ class NeighborSetCache:
         return [w for w in pred_b if w in succ_a]
 
 
+def node_ranks(graph: GraphView) -> dict[Node, int]:
+    """Canonical ``node -> integer`` ranks for heap tie-breaking.
+
+    Integer-id graphs rank nodes numerically on both backends, so CSR and
+    dict runs break priority ties identically (and ``10`` sorts after
+    ``9``, unlike the old ``repr``-based keys where ``"10" < "9"``).
+    Graphs with non-integer ids fall back to one ``repr`` sort at
+    construction time — a single pass of string allocations instead of one
+    per heap entry.
+    """
+    if isinstance(graph, CSRGraph):
+        return {node: node for node in range(graph.num_nodes)}
+    nodes = list(graph.nodes())
+    if all(type(node) is int for node in nodes):
+        return {node: node for node in nodes}
+    return {node: i for i, node in enumerate(sorted(nodes, key=repr))}
+
+
+def edge_ranks(
+    graph: GraphView,
+    edges: list[Edge],
+    ranks: dict[Node, int] | None = None,
+) -> list[int]:
+    """Position of every edge in the canonical ``(rank(u), rank(v))`` order.
+
+    ``edges`` must be the :func:`edge_list` of ``graph``.  On the CSR
+    backend that list is already (src, dst)-sorted, so the ranks are the
+    positions themselves (the global CSR edge ids); the dict backend pays
+    one index sort.  Used as integer heap tie-breaks so both backends
+    resolve equal-priority singletons identically.
+    """
+    if isinstance(graph, CSRGraph):
+        return list(range(len(edges)))
+    if ranks is None:
+        ranks = node_ranks(graph)
+    order = sorted(
+        range(len(edges)),
+        key=lambda i: (ranks[edges[i][0]], ranks[edges[i][1]]),
+    )
+    rank_of = [0] * len(edges)
+    for pos, i in enumerate(order):
+        rank_of[i] = pos
+    return rank_of
+
+
+def affected_hubs(adjacency: NeighborSetCache, covered_edges) -> set[Node]:
+    """Every hub whose hub-graph contains one of ``covered_edges``.
+
+    Edge ``a -> b`` appears in ``G(b)`` (as a push leg), ``G(a)`` (as a
+    pull leg), and ``G(w)`` for every wedge ``a -> w -> b`` (as a
+    cross-edge) — the invalidation set of Algorithm 1 line 14, shared by
+    the CHITCHAT schedulers' dirty-hub marking.
+    """
+    affected: set[Node] = set()
+    for a, b in covered_edges:
+        affected.add(a)
+        affected.add(b)
+        affected.update(adjacency.wedge(a, b))
+    return affected
+
+
 def edge_list(graph: GraphView) -> list[Edge]:
     """All edges as a list of ``(producer, consumer)`` Python-int tuples.
 

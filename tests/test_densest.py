@@ -201,3 +201,83 @@ class TestUnweightedReference:
         nodes, density = unweighted_densest_subgraph({1: {2}, 2: {1}})
         assert density == pytest.approx(0.5)
         assert nodes == {1, 2}
+
+
+class TestBoundedOracle:
+    """The ``upper_bound`` early exit and the certified optimum bounds."""
+
+    def _wedge_hub(self, wedge_graph):
+        return build_hub_graph(wedge_graph, CHARLIE)
+
+    def test_low_upper_bound_returns_cutoff(self, wedge_graph):
+        from repro.core.densest import OracleCutoff
+
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        hub = self._wedge_hub(wedge_graph)
+        uncovered = set(wedge_graph.edges())
+        result = densest_subgraph(
+            hub, w, RequestSchedule(), uncovered, upper_bound=1e-6
+        )
+        assert isinstance(result, OracleCutoff)
+        assert result.hub == CHARLIE
+        assert result.lower_bound > 1e-6
+
+    def test_high_upper_bound_matches_unbounded_result(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        hub = self._wedge_hub(wedge_graph)
+        uncovered = set(wedge_graph.edges())
+        unbounded = densest_subgraph(hub, w, RequestSchedule(), uncovered)
+        bounded = densest_subgraph(
+            hub, w, RequestSchedule(), uncovered, upper_bound=1e9
+        )
+        assert bounded.covered == unbounded.covered
+        assert bounded.x_selected == unbounded.x_selected
+        assert bounded.y_selected == unbounded.y_selected
+        assert bounded.cost_per_element == unbounded.cost_per_element
+
+    def test_no_upper_bound_never_returns_cutoff(self, wedge_graph):
+        from repro.core.densest import OracleCutoff
+
+        w = make_uniform(wedge_graph, rp=1.0, rc=50.0)
+        hub = self._wedge_hub(wedge_graph)
+        result = densest_subgraph(
+            hub, w, RequestSchedule(), set(wedge_graph.edges())
+        )
+        assert not isinstance(result, OracleCutoff)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounds_never_exceed_true_optimum(self, seed):
+        """Both certificates (cutoff bound, result.opt_lower_bound) must
+        lower-bound the exhaustive optimum cost per element."""
+        import random
+
+        from repro.core.densest import OracleCutoff
+        from repro.graph.generators import social_copying_graph
+        from repro.workload.rates import log_degree_workload
+
+        rng = random.Random(seed)
+        graph = social_copying_graph(
+            12, out_degree=3, copy_fraction=0.7, reciprocity=0.4, seed=seed
+        )
+        workload = log_degree_workload(graph, read_write_ratio=2.0)
+        uncovered = {e for e in graph.edges() if rng.random() < 0.8}
+        for hub_node in graph.nodes():
+            if graph.in_degree(hub_node) == 0 or graph.out_degree(hub_node) == 0:
+                continue
+            hub = build_hub_graph(graph, hub_node)
+            best_density, best = brute_force_best(
+                hub, workload, RequestSchedule(), uncovered
+            )
+            if best is None:
+                continue
+            opt_cost = 0.0 if math.isinf(best_density) else 1.0 / best_density
+            # a sub-epsilon bound forces the probe on every viable hub
+            probe = densest_subgraph(
+                hub, workload, RequestSchedule(), uncovered, upper_bound=-1.0
+            )
+            assert isinstance(probe, OracleCutoff)
+            assert probe.lower_bound <= opt_cost + 1e-9
+            full = densest_subgraph(hub, workload, RequestSchedule(), uncovered)
+            assert full is not None
+            assert full.opt_lower_bound <= opt_cost + 1e-9
+            assert full.opt_lower_bound <= full.cost_per_element + 1e-12

@@ -148,3 +148,54 @@ class TestChurn:
         graph, workload, schedule = wedge_with_schedule()
         m = IncrementalMaintainer(graph, workload, schedule)
         assert m.cost() == pytest.approx(schedule_cost(schedule, workload))
+
+
+class TestRateFloors:
+    def test_floors_precomputed_once_at_construction(self):
+        """The positive-rate floors are fixed at construction: mutating the
+        workload tables afterwards must not change the fallback rates."""
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        floor_rp, floor_rc = m._rp_floor, m._rc_floor
+        assert floor_rp == min(r for r in workload.production.values() if r > 0)
+        assert floor_rc == min(r for r in workload.consumption.values() if r > 0)
+        workload.production[ART] = 1e-9  # simulated drift after construction
+        try:
+            unknown = 999
+            assert m._rp(unknown) == floor_rp
+            assert m._rc(unknown) == floor_rc
+        finally:
+            workload.production[ART] = 1.0
+
+    def test_unknown_user_uses_floor_rates(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        m.add_edge(ART, 42)  # new user unknown to the workload
+        assert m.is_feasible()
+        # priced with the floors, so cost stays finite and comparable
+        assert m.cost() > 0
+
+    def test_non_workload_errors_propagate(self):
+        """Only the missing-user WorkloadError is caught; a broken rate
+        accessor must not be silently swallowed by the floor fallback."""
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+
+        class Boom(Exception):
+            pass
+
+        class BrokenWorkload:
+            production = workload.production
+            consumption = workload.consumption
+
+            def rp(self, user):
+                raise Boom("unexpected failure")
+
+            def rc(self, user):
+                raise Boom("unexpected failure")
+
+        m.workload = BrokenWorkload()
+        with pytest.raises(Boom):
+            m._rp(ART)
+        with pytest.raises(Boom):
+            m._rc(ART)

@@ -1,0 +1,176 @@
+"""Laziness tests: the dirty-hub heap must be invisible in the output.
+
+The CELF-style lazy CHITCHAT (and the lazy BATCHEDCHITCHAT round refresh)
+may only change *how often the oracle runs*, never what gets scheduled:
+
+* property tests assert lazy and eager modes produce byte-identical
+  schedules (same push/pull/hub_cover sets, same cost) on random
+  instances, on both adjacency backends;
+* ``stats.oracle_calls`` must be strictly lower in lazy mode on
+  non-trivial instances, with ``oracle_calls_saved`` accounting for the
+  eager-equivalent refreshes the heap never ran;
+* the bootstrap prune may only drop hubs that provably can never win.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.batched import BatchedChitchat
+from repro.core.chitchat import ChitchatScheduler, chitchat_with_stats
+from repro.core.coverage import validate_schedule
+from repro.core.cost import schedule_cost
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import Workload, log_degree_workload
+
+SMALL = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw, max_nodes: int = 12, max_edges: int = 40):
+    """A random dense-id directed graph plus positive rates (CSR-ready)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(n) if u != v]
+    edges = draw(
+        st.lists(st.sampled_from(possible), min_size=1, max_size=max_edges)
+    )
+    graph = SocialGraph(edges)
+    graph.add_nodes_from(range(n))
+    rate = st.floats(
+        min_value=0.05, max_value=20.0, allow_nan=False, allow_infinity=False
+    )
+    production = {node: draw(rate) for node in range(n)}
+    consumption = {node: draw(rate) for node in range(n)}
+    return graph, Workload(production=production, consumption=consumption)
+
+
+def assert_same_schedule(a, b):
+    assert a.push == b.push
+    assert a.pull == b.pull
+    assert a.hub_cover == b.hub_cover
+
+
+class TestLazyEagerEquality:
+    @SMALL
+    @given(instances())
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_chitchat_lazy_matches_eager(self, backend, instance):
+        graph, workload = instance
+        eager = ChitchatScheduler(graph, workload, backend=backend, lazy=False)
+        lazy = ChitchatScheduler(graph, workload, backend=backend, lazy=True)
+        eager_schedule = eager.run()
+        lazy_schedule = lazy.run()
+        assert_same_schedule(eager_schedule, lazy_schedule)
+        assert schedule_cost(lazy_schedule, workload) == pytest.approx(
+            schedule_cost(eager_schedule, workload)
+        )
+        validate_schedule(graph, lazy_schedule)
+        # laziness never runs more full peels than the eager rule
+        assert lazy.stats.oracle_calls <= eager.stats.oracle_calls
+        assert lazy.stats.oracle_calls_saved >= 0
+        assert eager.stats.oracle_calls_saved == 0
+
+    @SMALL
+    @given(instances())
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_batched_lazy_matches_eager(self, backend, instance):
+        graph, workload = instance
+        eager = BatchedChitchat(graph, workload, backend=backend, lazy=False)
+        lazy = BatchedChitchat(graph, workload, backend=backend, lazy=True)
+        assert_same_schedule(eager.run(), lazy.run())
+
+    def test_lazy_matches_eager_across_backends(self):
+        """Lazy mode must also keep the dict/CSR backend equivalence."""
+        graph = social_copying_graph(
+            200, out_degree=8, copy_fraction=0.7, reciprocity=0.3, seed=11
+        )
+        workload = log_degree_workload(graph, read_write_ratio=3.0)
+        schedules = [
+            ChitchatScheduler(graph, workload, backend=backend, lazy=lazy).run()
+            for backend in ("dict", "csr")
+            for lazy in (False, True)
+        ]
+        for other in schedules[1:]:
+            assert_same_schedule(schedules[0], other)
+
+
+class TestOracleCallSavings:
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_strictly_fewer_oracle_calls_on_nontrivial_instance(self, backend):
+        graph = social_copying_graph(
+            250, out_degree=8, copy_fraction=0.7, reciprocity=0.3, seed=3
+        )
+        workload = log_degree_workload(graph, read_write_ratio=5.0)
+        eager = ChitchatScheduler(graph, workload, backend=backend, lazy=False)
+        lazy = ChitchatScheduler(graph, workload, backend=backend, lazy=True)
+        assert_same_schedule(eager.run(), lazy.run())
+        assert lazy.stats.oracle_calls < eager.stats.oracle_calls
+        assert lazy.stats.oracle_calls_saved > 0
+        # saved = what eager would have peeled minus what lazy peeled
+        assert (
+            lazy.stats.oracle_calls + lazy.stats.oracle_calls_saved
+            == eager.stats.oracle_calls
+        )
+
+    def test_early_exits_happen_and_are_not_counted_as_calls(self):
+        graph = social_copying_graph(
+            250, out_degree=8, copy_fraction=0.7, reciprocity=0.3, seed=3
+        )
+        workload = log_degree_workload(graph, read_write_ratio=5.0)
+        _schedule, stats = chitchat_with_stats(graph, workload, backend="csr")
+        assert stats.oracle_early_exits > 0
+
+    def test_batched_lazy_saves_oracle_calls(self):
+        graph = social_copying_graph(
+            250, out_degree=8, copy_fraction=0.7, reciprocity=0.3, seed=3
+        )
+        workload = log_degree_workload(graph, read_write_ratio=5.0)
+        eager = BatchedChitchat(graph, workload, backend="csr", lazy=False)
+        lazy = BatchedChitchat(graph, workload, backend="csr", lazy=True)
+        assert_same_schedule(eager.run(), lazy.run())
+        assert lazy.stats.oracle_calls < eager.stats.oracle_calls
+        assert lazy.stats.oracle_calls_saved > 0
+
+
+class TestBootstrapPrune:
+    def make_star(self):
+        """Cross-free star whose only eligible hub can never beat its
+        singletons: leaf producers feed a cheap-rate hub serving cheap
+        consumers, so every leg's hybrid price undercuts the hub bound."""
+        edges = [(i, 5) for i in range(5)] + [(5, j) for j in range(6, 10)]
+        graph = SocialGraph(edges)
+        production = {n: 2.0 for n in graph.nodes()}
+        consumption = {n: 1.0 for n in graph.nodes()}
+        production[5] = 0.05
+        consumption[5] = 0.05
+        return graph, Workload(production=production, consumption=consumption)
+
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_crossfree_hub_pruned_without_any_oracle_call(self, backend):
+        graph, workload = self.make_star()
+        dense, mapping = graph.relabeled()
+        dense_workload = Workload(
+            production={mapping[n]: workload.production[n] for n in graph.nodes()},
+            consumption={mapping[n]: workload.consumption[n] for n in graph.nodes()},
+        )
+        eager = ChitchatScheduler(dense, dense_workload, backend=backend, lazy=False)
+        lazy = ChitchatScheduler(dense, dense_workload, backend=backend, lazy=True)
+        assert_same_schedule(eager.run(), lazy.run())
+        assert lazy.stats.hubs_pruned == 1
+        assert lazy.stats.oracle_calls == 0
+        assert eager.stats.oracle_calls > 0
+
+    @SMALL
+    @given(instances())
+    def test_prune_never_changes_the_schedule(self, instance):
+        graph, workload = instance
+        lazy = ChitchatScheduler(graph, workload, backend="dict", lazy=True)
+        eager = ChitchatScheduler(graph, workload, backend="dict", lazy=False)
+        assert_same_schedule(eager.run(), lazy.run())

@@ -36,22 +36,24 @@ def naive_chitchat(graph: SocialGraph, workload: Workload) -> RequestSchedule:
     uncovered = set(graph.edges())
     while uncovered:
         # best hub champion across ALL hubs, recomputed from scratch
+        # (ties break by integer node/edge ids, matching the scheduler's
+        # rank-based heap keys)
         best = None
-        for hub in sorted(graph.nodes(), key=repr):
+        for hub in sorted(graph.nodes()):
             if graph.in_degree(hub) == 0 or graph.out_degree(hub) == 0:
                 continue
             hub_graph = build_hub_graph(graph, hub)
             result = densest_subgraph(hub_graph, workload, schedule, uncovered)
             if result is None or not result.covered:
                 continue
-            if best is None or (result.cost_per_element, repr(result.hub)) < (
+            if best is None or (result.cost_per_element, result.hub) < (
                 best.cost_per_element,
-                repr(best.hub),
+                best.hub,
             ):
                 best = result
         # best singleton
         singleton_edge = min(
-            uncovered, key=lambda e: (hybrid_edge_cost(e, workload), repr(e))
+            uncovered, key=lambda e: (hybrid_edge_cost(e, workload), e)
         )
         singleton_price = hybrid_edge_cost(singleton_edge, workload)
 
