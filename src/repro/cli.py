@@ -30,26 +30,54 @@ import time
 
 from repro.analysis.reporting import format_table
 from repro.core.baselines import hybrid_schedule, pull_all_schedule, push_all_schedule
-from repro.core.chitchat import chitchat_schedule
+from repro.core.chitchat import ChitchatScheduler, ChitchatStats
 from repro.core.cost import schedule_cost
 from repro.core.coverage import validate_schedule
 from repro.core.parallelnosy import parallel_nosy_schedule
 from repro.core.serialize import load_schedule, load_workload, save_schedule
 from repro.errors import ReproError
+from repro.flow.exact_oracle import ORACLE_MODES
 from repro.graph.io import read_edge_list
 from repro.graph.stats import summarize
 from repro.workload.rates import log_degree_workload
 
+
+def _run_chitchat(graph, workload, args):
+    """CHITCHAT with the CLI's oracle selection; returns (schedule, stats)."""
+    scheduler = ChitchatScheduler(
+        graph,
+        workload,
+        max_cross_edges=args.cross_edge_bound,
+        oracle=getattr(args, "oracle", "peel"),
+    )
+    return scheduler.run(), scheduler.stats
+
+
+def _oracle_stats_line(oracle: str, stats: ChitchatStats) -> str:
+    """One-line oracle diagnostics for ``--stats`` output."""
+    return (
+        f"oracle={oracle}: calls={stats.oracle_calls} "
+        f"exact={stats.exact_oracle_calls} "
+        f"early_exits={stats.oracle_early_exits} "
+        f"saved={stats.oracle_calls_saved} "
+        f"retained={stats.champions_retained} "
+        f"pruned={stats.hubs_pruned} "
+        f"hub_selections={stats.hub_selections} "
+        f"singletons={stats.singleton_selections}"
+    )
+
+
+#: Every factory returns ``(schedule, oracle_stats-or-None)``; only
+#: CHITCHAT has oracle diagnostics to surface.
 ALGORITHMS = {
-    "parallelnosy": lambda g, w, args: parallel_nosy_schedule(
-        g, w, max_iterations=args.iterations
+    "parallelnosy": lambda g, w, args: (
+        parallel_nosy_schedule(g, w, max_iterations=args.iterations),
+        None,
     ),
-    "chitchat": lambda g, w, args: chitchat_schedule(
-        g, w, max_cross_edges=args.cross_edge_bound
-    ),
-    "hybrid": lambda g, w, args: hybrid_schedule(g, w),
-    "push-all": lambda g, w, args: push_all_schedule(g),
-    "pull-all": lambda g, w, args: pull_all_schedule(g),
+    "chitchat": _run_chitchat,
+    "hybrid": lambda g, w, args: (hybrid_schedule(g, w), None),
+    "push-all": lambda g, w, args: (push_all_schedule(g), None),
+    "pull-all": lambda g, w, args: (pull_all_schedule(g), None),
 }
 
 
@@ -98,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="CHITCHAT per-hub cross-edge bound b",
     )
+    opt.add_argument(
+        "--oracle",
+        choices=ORACLE_MODES,
+        default="peel",
+        help="CHITCHAT densest-subgraph oracle: the factor-2 peel "
+        "(default), the exact parametric max-flow oracle, or auto "
+        "(exact on small hub-graphs, peel on dense ones)",
+    )
+    opt.add_argument(
+        "--stats",
+        action="store_true",
+        help="print oracle diagnostics (CHITCHAT only): full evaluations, "
+        "early exits, lazy savings, retained champions",
+    )
     _add_workload_options(opt)
 
     val = sub.add_parser("validate", help="check Theorem 1 coverage of a schedule")
@@ -113,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("graph")
     cmp_.add_argument("--iterations", type=int, default=15)
     cmp_.add_argument("--cross-edge-bound", type=int, default=None)
+    cmp_.add_argument(
+        "--oracle",
+        choices=ORACLE_MODES,
+        default="peel",
+        help="CHITCHAT densest-subgraph oracle (see optimize --oracle)",
+    )
+    cmp_.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a CHITCHAT oracle-diagnostics line below the table",
+    )
     cmp_.add_argument(
         "--skip-chitchat",
         action="store_true",
@@ -130,24 +183,28 @@ def cmd_optimize(args) -> int:
     graph = read_edge_list(args.graph)
     workload = _load_workload(graph, args)
     started = time.perf_counter()
-    schedule = ALGORITHMS[args.algorithm](graph, workload, args)
+    schedule, stats = ALGORITHMS[args.algorithm](graph, workload, args)
     elapsed = time.perf_counter() - started
     validate_schedule(graph, schedule)
-    records = save_schedule(
-        schedule,
-        args.output,
-        metadata={
-            "algorithm": args.algorithm,
-            "graph": str(args.graph),
-            "nodes": graph.num_nodes,
-            "edges": graph.num_edges,
-            "cost": schedule_cost(schedule, workload),
-        },
-    )
+    metadata = {
+        "algorithm": args.algorithm,
+        "graph": str(args.graph),
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "cost": schedule_cost(schedule, workload),
+    }
+    if args.algorithm == "chitchat":
+        metadata["oracle"] = args.oracle
+    records = save_schedule(schedule, args.output, metadata=metadata)
     print(
         f"{args.algorithm}: cost={schedule_cost(schedule, workload):.1f} "
         f"({records} records -> {args.output}, {elapsed:.1f}s)"
     )
+    if args.stats:
+        if stats is not None:
+            print(_oracle_stats_line(args.oracle, stats))
+        else:
+            print(f"(no oracle stats for {args.algorithm})")
     return 0
 
 
@@ -186,12 +243,15 @@ def cmd_compare(args) -> int:
     graph = read_edge_list(args.graph)
     workload = _load_workload(graph, args)
     rows = []
+    chitchat_stats = None
     baseline = schedule_cost(hybrid_schedule(graph, workload), workload)
     for name, factory in ALGORITHMS.items():
         if args.skip_chitchat and name == "chitchat":
             continue
         started = time.perf_counter()
-        schedule = factory(graph, workload, args)
+        schedule, stats = factory(graph, workload, args)
+        if stats is not None:
+            chitchat_stats = stats
         elapsed = time.perf_counter() - started
         validate_schedule(graph, schedule)
         cost = schedule_cost(schedule, workload)
@@ -205,6 +265,8 @@ def cmd_compare(args) -> int:
             }
         )
     print(format_table(rows, title=f"{args.graph}: schedule comparison"))
+    if args.stats and chitchat_stats is not None:
+        print(_oracle_stats_line(args.oracle, chitchat_stats))
     return 0
 
 

@@ -13,6 +13,13 @@ run as vectorized kernels over flat edge arrays, while ``"dict"``/``"csr"``
 force a backend.  Both backends are property-tested to produce identical
 schedules and costs (``tests/test_graphview.py``), so the fast path is a
 pure performance choice.
+
+The CHITCHAT schedulers additionally take an ``oracle=`` parameter
+selecting the densest-subgraph oracle: ``"peel"`` (the paper's factor-2
+peeling, default), ``"exact"`` (the parametric max-flow subsystem of
+:mod:`repro.flow`, true optima), or ``"auto"`` (exact on small
+hub-graphs, peel on dense ones).  Shared float-comparison tolerances
+live in :mod:`repro.core.tolerances`.
 """
 
 from repro.core.active import (

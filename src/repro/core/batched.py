@@ -50,6 +50,8 @@ from repro.core.densest import (
 )
 from repro.core.hubgraph import HubGraph, build_hub_graph
 from repro.core.schedule import RequestSchedule
+from repro.core.tolerances import COST_EPS
+from repro.flow.exact_oracle import ExactOracle, use_exact, validate_oracle_mode
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node
 from repro.graph.view import (
@@ -67,17 +69,22 @@ from repro.workload.rates import Workload
 class BatchedStats:
     """Run diagnostics: rounds, oracle calls, acceptance behavior.
 
-    ``oracle_calls`` counts full densest-subgraph peels;
+    ``oracle_calls`` counts full densest-subgraph evaluations (peels and
+    exact max-flow solves; ``exact_oracle_calls`` is the flow subset);
     ``oracle_early_exits`` counts bounded probes abandoned via the
-    oracle's pre-peel lower bound; ``oracle_calls_saved`` is how many full
-    peels the eager per-round refresh would have run that the lazy bounds
-    avoided (0 in eager mode).
+    oracle's pre-evaluation lower bound; ``oracle_calls_saved`` is how
+    many full evaluations the eager per-round refresh would have run that
+    the lazy bounds avoided (0 in eager mode); ``champions_retained``
+    counts hubs kept clean across a round because no acceptance touched
+    their exact champion's covered set.
     """
 
     rounds: int = 0
     oracle_calls: int = 0
+    exact_oracle_calls: int = 0
     oracle_early_exits: int = 0
     oracle_calls_saved: int = 0
+    champions_retained: int = 0
     champions_accepted: int = 0
     champions_rejected: int = 0
     singleton_fallbacks: int = 0
@@ -104,6 +111,15 @@ class BatchedChitchat:
         acceptance threshold as an early-exit bound and certified bounds
         are cached across rounds; ``False`` restores the fully eager
         per-round refresh.  Both modes accept identical champions.
+    oracle:
+        Densest-subgraph oracle selection, as in
+        :class:`~repro.core.chitchat.ChitchatScheduler`: ``"peel"``
+        (default), ``"exact"`` (parametric max-flow, true optima), or
+        ``"auto"`` (exact up to
+        :data:`~repro.flow.exact_oracle.EXACT_AUTO_MAX_ELEMENTS`
+        elements per hub-graph).  Exact champions additionally survive
+        rounds whose acceptances miss their covered set without being
+        re-oracled (lazy mode).
     """
 
     def __init__(
@@ -114,6 +130,7 @@ class BatchedChitchat:
         acceptance_slack: float = 2.0,
         backend: str = "auto",
         lazy: bool = True,
+        oracle: str = "peel",
     ) -> None:
         if acceptance_slack < 1.0:
             raise ValueError("acceptance_slack must be >= 1.0")
@@ -124,6 +141,8 @@ class BatchedChitchat:
         self.schedule = RequestSchedule()
         self.stats = BatchedStats()
         self._lazy = lazy
+        self._oracle_mode = validate_oracle_mode(oracle)
+        self._exact = ExactOracle() if oracle != "peel" else None
         edges = edge_list(self.graph)
         self._uncovered: set[Edge] = set(edges)
         # dense edge-id mirrors of the scheduler state (CSR mode)
@@ -140,6 +159,9 @@ class BatchedChitchat:
         # bounds on their champion cost, valid until the hub is dirtied
         self._bound_cache: dict[Node, float] = {}
         self._dirty: set[Node] = set(self.graph.nodes())
+        # exact champions kept clean by the retention check since the
+        # last round's refresh (merged into the eager accounting there)
+        self._retained: set[Node] = set()
         # full peels the eager per-round refresh would have issued
         self._eager_equivalent = 0
 
@@ -168,6 +190,12 @@ class BatchedChitchat:
                 continue
             jobs.append((0.0, self._rank[hub], hub))
         self._eager_equivalent += len(jobs)
+        # hubs whose exact champion survived the previous round untouched:
+        # eager would have re-oracled them, the retention check did not
+        kept = self._retained - dirty_set
+        self._eager_equivalent += len(kept)
+        self.stats.champions_retained += len(kept)
+        self._retained.clear()
         if self._lazy:
             jobs += [
                 (bound, self._rank[hub], hub)
@@ -189,7 +217,7 @@ class BatchedChitchat:
         for cached_bound, _rank, hub in jobs:
             bar: float | None = None
             if self._lazy and math.isfinite(best):
-                bar = best * self.acceptance_slack + 1e-12
+                bar = best * self.acceptance_slack + COST_EPS
             if hub not in dirty_set:
                 # clean hub with a certified bound: skip it while the bar
                 # sits below the bound; once past, peel directly — its
@@ -202,8 +230,14 @@ class BatchedChitchat:
             if hub_graph is None:
                 hub_graph = build_hub_graph(self.graph, hub, self.max_cross_edges)
                 self._hub_cache[hub] = hub_graph
+            oracle = densest_subgraph
+            exact = self._exact is not None and use_exact(
+                self._oracle_mode, hub_graph
+            )
+            if exact:
+                oracle = self._exact
             mirror = self._mirror
-            result = densest_subgraph(
+            result = oracle(
                 hub_graph,
                 self.workload,
                 self.schedule,
@@ -218,6 +252,8 @@ class BatchedChitchat:
                 self._champion_cache.pop(hub, None)
                 continue
             self.stats.oracle_calls += 1
+            if exact:
+                self.stats.exact_oracle_calls += 1
             self._bound_cache.pop(hub, None)
             if result is not None and result.covered:
                 self._champion_cache[hub] = result
@@ -233,8 +269,29 @@ class BatchedChitchat:
         return champions
 
     def _mark_affected(self, covered_edges) -> None:
-        """Dirty every hub whose hub-graph contains a covered element."""
-        self._dirty |= affected_hubs(self._adjacency, covered_edges)
+        """Dirty every hub whose hub-graph contains a covered element.
+
+        Exception (lazy + exact oracle): a hub whose cached champion is a
+        true optimum *and* shares no element with ``covered_edges`` keeps
+        it clean — the optimum is monotone under coverage and the maximal
+        optimal subgraph never contained the covered elements, so a
+        re-evaluation would reproduce the cached champion exactly.  Leg
+        payments need no carve-out: an acceptance pays only its own hub's
+        legs, and that hub's champion always intersects its own covered
+        set.
+        """
+        affected = affected_hubs(self._adjacency, covered_edges)
+        if self._lazy and self._exact is not None:
+            retained = {
+                hub
+                for hub in affected
+                if (champ := self._champion_cache.get(hub)) is not None
+                and champ.exact
+                and champ.covered.isdisjoint(covered_edges)
+            }
+            affected -= retained
+            self._retained |= retained
+        self._dirty |= affected
 
     def _add_push(self, edge: Edge) -> None:
         self.schedule.add_push(edge)
@@ -275,7 +332,7 @@ class BatchedChitchat:
         cheapest = min(
             hybrid_edge_cost(edge, self.workload) for edge in result.covered
         )
-        return result.cost_per_element <= cheapest + 1e-12
+        return result.cost_per_element <= cheapest + COST_EPS
 
     def run_round(self) -> int:
         """One bulk round; returns the number of edges covered."""
@@ -286,7 +343,7 @@ class BatchedChitchat:
         touched_legs: set[Edge] = set()
         applied: list[DensestResult] = []
         best_cpe = champions[0].cost_per_element
-        threshold = best_cpe * self.acceptance_slack + 1e-12
+        threshold = best_cpe * self.acceptance_slack + COST_EPS
         for result in champions:
             if result.cost_per_element > threshold or not self._beats_singletons(
                 result
@@ -346,10 +403,17 @@ def batched_chitchat_schedule(
     max_rounds: int = 50,
     backend: str = "auto",
     lazy: bool = True,
+    oracle: str = "peel",
 ) -> RequestSchedule:
     """One-shot BATCHEDCHITCHAT run returning a feasible schedule."""
     runner = BatchedChitchat(
-        graph, workload, max_cross_edges, acceptance_slack, backend=backend, lazy=lazy
+        graph,
+        workload,
+        max_cross_edges,
+        acceptance_slack,
+        backend=backend,
+        lazy=lazy,
+        oracle=oracle,
     )
     return runner.run(max_rounds)
 
@@ -362,10 +426,17 @@ def batched_chitchat_with_stats(
     max_rounds: int = 50,
     backend: str = "auto",
     lazy: bool = True,
+    oracle: str = "peel",
 ) -> tuple[RequestSchedule, BatchedStats]:
     """Like :func:`batched_chitchat_schedule`, returning diagnostics too."""
     runner = BatchedChitchat(
-        graph, workload, max_cross_edges, acceptance_slack, backend=backend, lazy=lazy
+        graph,
+        workload,
+        max_cross_edges,
+        acceptance_slack,
+        backend=backend,
+        lazy=lazy,
+        oracle=oracle,
     )
     schedule = runner.run(max_rounds)
     return schedule, runner.stats

@@ -40,6 +40,19 @@ elements; and lazy recomputes pass the cheapest competing candidate as an
 eager modes produce byte-identical schedules (property-tested); eager
 remains available via ``lazy=False`` as the reference implementation.
 
+Oracle modes
+------------
+The densest-subgraph oracle itself is pluggable (``oracle=``): the
+default ``"peel"`` is the paper's factor-2 weighted peeling, ``"exact"``
+the parametric max-flow oracle of :mod:`repro.flow`, and ``"auto"``
+mixes them by hub-graph size.  Exact champions are true optima, which
+strengthens the lazy split: the optimum is monotone non-decreasing under
+coverage events, so a dirtied exact champion whose covered set the event
+did not touch is *retained* as-is (no downgrade, no re-evaluation — see
+``_invalidate``), and when a downgrade is needed the certified bound is
+the optimum itself less a float margin rather than a factor-2
+certificate — dirty hubs resurface only when genuinely competitive.
+
 The scheduler runs on any :class:`~repro.graph.view.GraphView`.  With
 ``backend="auto"`` (the default) large dense-id graphs are frozen into a
 :class:`~repro.graph.csr.CSRGraph` first; on that backend the singleton
@@ -60,16 +73,17 @@ import numpy as np
 from repro.core.baselines import hybrid_schedule
 from repro.core.cost import hybrid_edge_cost, schedule_cost
 from repro.core.densest import (
-    OPT_BOUND_MARGIN,
     DensestResult,
     OracleCutoff,
     ScheduleMirror,
     densest_subgraph,
 )
 from repro.core.hubgraph import HubGraph, build_hub_graph
+from repro.core.tolerances import OPT_BOUND_MARGIN
 from repro.core.schedule import RequestSchedule
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node
+from repro.flow.exact_oracle import ExactOracle, use_exact, validate_oracle_mode
 from repro.graph.view import (
     GraphView,
     NeighborSetCache,
@@ -92,21 +106,29 @@ HubEntry = tuple[float, int, Node, int, "DensestResult | None"]
 class ChitchatStats:
     """Diagnostics accumulated during a CHITCHAT run.
 
-    ``oracle_calls`` counts full densest-subgraph peels (cheap no-op calls
-    on fully covered hub-graphs included, matching the eager accounting);
+    ``oracle_calls`` counts full densest-subgraph evaluations — peels and
+    exact max-flow solves alike (cheap no-op calls on fully covered
+    hub-graphs included, matching the eager accounting) — of which
+    ``exact_oracle_calls`` went through the parametric max-flow oracle;
     ``oracle_early_exits`` counts bounded probes the oracle abandoned via
-    its pre-peel lower bound; ``oracle_calls_saved`` is the number of full
-    peels the eager invalidation rule would have run that the lazy
-    dirty-hub heap never needed (0 in eager mode); ``hubs_pruned`` counts
-    hubs the lazy bootstrap proved can never beat their own singletons.
+    its pre-evaluation lower bound; ``oracle_calls_saved`` is the number
+    of full evaluations the eager invalidation rule would have run that
+    the lazy dirty-hub heap never needed (0 in eager mode);
+    ``hubs_pruned`` counts hubs the lazy bootstrap proved can never beat
+    their own singletons; ``champions_retained`` counts coverage events
+    whose hub kept its exact champion untouched because the covered edges
+    missed the champion's covered set (exact oracle + lazy mode only —
+    the peel's 2-approximate output cannot be retained).
     """
 
     hub_selections: int = 0
     singleton_selections: int = 0
     oracle_calls: int = 0
+    exact_oracle_calls: int = 0
     oracle_early_exits: int = 0
     oracle_calls_saved: int = 0
     hubs_pruned: int = 0
+    champions_retained: int = 0
     edges_covered_by_hubs: int = 0
     final_cost: float = 0.0
     selection_log: list[tuple[str, float, int]] = field(default_factory=list)
@@ -136,6 +158,15 @@ class ChitchatScheduler:
         re-oracled lazily via the CELF dirty-hub heap (see the module
         docstring); ``False`` restores the eager Algorithm 1 line 14
         refresh — identical schedules, far more oracle calls.
+    oracle:
+        ``"peel"`` (default) uses the factor-2 weighted peeling of
+        :mod:`repro.core.densest`; ``"exact"`` the parametric max-flow
+        oracle of :mod:`repro.flow`, whose champions are true optima —
+        monotone under covering, so the lazy heap re-evaluates a dirty
+        hub only when a covering event actually touched its champion;
+        ``"auto"`` picks exact for hub-graphs up to
+        :data:`~repro.flow.exact_oracle.EXACT_AUTO_MAX_ELEMENTS`
+        elements and the peel beyond.
     """
 
     def __init__(
@@ -146,6 +177,7 @@ class ChitchatScheduler:
         record_log: bool = False,
         backend: str = "auto",
         lazy: bool = True,
+        oracle: str = "peel",
     ) -> None:
         self.graph = as_graph_view(graph, backend)
         self.workload = workload
@@ -153,6 +185,8 @@ class ChitchatScheduler:
         self.stats = ChitchatStats()
         self._record_log = record_log
         self._lazy = lazy
+        self._oracle_mode = validate_oracle_mode(oracle)
+        self._exact = ExactOracle() if oracle != "peel" else None
         self.schedule = RequestSchedule()
         edges = edge_list(self.graph)
         self._uncovered: set[Edge] = set(edges)
@@ -191,6 +225,9 @@ class ChitchatScheduler:
             }
         self._hub_version: dict[Node, int] = {}
         self._hub_cache: dict[Node, HubGraph] = {}
+        # each hub's live full champion (absent after cutoffs/retires);
+        # exact champions back the lazy retention check in _invalidate
+        self._champion: dict[Node, DensestResult] = {}
         self._hub_heap: list[HubEntry] = []
         # hubs whose heap key is a stale-but-valid lower bound, re-oracled
         # only when their entry reaches the heap top (lazy mode)
@@ -415,8 +452,12 @@ class ChitchatScheduler:
         if hub_graph is None:
             hub_graph = build_hub_graph(self.graph, hub, self.max_cross_edges)
             self._hub_cache[hub] = hub_graph
+        oracle = densest_subgraph
+        exact = self._exact is not None and use_exact(self._oracle_mode, hub_graph)
+        if exact:
+            oracle = self._exact
         mirror = self._mirror
-        result = densest_subgraph(
+        result = oracle(
             hub_graph,
             self.workload,
             self.schedule,
@@ -429,6 +470,7 @@ class ChitchatScheduler:
             self.stats.oracle_early_exits += 1
             self._dirty.add(hub)
             self._queued.add(hub)
+            self._champion.pop(hub, None)
             self._opt_lb[hub] = result.lower_bound
             self._bound_state[hub] = self._state_version.get(hub, 0)
             heapq.heappush(
@@ -437,13 +479,17 @@ class ChitchatScheduler:
             )
             return
         self.stats.oracle_calls += 1
+        if exact:
+            self.stats.exact_oracle_calls += 1
         if result is None or not result.covered:
             # no uncovered element left in this hub-graph: coverage only
             # shrinks further, so the hub is retired until a leg payment
             # routes it back through an eager refresh
             self._queued.discard(hub)
+            self._champion.pop(hub, None)
             return
         self._queued.add(hub)
+        self._champion[hub] = result
         self._opt_lb[hub] = result.opt_lower_bound
         heapq.heappush(
             self._hub_heap,
@@ -578,10 +624,26 @@ class ChitchatScheduler:
                     continue  # key already a valid optimum lower bound
                 if hub in weight_drops:
                     continue  # the eager refresh below replaces its entry
+                champion = self._champion.get(hub)
+                if (
+                    champion is not None
+                    and champion.exact
+                    and champion.covered.isdisjoint(covered_edges)
+                ):
+                    # an exact champion untouched by this covering event
+                    # is still exactly optimal: covering elements outside
+                    # its covered set can only *shrink* competing
+                    # subgraphs' coverage, and the maximal optimum it
+                    # came from never contained them — keep the entry
+                    # clean, no re-evaluation will be needed for it
+                    self.stats.champions_retained += 1
+                    continue
                 # the live entry's key is the peel *output*, which is only
                 # 2-approximate and may overestimate the hub's champion
                 # after this covering event — downgrade the key to the
                 # certified optimum bound recorded at the last oracle call
+                # (for an exact champion the bound is the optimum itself
+                # less a float margin, so the downgrade is nearly free)
                 version = self._hub_version.get(hub, 0) + 1
                 self._hub_version[hub] = version
                 self._dirty.add(hub)
@@ -608,10 +670,11 @@ def chitchat_schedule(
     max_cross_edges: int | None = None,
     backend: str = "auto",
     lazy: bool = True,
+    oracle: str = "peel",
 ) -> RequestSchedule:
     """Run CHITCHAT on a DISSEMINATION instance and return the schedule."""
     return ChitchatScheduler(
-        graph, workload, max_cross_edges, backend=backend, lazy=lazy
+        graph, workload, max_cross_edges, backend=backend, lazy=lazy, oracle=oracle
     ).run()
 
 
@@ -621,10 +684,17 @@ def chitchat_with_stats(
     max_cross_edges: int | None = None,
     backend: str = "auto",
     lazy: bool = True,
+    oracle: str = "peel",
 ) -> tuple[RequestSchedule, ChitchatStats]:
     """Like :func:`chitchat_schedule` but also returns run diagnostics."""
     scheduler = ChitchatScheduler(
-        graph, workload, max_cross_edges, record_log=True, backend=backend, lazy=lazy
+        graph,
+        workload,
+        max_cross_edges,
+        record_log=True,
+        backend=backend,
+        lazy=lazy,
+        oracle=oracle,
     )
     schedule = scheduler.run()
     return schedule, scheduler.stats

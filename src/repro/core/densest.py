@@ -47,15 +47,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hubgraph import X_SIDE, HubGraph, HubVertex
-
-#: Relative margin shaved off every certified optimum lower bound.  The
-#: bounds are mathematically valid for real arithmetic, but the peel's
-#: float evaluation of the *same* champion can drift by ulps between
-#: states (summation order changes with the alive set); keys a hair below
-#: the certificate are always safe — they only trigger a recompute a
-#: moment earlier — whereas a key one ulp above the true value would make
-#: the lazy scheduler diverge from eager on cost ties.
-OPT_BOUND_MARGIN = 1.0 - 1e-9
+from repro.core.tolerances import OPT_BOUND_MARGIN
 from repro.core.schedule import RequestSchedule
 from repro.errors import WorkloadError
 from repro.graph.digraph import Edge, Node
@@ -79,6 +71,12 @@ class DensestResult:
     rises while no leg of the hub-graph is paid for, so this bound stays
     valid across coverage events: the lazy CHITCHAT heap uses it as the
     downgraded key of a dirtied champion.
+
+    ``exact`` marks results produced by the parametric max-flow oracle
+    (:mod:`repro.flow`): ``cost_per_element`` is then the true optimum
+    itself, not a 2-approximation, so ``opt_lower_bound`` sits a float
+    margin below it and the lazy schedulers can retain the champion
+    outright across coverage events that do not touch ``covered``.
     """
 
     hub: Node
@@ -88,6 +86,7 @@ class DensestResult:
     weight: float
     covered_ids: np.ndarray | None = None
     opt_lower_bound: float = 0.0
+    exact: bool = False
 
     @property
     def density(self) -> float:
@@ -320,6 +319,56 @@ def _probe_bound_python(
     return best
 
 
+def dense_vertex_weights(
+    hub_graph: HubGraph, peel, arrays: OracleArrays
+) -> np.ndarray:
+    """All vertex weights of a CSR-built hub-graph in one vectorized pass.
+
+    Leg element ``i`` touches exactly vertex ``i`` and
+    :attr:`HubGraph.element_ids` lists legs first, so the scheduled-leg
+    masks zero out exactly the paid vertices.  Shared by the peel and the
+    exact max-flow oracle so both price identical weights bit-for-bit.
+    """
+    element_ids = hub_graph.element_ids
+    num_x = len(hub_graph.x_nodes)
+    num_verts = len(peel.verts)
+    weight_x = np.where(
+        arrays.push_mask[element_ids[:num_x]], 0.0, arrays.rp[peel.x_arr]
+    )
+    weight_y = np.where(
+        arrays.pull_mask[element_ids[num_x:num_verts]],
+        0.0,
+        arrays.rc[peel.y_arr],
+    )
+    return np.concatenate((weight_x, weight_y))
+
+
+def probe_optimum_bound(
+    peel,
+    weight: list[float],
+    weight_arr: np.ndarray | None,
+    alive_element: list[bool],
+    alive_arr: np.ndarray | None,
+    num_verts: int,
+    num_elems: int,
+) -> float:
+    """Certified optimum-cost lower bound via the water-filled mediant probe.
+
+    Backend dispatch shared by both oracles (the lazy schedulers memoize
+    probe outcomes per hub state, so every oracle must produce identical
+    bounds for identical inputs): vectorized on CSR-built hub-graphs
+    above :data:`_PROBE_VECTOR_THRESHOLD`, scalar otherwise.
+    """
+    if alive_arr is not None and num_elems >= _PROBE_VECTOR_THRESHOLD:
+        return _probe_bound_vectorized(
+            peel,
+            weight_arr if weight_arr is not None else np.asarray(weight),
+            alive_arr,
+            num_verts,
+        )
+    return _probe_bound_python(peel, weight, alive_element, num_verts)
+
+
 def densest_subgraph(
     hub_graph: HubGraph,
     workload: Workload,
@@ -398,16 +447,7 @@ def densest_subgraph(
     degree: list[int] | None = None
     active: list[int] | None = None
     if arrays is not None and use_vectorized:
-        num_x = len(hub_graph.x_nodes)
-        weight_x = np.where(
-            arrays.push_mask[element_ids[:num_x]], 0.0, arrays.rp[peel.x_arr]
-        )
-        weight_y = np.where(
-            arrays.pull_mask[element_ids[num_x:num_verts]],
-            0.0,
-            arrays.rc[peel.y_arr],
-        )
-        weight_arr = np.concatenate((weight_x, weight_y))
+        weight_arr = dense_vertex_weights(hub_graph, peel, arrays)
         weight = weight_arr.tolist()
     else:
         degree, active = compute_degrees()
@@ -430,17 +470,9 @@ def densest_subgraph(
     # it beats ``upper_bound`` the peel is abandoned.
     mediant_bound = 0.0
     if upper_bound is not None:
-        if alive_arr is not None and num_elems >= _PROBE_VECTOR_THRESHOLD:
-            mediant_bound = _probe_bound_vectorized(
-                peel,
-                weight_arr if weight_arr is not None else np.asarray(weight),
-                alive_arr,
-                num_verts,
-            )
-        else:
-            mediant_bound = _probe_bound_python(
-                peel, weight, alive_element, num_verts
-            )
+        mediant_bound = probe_optimum_bound(
+            peel, weight, weight_arr, alive_element, alive_arr, num_verts, num_elems
+        )
         if mediant_bound > upper_bound:
             # even the relaxation costs more than the caller's incumbent:
             # no sub-hub-graph here can win — abandon before peeling

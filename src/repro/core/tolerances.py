@@ -1,0 +1,39 @@
+"""Float-drift tolerances shared by the scheduling oracles.
+
+The greedy schedulers compare float costs that were computed along
+different code paths (scalar vs vectorized, peel vs max-flow, cached vs
+recomputed), so every comparison that must not flip on rounding noise
+goes through the constants below.  Keeping them in one module stops the
+epsilons from drifting apart: a bound certified with one margin must be
+compared with the same margin everywhere, or the lazy schedulers can
+diverge from their eager reference implementations on cost ties.
+"""
+
+from __future__ import annotations
+
+#: Relative margin shaved off every certified optimum lower bound.  The
+#: bounds are mathematically valid for real arithmetic, but the oracles'
+#: float evaluation of the *same* champion can drift by ulps between
+#: states (summation order changes with the alive set); keys a hair below
+#: the certificate are always safe — they only trigger a recompute a
+#: moment earlier — whereas a key one ulp above the true value would make
+#: the lazy scheduler diverge from eager on cost ties.
+OPT_BOUND_MARGIN = 1.0 - 1e-9
+
+#: Absolute slack added to cost-per-element acceptance comparisons
+#: (BATCHEDCHITCHAT's round threshold and its ≤-hybrid charging rule):
+#: champions priced equal up to summation noise must land on the same
+#: side of the bar in lazy and eager rounds.
+COST_EPS = 1e-12
+
+#: Residual capacities at or below this are treated as saturated by the
+#: max-flow kernel (arc absent from the residual graph).  Capacities in
+#: the densest-subgraph networks are unit source arcs and ``λ·g`` sink
+#: arcs with rates well above 1e-6, so 1e-10 is far below any genuine
+#: residual yet far above accumulated subtraction noise.
+FLOW_EPS = 1e-10
+
+#: Relative convergence tolerance of the Dinkelbach density iteration:
+#: stop once a round's flow excess proves no sub-hub-graph beats the
+#: incumbent density by more than this fraction of the covered count.
+DINKELBACH_RTOL = 1e-12

@@ -1,0 +1,45 @@
+"""Parametric max-flow subsystem: the exact densest-subgraph oracle.
+
+Three layers, bottom up:
+
+* :mod:`repro.flow.maxflow` — FIFO push-relabel on flat paired-arc
+  arrays, with warm restarts after capacity raises;
+* :mod:`repro.flow.parametric` — Goldberg's fractional-programming
+  construction for the weighted hypergraph densest-subgraph problem,
+  solved by a Dinkelbach density search that reuses the residual network
+  across iterations;
+* :mod:`repro.flow.exact_oracle` — the :class:`ExactOracle` adapter
+  exposing the peel oracle's exact calling contract to the CHITCHAT
+  schedulers, plus the ``oracle="peel"|"exact"|"auto"`` mode selection.
+
+The schedulers in :mod:`repro.core` take an ``oracle=`` parameter wiring
+this subsystem in; ``"peel"`` (the default) never imports a flow network
+at runtime.
+"""
+
+from repro.flow.exact_oracle import (
+    EXACT_AUTO_MAX_ELEMENTS,
+    ORACLE_MODES,
+    ExactOracle,
+    use_exact,
+    validate_oracle_mode,
+)
+from repro.flow.maxflow import FlowError, FlowNetwork
+from repro.flow.parametric import (
+    DenseSelection,
+    ParametricDensest,
+    densest_selection,
+)
+
+__all__ = [
+    "EXACT_AUTO_MAX_ELEMENTS",
+    "ORACLE_MODES",
+    "DenseSelection",
+    "ExactOracle",
+    "FlowError",
+    "FlowNetwork",
+    "ParametricDensest",
+    "densest_selection",
+    "use_exact",
+    "validate_oracle_mode",
+]

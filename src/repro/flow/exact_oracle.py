@@ -1,0 +1,179 @@
+"""Exact densest-subgraph oracle with the peel oracle's calling contract.
+
+:class:`ExactOracle` is a drop-in replacement for
+:func:`repro.core.densest.densest_subgraph`: same signature, same
+``DensestResult | OracleCutoff | None`` outcomes, but the champion it
+returns is the *true optimum* sub-hub-graph (parametric max-flow,
+:mod:`repro.flow.parametric`) rather than the Lemma-1 2-approximation.
+Results carry ``exact=True`` and an ``opt_lower_bound`` one float margin
+below the optimum itself, which is what lets the lazy CHITCHAT heap
+retain dirtied champions outright: the exact optimum is monotone
+non-decreasing under coverage events, so a champion whose covered set a
+covering event does not touch stays exactly optimal (see
+``ChitchatScheduler._invalidate``).
+
+The probe-based ``upper_bound`` early exit is *shared* with the peel
+(:func:`repro.core.densest.probe_optimum_bound`): the lazy schedulers
+memoize probe outcomes per hub state, so both oracles must certify
+identical bounds for identical inputs — and the O(m) probe is exactly as
+valid a reason to skip an exact max-flow as it is to skip a peel.
+
+Oracle-mode selection lives here too: ``"peel"`` and ``"exact"`` force an
+oracle, ``"auto"`` uses exact for hub-graphs up to
+:data:`EXACT_AUTO_MAX_ELEMENTS` elements and falls back to the peel on
+bigger ones, where the flat-array peel's vectorized passes beat the
+Python push-relabel loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.densest import (
+    DensestResult,
+    OracleArrays,
+    OracleCutoff,
+    dense_vertex_weights,
+    probe_optimum_bound,
+)
+from repro.core.hubgraph import X_SIDE, HubGraph
+from repro.core.schedule import RequestSchedule
+from repro.core.tolerances import OPT_BOUND_MARGIN
+from repro.errors import ReproError
+from repro.flow.parametric import ParametricDensest
+from repro.graph.digraph import Edge, Node
+from repro.workload.rates import Workload
+
+#: Valid ``oracle=`` arguments of the scheduling entry points.
+ORACLE_MODES = ("peel", "exact", "auto")
+
+#: Element-count ceiling up to which ``oracle="auto"`` picks the exact
+#: max-flow oracle.  Above it the pure-Python push-relabel loop loses to
+#: the vectorized peel by more than the exactness is worth, so auto
+#: degrades gracefully to the factor-2 peel on dense hubs.
+EXACT_AUTO_MAX_ELEMENTS = 512
+
+
+def validate_oracle_mode(oracle: str) -> str:
+    """Check an ``oracle=`` argument, returning it for chaining."""
+    if oracle not in ORACLE_MODES:
+        raise ReproError(
+            f"unknown oracle mode {oracle!r}; options: {ORACLE_MODES}"
+        )
+    return oracle
+
+
+def use_exact(oracle: str, hub_graph: HubGraph) -> bool:
+    """Whether ``oracle`` mode solves this hub-graph with the flow oracle."""
+    if oracle == "exact":
+        return True
+    if oracle != "auto":
+        return False
+    num_elements = hub_graph.num_vertices + len(hub_graph.cross_edges)
+    return num_elements <= EXACT_AUTO_MAX_ELEMENTS
+
+
+class ExactOracle:
+    """Stateful exact oracle: one cached flow problem per hub.
+
+    A hub-graph's incidence structure never changes over a scheduler run
+    (only coverage and leg payments do), so the per-hub
+    :class:`~repro.flow.parametric.ParametricDensest` network is compiled
+    once and re-parameterized on every call — the cross-call counterpart
+    of the warm Dinkelbach restarts inside one call.  Schedulers own one
+    instance per run; the cache is keyed by hub node.
+    """
+
+    def __init__(self) -> None:
+        self._problems: dict[Node, ParametricDensest] = {}
+
+    def _problem(self, hub_graph: HubGraph) -> ParametricDensest:
+        problem = self._problems.get(hub_graph.hub)
+        if problem is None:
+            peel = hub_graph.peel_index()
+            problem = ParametricDensest(peel.endpoint_idx, len(peel.verts))
+            self._problems[hub_graph.hub] = problem
+        return problem
+
+    def __call__(
+        self,
+        hub_graph: HubGraph,
+        workload: Workload,
+        schedule: RequestSchedule,
+        uncovered: set[Edge],
+        uncovered_mask: np.ndarray | None = None,
+        arrays: OracleArrays | None = None,
+        upper_bound: float | None = None,
+    ) -> DensestResult | OracleCutoff | None:
+        """Exact counterpart of :func:`~repro.core.densest.densest_subgraph`."""
+        hub = hub_graph.hub
+        index = hub_graph.element_index()
+        peel = hub_graph.peel_index()
+        verts = peel.verts
+        num_verts = len(verts)
+        num_elems = len(index)
+        element_ids = hub_graph.element_ids
+        use_vectorized = element_ids is not None and uncovered_mask is not None
+
+        # --- Alive elements and vertex weights, priced exactly as the
+        # peel prices them (shared helpers on the vectorized path).
+        if use_vectorized:
+            alive_arr = uncovered_mask[element_ids]
+            alive_element = alive_arr.tolist()
+            alive_count = int(alive_arr.sum())
+        else:
+            alive_arr = None
+            alive_element = [edge in uncovered for edge, _ in index]
+            alive_count = sum(alive_element)
+        if alive_count == 0:
+            return None
+        weight_arr: np.ndarray | None = None
+        if arrays is not None and use_vectorized:
+            weight_arr = dense_vertex_weights(hub_graph, peel, arrays)
+            weight = weight_arr.tolist()
+        else:
+            incident = peel.incident
+            weight = [
+                hub_graph.vertex_weight(verts[i], workload, schedule)
+                if any(alive_element[ei] for ei in incident[i])
+                else 0.0
+                for i in range(num_verts)
+            ]
+
+        # --- Bounded probe: identical certificate to the peel's, so the
+        # schedulers' per-state probe memoization stays oracle-agnostic.
+        if upper_bound is not None:
+            mediant_bound = probe_optimum_bound(
+                peel, weight, weight_arr, alive_element, alive_arr, num_verts, num_elems
+            )
+            if mediant_bound > upper_bound:
+                return OracleCutoff(hub=hub, lower_bound=mediant_bound)
+
+        selection = self._problem(hub_graph).solve(weight, alive_element)
+        if selection is None or not selection.covered:
+            return None
+
+        covered_pos = list(selection.covered)
+        covered = {index[ei][0] for ei in covered_pos}
+        xs = tuple(
+            verts[i][1] for i in selection.selected if verts[i][0] == X_SIDE
+        )
+        ys = tuple(
+            verts[i][1] for i in selection.selected if verts[i][0] != X_SIDE
+        )
+        covered_ids = (
+            element_ids[np.asarray(covered_pos, dtype=np.int64)]
+            if element_ids is not None
+            else None
+        )
+        cost_per_element = selection.weight / len(covered)
+        return DensestResult(
+            hub=hub,
+            x_selected=xs,
+            y_selected=ys,
+            covered=frozenset(covered),
+            weight=selection.weight,
+            covered_ids=covered_ids,
+            opt_lower_bound=cost_per_element * OPT_BOUND_MARGIN,
+            exact=True,
+        )

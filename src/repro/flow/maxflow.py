@@ -1,0 +1,305 @@
+"""Push-relabel max-flow on flat paired-arc arrays.
+
+The kernel behind the exact densest-subgraph oracle
+(:mod:`repro.flow.parametric`).  The networks it solves are small (one
+per hub-graph, a few thousand arcs at most) but are re-solved many times
+with *changing capacities* over a fixed topology — once per Dinkelbach
+density iteration, and once per oracle call as coverage shrinks the
+element set — so the design splits structure from state:
+
+* the arc structure (paired forward/reverse arcs, CSR-style adjacency)
+  is built once and frozen;
+* base capacities can be rewritten between runs (:meth:`FlowNetwork.reset`
+  starts a fresh preflow) or *raised in place*
+  (:meth:`FlowNetwork.raise_capacity` keeps the current preflow, which
+  stays feasible because residuals only grow) so a later
+  :meth:`FlowNetwork.solve` resumes from the previous flow instead of
+  recomputing it — the warm start that makes the parametric density
+  search cheap.
+
+The solver is FIFO push-relabel with the gap heuristic and a global
+relabeling pass at the start of every (re)run.  Only the first phase is
+executed: it yields a *maximum preflow*, whose value at the sink already
+equals the max-flow/min-cut value and whose residual graph exposes the
+min cut, which is all the densest-subgraph reduction needs — excess
+stranded at high labels is never routed back to the source, and doubles
+as the starting state of the next warm run.
+
+Arc ``i``'s reverse is ``i ^ 1`` (forward arcs are even).  Capacities are
+floats; residuals at or below :data:`~repro.core.tolerances.FLOW_EPS`
+count as saturated.  Push-relabel terminates for arbitrary real
+capacities (unlike augmenting-path methods, its push/relabel bounds are
+purely combinatorial), so no integrality is assumed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.tolerances import FLOW_EPS
+from repro.errors import ReproError
+
+
+class FlowError(ReproError):
+    """Invalid flow-network construction or capacity update."""
+
+
+class FlowNetwork:
+    """A max-flow instance with static topology and rewritable capacities.
+
+    Parameters
+    ----------
+    num_nodes:
+        Node ids are ``0 .. num_nodes - 1``; ``source`` and ``sink`` are
+        two of them.
+
+    Usage::
+
+        net = FlowNetwork(4, source=0, sink=3)
+        a = net.add_arc(0, 1, 2.0)
+        net.add_arc(1, 3, 1.5)
+        net.freeze()
+        net.reset()
+        value = net.solve()
+        side = net.source_side()   # maximal min-cut source side
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "source",
+        "sink",
+        "head",
+        "cap",
+        "base_cap",
+        "adj",
+        "excess",
+        "label",
+        "_frozen",
+        "_adj_build",
+    )
+
+    def __init__(self, num_nodes: int, source: int, sink: int) -> None:
+        if not (0 <= source < num_nodes and 0 <= sink < num_nodes):
+            raise FlowError("source/sink out of range")
+        if source == sink:
+            raise FlowError("source and sink must differ")
+        self.num_nodes = num_nodes
+        self.source = source
+        self.sink = sink
+        self.head: list[int] = []
+        self.base_cap: list[float] = []
+        self.cap: list[float] = []
+        self._adj_build: list[list[int]] = [[] for _ in range(num_nodes)]
+        self.adj: list[list[int]] = self._adj_build
+        self.excess: list[float] = [0.0] * num_nodes
+        self.label: list[int] = [0] * num_nodes
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_arc(self, tail: int, head: int, capacity: float = 0.0) -> int:
+        """Append a forward arc (and its zero-capacity reverse); return its id."""
+        if self._frozen:
+            raise FlowError("cannot add arcs after freeze()")
+        if capacity < 0.0:
+            raise FlowError(f"negative capacity {capacity!r}")
+        arc = len(self.head)
+        self.head.append(head)
+        self.base_cap.append(capacity)
+        self._adj_build[tail].append(arc)
+        self.head.append(tail)
+        self.base_cap.append(0.0)
+        self._adj_build[head].append(arc + 1)
+        return arc
+
+    def freeze(self) -> None:
+        """Seal the topology; capacities stay rewritable via the setters."""
+        self._frozen = True
+        self.adj = self._adj_build
+        self.cap = list(self.base_cap)
+
+    # ------------------------------------------------------------------
+    # Capacity state
+    # ------------------------------------------------------------------
+    def set_base_capacity(self, arc: int, capacity: float) -> None:
+        """Rewrite a forward arc's base capacity (applied by :meth:`reset`)."""
+        if capacity < 0.0:
+            raise FlowError(f"negative capacity {capacity!r}")
+        self.base_cap[arc] = capacity
+
+    def reset(self) -> None:
+        """Zero the flow: residuals back to base capacities, excesses cleared."""
+        if not self._frozen:
+            raise FlowError("freeze() before reset()")
+        self.cap = list(self.base_cap)
+        self.excess = [0.0] * self.num_nodes
+
+    def raise_capacity(self, arc: int, capacity: float) -> None:
+        """Grow a forward arc's capacity *without* discarding the preflow.
+
+        The current preflow stays feasible (the forward residual only
+        grows, the reverse residual — the flow already routed — is
+        untouched), so the next :meth:`solve` resumes warm.
+        """
+        delta = capacity - self.base_cap[arc]
+        if delta < 0.0:
+            raise FlowError("raise_capacity cannot lower a capacity")
+        self.base_cap[arc] = capacity
+        self.cap[arc] += delta
+
+    # ------------------------------------------------------------------
+    # Solver
+    # ------------------------------------------------------------------
+    def _global_relabel(self) -> list[int]:
+        """Exact distance-to-sink labels over the residual graph.
+
+        Unreachable nodes (and the source) get label ``n``, which keeps
+        their stranded excess parked — phase-two flow return is never
+        needed for the min-cut/value uses this kernel serves.
+        """
+        n = self.num_nodes
+        cap = self.cap
+        head = self.head
+        label = [n] * n
+        label[self.sink] = 0
+        queue = deque([self.sink])
+        while queue:
+            v = queue.popleft()
+            next_label = label[v] + 1
+            for arc in self.adj[v]:
+                # arc^1 runs head[arc] -> v; residual there means the
+                # owner of that arc can still send flow toward the sink
+                u = head[arc]
+                if label[u] == n and u != self.source and cap[arc ^ 1] > FLOW_EPS:
+                    label[u] = next_label
+                    queue.append(u)
+        label[self.source] = n
+        self.label = label
+        return label
+
+    def solve(self) -> float:
+        """Run/resume push-relabel; return the max-flow value at the sink.
+
+        Starts from the current preflow (zero after :meth:`reset`, the
+        previous run's preflow after :meth:`raise_capacity`), saturates
+        the source arcs, and discharges until no active node can reach
+        the sink.
+        """
+        n = self.num_nodes
+        cap = self.cap
+        head = self.head
+        adj = self.adj
+        excess = self.excess
+        source, sink = self.source, self.sink
+
+        label = self._global_relabel()
+        # saturate (re-saturate on warm runs) every source arc
+        for arc in adj[source]:
+            if arc & 1:
+                continue  # reverse arc owned by another node
+            residual = cap[arc]
+            if residual > FLOW_EPS:
+                v = head[arc]
+                cap[arc] = 0.0
+                cap[arc ^ 1] += residual
+                excess[v] += residual
+
+        count = [0] * (2 * n)  # label histogram for the gap heuristic
+        for v in range(n):
+            count[label[v]] += 1
+        current = [0] * n
+        active = deque(
+            v
+            for v in range(n)
+            if v != source and v != sink and excess[v] > FLOW_EPS and label[v] < n
+        )
+        in_queue = [False] * n
+        for v in active:
+            in_queue[v] = True
+
+        while active:
+            u = active.popleft()
+            in_queue[u] = False
+            if label[u] >= n:
+                continue  # gap-lifted while queued: can never reach the sink
+            arcs = adj[u]
+            degree = len(arcs)
+            while excess[u] > FLOW_EPS:
+                if current[u] == degree:
+                    # relabel: one past the lowest admissible neighbor
+                    old = label[u]
+                    lowest = 2 * n
+                    for arc in arcs:
+                        if cap[arc] > FLOW_EPS:
+                            lv = label[head[arc]]
+                            if lv < lowest:
+                                lowest = lv
+                    new = lowest + 1 if lowest < 2 * n else 2 * n
+                    count[old] -= 1
+                    if count[old] == 0 and old < n:
+                        # gap heuristic: labels above an empty level can
+                        # never reach the sink again
+                        for v in range(n):
+                            if old < label[v] < n and v != source:
+                                count[label[v]] -= 1
+                                label[v] = n
+                                count[n] += 1
+                    label[u] = min(new, 2 * n - 1)
+                    count[label[u]] += 1
+                    current[u] = 0
+                    if label[u] >= n:
+                        break  # cannot reach the sink; excess stays parked
+                    continue
+                arc = arcs[current[u]]
+                v = head[arc]
+                if cap[arc] > FLOW_EPS and label[u] == label[v] + 1:
+                    delta = excess[u] if excess[u] < cap[arc] else cap[arc]
+                    cap[arc] -= delta
+                    cap[arc ^ 1] += delta
+                    excess[u] -= delta
+                    excess[v] += delta
+                    if (
+                        v != sink
+                        and v != source
+                        and not in_queue[v]
+                        and label[v] < n
+                    ):
+                        active.append(v)
+                        in_queue[v] = True
+                else:
+                    current[u] += 1
+        return excess[sink]
+
+    @property
+    def flow_value(self) -> float:
+        """Flow currently delivered to the sink."""
+        return self.excess[self.sink]
+
+    # ------------------------------------------------------------------
+    # Cut extraction
+    # ------------------------------------------------------------------
+    def source_side(self) -> list[bool]:
+        """The *maximal* min-cut source side of the last :meth:`solve`.
+
+        A node is on the sink side iff it still reaches the sink in the
+        residual graph; everything else — including nodes holding
+        stranded excess — forms the unique maximal source side.  Maximal
+        is the right choice for the densest-subgraph reduction: at the
+        optimum density it selects the largest optimal sub-hub-graph,
+        mirroring the peel's preference for more coverage on cost ties.
+        """
+        n = self.num_nodes
+        cap = self.cap
+        head = self.head
+        reaches = [False] * n
+        reaches[self.sink] = True
+        queue = deque([self.sink])
+        while queue:
+            v = queue.popleft()
+            for arc in self.adj[v]:
+                u = head[arc]
+                if not reaches[u] and cap[arc ^ 1] > FLOW_EPS:
+                    reaches[u] = True
+                    queue.append(u)
+        return [not r for r in reaches]

@@ -51,6 +51,55 @@ class TestOptimize:
             ["optimize", str(path), "-o", str(out), "--workload-file", str(wpath)]
         ) == 0
 
+    @pytest.mark.parametrize("oracle", ["peel", "exact", "auto"])
+    def test_optimize_chitchat_oracle_modes(self, graph_file, tmp_path, capsys, oracle):
+        path, graph = graph_file
+        out = tmp_path / f"chitchat-{oracle}.json"
+        code = main(
+            [
+                "optimize",
+                str(path),
+                "-o",
+                str(out),
+                "--algorithm",
+                "chitchat",
+                "--oracle",
+                oracle,
+                "--stats",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert f"oracle={oracle}:" in printed
+        assert "calls=" in printed and "retained=" in printed
+        schedule, metadata = load_schedule(out)
+        assert metadata["oracle"] == oracle
+        assert schedule.is_feasible(graph)
+
+    def test_optimize_rejects_unknown_oracle(self, graph_file, tmp_path):
+        path, _graph = graph_file
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "optimize",
+                    str(path),
+                    "-o",
+                    str(tmp_path / "s.json"),
+                    "--algorithm",
+                    "chitchat",
+                    "--oracle",
+                    "bogus",
+                ]
+            )
+
+    def test_optimize_stats_for_non_chitchat(self, graph_file, tmp_path, capsys):
+        path, _graph = graph_file
+        out = tmp_path / "s.json"
+        assert main(
+            ["optimize", str(path), "-o", str(out), "--algorithm", "hybrid", "--stats"]
+        ) == 0
+        assert "no oracle stats" in capsys.readouterr().out
+
 
 class TestValidateAndCost:
     def test_validate_ok(self, graph_file, tmp_path, capsys):
@@ -84,6 +133,15 @@ class TestCompareAndStats:
         out = capsys.readouterr().out
         for name in ("parallelnosy", "chitchat", "hybrid", "push-all", "pull-all"):
             assert name in out
+
+    def test_compare_with_oracle_stats(self, graph_file, capsys):
+        path, _graph = graph_file
+        assert main(
+            ["compare", str(path), "--iterations", "5", "--oracle", "exact", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "oracle=exact:" in out
+        assert "exact=" in out
 
     def test_compare_skip_chitchat(self, graph_file, capsys):
         path, _graph = graph_file

@@ -1,0 +1,259 @@
+"""Exact densest-subgraph oracle tests (``repro.flow``).
+
+Three layers of evidence:
+
+* the parametric max-flow oracle must match *exhaustive* sub-hub-graph
+  enumeration on small instances (fixed cases plus a hypothesis-style
+  random sweep);
+* the Lemma-1 peel must land within its factor-2 guarantee of the exact
+  optimum — asserted from both sides: ``exact ≤ peel ≤ 2 · exact``;
+* at the scheduler level, ``oracle="exact"`` must preserve every
+  invariant the peel satisfies (lazy == eager, dict == CSR, feasibility)
+  while running strictly fewer full oracle evaluations and never pricing
+  a schedule above the peel's on the tuned instances.
+"""
+
+from __future__ import annotations
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from tests.conftest import ART, BILLIE, CHARLIE, make_uniform
+from tests.test_densest import brute_force_best
+from repro.core.chitchat import ChitchatScheduler
+from repro.core.coverage import validate_schedule
+from repro.core.cost import schedule_cost
+from repro.core.densest import OracleCutoff, densest_subgraph
+from repro.core.hubgraph import build_hub_graph
+from repro.core.schedule import RequestSchedule
+from repro.errors import ReproError
+from repro.flow import EXACT_AUTO_MAX_ELEMENTS, ExactOracle, use_exact
+from repro.graph.digraph import SocialGraph
+from repro.graph.generators import social_copying_graph
+from repro.workload.rates import Workload, log_degree_workload
+
+SMALL = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def hub_instances(draw):
+    """A random bipartite-ish hub instance: hub 10, producers, consumers."""
+    num_x = draw(st.integers(min_value=1, max_value=4))
+    num_y = draw(st.integers(min_value=1, max_value=4))
+    xs = list(range(num_x))
+    ys = list(range(20, 20 + num_y))
+    edges = {(x, 10) for x in xs} | {(10, y) for y in ys}
+    for x in xs:
+        for y in ys:
+            if draw(st.booleans()):
+                edges.add((x, y))
+    rate = st.floats(
+        min_value=0.05, max_value=10.0, allow_nan=False, allow_infinity=False
+    )
+    nodes = xs + ys + [10]
+    workload = Workload(
+        production={n: draw(rate) for n in nodes},
+        consumption={n: draw(rate) for n in nodes},
+    )
+    covered = {e for e in edges if draw(st.integers(0, 4)) == 0}
+    return SocialGraph(edges), workload, covered
+
+
+class TestExactMatchesBruteForce:
+    def test_wedge_full_selection(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        result = ExactOracle()(
+            hub, w, RequestSchedule(), set(wedge_graph.edges())
+        )
+        assert result is not None and result.exact
+        assert result.x_selected == (ART,)
+        assert result.y_selected == (BILLIE,)
+        assert result.covered == frozenset(wedge_graph.edges())
+        assert result.cost_per_element == pytest.approx(2.2 / 3.0)
+        # exact: the certified bound sits a hair under the optimum itself
+        assert result.opt_lower_bound == pytest.approx(
+            result.cost_per_element, rel=1e-6
+        )
+
+    def test_returns_none_when_nothing_uncovered(self, wedge_graph, wedge_workload):
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        assert ExactOracle()(hub, wedge_workload, RequestSchedule(), set()) is None
+
+    def test_free_when_legs_paid(self, wedge_graph, wedge_workload):
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        schedule = RequestSchedule(push={(ART, CHARLIE)}, pull={(CHARLIE, BILLIE)})
+        result = ExactOracle()(hub, wedge_workload, schedule, {(ART, BILLIE)})
+        assert result is not None
+        assert result.weight == 0.0
+        assert result.cost_per_element == 0.0
+        assert result.covered == frozenset({(ART, BILLIE)})
+
+    def test_low_upper_bound_returns_cutoff(self, wedge_graph):
+        w = make_uniform(wedge_graph, rp=1.0, rc=1.2)
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        result = ExactOracle()(
+            hub, w, RequestSchedule(), set(wedge_graph.edges()), upper_bound=1e-6
+        )
+        assert isinstance(result, OracleCutoff)
+        assert result.lower_bound > 1e-6
+
+    def test_beats_the_peel_where_the_peel_is_suboptimal(self):
+        """A hub where greedy peeling provably misses the optimum.
+
+        One expensive producer with two cross-edges vs two cheap
+        consumers: the peel's first removal commits it to a subgraph
+        whose density the exact oracle beats.
+        """
+        g = SocialGraph(
+            [(1, 5), (2, 5), (5, 7), (5, 8), (1, 7), (1, 8), (2, 7), (2, 8)]
+        )
+        w = Workload(
+            production={1: 1.0, 2: 3.9, 5: 1.0, 7: 1.0, 8: 1.0},
+            consumption={1: 1.0, 2: 1.0, 5: 1.0, 7: 1.1, 8: 4.0},
+        )
+        hub = build_hub_graph(g, 5)
+        uncovered = set(g.edges())
+        exact = ExactOracle()(hub, w, RequestSchedule(), uncovered)
+        best_density, _ = brute_force_best(hub, w, RequestSchedule(), uncovered)
+        assert exact.density == pytest.approx(best_density, rel=1e-9)
+
+    @SMALL
+    @given(hub_instances())
+    def test_exact_equals_brute_force_sweep(self, instance):
+        graph, workload, covered = instance
+        hub = build_hub_graph(graph, 10)
+        uncovered = set(graph.edges()) - covered
+        schedule = RequestSchedule()
+        exact = ExactOracle()(hub, workload, schedule, uncovered)
+        best_density, _ = brute_force_best(hub, workload, schedule, uncovered)
+        if exact is None:
+            assert best_density <= 0.0 or not uncovered
+            return
+        if math.isinf(best_density):
+            assert exact.density == math.inf
+            return
+        assert exact.density == pytest.approx(best_density, rel=1e-9)
+        # the selection must internally justify its reported density
+        assert exact.density == pytest.approx(
+            len(exact.covered) / exact.weight if exact.weight else math.inf,
+            rel=1e-12,
+        )
+
+    @SMALL
+    @given(hub_instances())
+    def test_peel_within_factor_two_of_exact(self, instance):
+        """Both sides of Lemma 1: exact ≤ peel ≤ 2 · exact (cost per element)."""
+        graph, workload, covered = instance
+        hub = build_hub_graph(graph, 10)
+        uncovered = set(graph.edges()) - covered
+        schedule = RequestSchedule()
+        exact = ExactOracle()(hub, workload, schedule, uncovered)
+        peel = densest_subgraph(hub, workload, schedule, uncovered)
+        assert (exact is None) == (peel is None)
+        if exact is None:
+            return
+        assert exact.cost_per_element <= peel.cost_per_element + 1e-9
+        assert peel.cost_per_element <= 2.0 * exact.cost_per_element + 1e-9
+
+
+class TestOracleModeSelection:
+    def test_use_exact_modes(self, wedge_graph):
+        hub = build_hub_graph(wedge_graph, CHARLIE)
+        assert use_exact("exact", hub)
+        assert not use_exact("peel", hub)
+        assert use_exact("auto", hub)  # 3 elements << threshold
+
+    def test_auto_threshold_falls_back_to_peel(self):
+        producers = list(range(EXACT_AUTO_MAX_ELEMENTS + 1))
+        g = SocialGraph([(x, 9000) for x in producers] + [(9000, 9001)])
+        hub = build_hub_graph(g, 9000)
+        assert hub.num_vertices + len(hub.cross_edges) > EXACT_AUTO_MAX_ELEMENTS
+        assert not use_exact("auto", hub)
+        assert use_exact("exact", hub)
+
+    def test_invalid_mode_rejected(self, small_social, small_workload):
+        with pytest.raises(ReproError):
+            ChitchatScheduler(small_social, small_workload, oracle="bogus")
+
+
+class TestExactScheduler:
+    """Scheduler-level invariants with the exact oracle wired in."""
+
+    def _instance(self, n=250, seed=3):
+        graph = social_copying_graph(
+            n, out_degree=8, copy_fraction=0.7, reciprocity=0.3, seed=seed
+        )
+        return graph, log_degree_workload(graph, read_write_ratio=5.0)
+
+    @pytest.mark.parametrize("oracle", ["exact", "auto"])
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_lazy_matches_eager(self, backend, oracle):
+        graph, workload = self._instance()
+        eager = ChitchatScheduler(
+            graph, workload, backend=backend, lazy=False, oracle=oracle
+        )
+        lazy = ChitchatScheduler(
+            graph, workload, backend=backend, lazy=True, oracle=oracle
+        )
+        eager_schedule = eager.run()
+        lazy_schedule = lazy.run()
+        assert lazy_schedule.push == eager_schedule.push
+        assert lazy_schedule.pull == eager_schedule.pull
+        assert lazy_schedule.hub_cover == eager_schedule.hub_cover
+        validate_schedule(graph, lazy_schedule)
+        assert lazy.stats.oracle_calls <= eager.stats.oracle_calls
+
+    @pytest.mark.parametrize("oracle", ["exact", "auto"])
+    def test_backends_agree(self, oracle):
+        graph, workload = self._instance(n=200, seed=11)
+        schedules = [
+            ChitchatScheduler(
+                graph, workload, backend=backend, oracle=oracle
+            ).run()
+            for backend in ("dict", "csr")
+        ]
+        assert schedules[0].push == schedules[1].push
+        assert schedules[0].pull == schedules[1].pull
+        assert schedules[0].hub_cover == schedules[1].hub_cover
+
+    def test_exact_runs_fewer_full_evaluations_than_peel(self):
+        """Lazy+exact must re-evaluate strictly less than lazy+peel."""
+        graph, workload = self._instance()
+        peel = ChitchatScheduler(graph, workload, backend="csr", oracle="peel")
+        exact = ChitchatScheduler(graph, workload, backend="csr", oracle="exact")
+        peel.run()
+        exact.run()
+        assert exact.stats.oracle_calls < peel.stats.oracle_calls
+        assert exact.stats.exact_oracle_calls == exact.stats.oracle_calls
+        assert peel.stats.exact_oracle_calls == 0
+        assert exact.stats.champions_retained > 0
+
+    def test_exact_schedule_not_worse_than_peel(self):
+        """On the E13 instance family the exact oracle never prices worse."""
+        graph = social_copying_graph(
+            600, out_degree=10, copy_fraction=0.7, reciprocity=0.2, seed=7
+        )
+        workload = log_degree_workload(graph, read_write_ratio=5.0)
+        peel = ChitchatScheduler(graph, workload, backend="csr", oracle="peel").run()
+        exact = ChitchatScheduler(graph, workload, backend="csr", oracle="exact").run()
+        assert schedule_cost(exact, workload) <= schedule_cost(
+            peel, workload
+        ) + 1e-6
+
+    def test_exact_cost_at_most_hybrid(self, small_social, small_workload):
+        from repro.core.chitchat import greedy_upper_bound
+
+        schedule = ChitchatScheduler(
+            small_social, small_workload, oracle="exact"
+        ).run()
+        assert schedule_cost(schedule, small_workload) <= greedy_upper_bound(
+            small_social, small_workload
+        ) + 1e-9

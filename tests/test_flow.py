@@ -1,0 +1,171 @@
+"""Unit tests for the push-relabel max-flow kernel (``repro.flow.maxflow``).
+
+The kernel is validated against exhaustive min-cut enumeration on small
+random networks (≤ 12 nodes, every source-containing subset priced), and
+its warm-restart path — the capacity raises the parametric densest
+search relies on — is checked to agree with from-scratch solves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.flow.maxflow import FlowError, FlowNetwork
+
+
+def brute_force_min_cut(num_nodes, source, sink, arcs):
+    """Minimum cut capacity by enumerating all source-side subsets."""
+    best = float("inf")
+    others = [v for v in range(num_nodes) if v not in (source, sink)]
+    for r in range(len(others) + 1):
+        for combo in itertools.combinations(others, r):
+            side = {source} | set(combo)
+            cut = sum(c for (u, v, c) in arcs if u in side and v not in side)
+            best = min(best, cut)
+    return best
+
+
+def random_network(rng, num_nodes):
+    arcs = []
+    for u in range(num_nodes):
+        for v in range(num_nodes):
+            if u != v and rng.random() < 0.4:
+                arcs.append((u, v, round(rng.uniform(0.1, 5.0), 3)))
+    return arcs
+
+
+def build(num_nodes, source, sink, arcs):
+    net = FlowNetwork(num_nodes, source, sink)
+    for u, v, c in arcs:
+        net.add_arc(u, v, c)
+    net.freeze()
+    net.reset()
+    return net
+
+
+class TestMaxFlow:
+    def test_single_path(self):
+        net = build(3, 0, 2, [(0, 1, 2.0), (1, 2, 1.5)])
+        assert net.solve() == pytest.approx(1.5)
+
+    def test_parallel_paths(self):
+        arcs = [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 1.0)]
+        net = build(4, 0, 3, arcs)
+        assert net.solve() == pytest.approx(2.0)
+
+    def test_disconnected_sink(self):
+        net = build(3, 0, 2, [(0, 1, 5.0)])
+        assert net.solve() == pytest.approx(0.0)
+        assert net.source_side() == [True, True, False]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_min_cut(self, seed):
+        """Acceptance check: flow value == exhaustive min cut, ≤ 12 nodes."""
+        rng = random.Random(seed)
+        for num_nodes in (3, 5, 8, 12):
+            arcs = random_network(rng, num_nodes)
+            net = build(num_nodes, 0, num_nodes - 1, arcs)
+            value = net.solve()
+            expected = brute_force_min_cut(num_nodes, 0, num_nodes - 1, arcs)
+            assert value == pytest.approx(expected, abs=1e-8)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_source_side_is_a_minimum_cut(self, seed):
+        """The extracted source side must itself price at the flow value."""
+        rng = random.Random(100 + seed)
+        arcs = random_network(rng, 9)
+        net = build(9, 0, 8, arcs)
+        value = net.solve()
+        side = net.source_side()
+        assert side[0] and not side[8]
+        cut = sum(c for (u, v, c) in arcs if side[u] and not side[v])
+        assert cut == pytest.approx(value, abs=1e-8)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_source_side_is_maximal(self, seed):
+        """The returned side must contain every other min-cut source side."""
+        rng = random.Random(200 + seed)
+        arcs = random_network(rng, 7)
+        net = build(7, 0, 6, arcs)
+        value = net.solve()
+        side = net.source_side()
+        others = [v for v in range(7) if v not in (0, 6)]
+        for r in range(len(others) + 1):
+            for combo in itertools.combinations(others, r):
+                candidate = {0} | set(combo)
+                cut = sum(
+                    c for (u, v, c) in arcs if u in candidate and v not in candidate
+                )
+                if cut == pytest.approx(value, abs=1e-9):
+                    assert all(side[v] for v in candidate)
+
+
+class TestWarmRestart:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_raise_capacity_matches_fresh_solve(self, seed):
+        """Raising capacities and resuming == solving the new instance cold."""
+        rng = random.Random(300 + seed)
+        arcs = random_network(rng, 8)
+        if not arcs:
+            return
+        warm = build(8, 0, 7, arcs)
+        warm.solve()
+        # grow a random subset of capacities, warm-resume
+        grown = list(arcs)
+        arc_ids = []  # add_arc returns even ids in insertion order
+        for i, (u, v, c) in enumerate(arcs):
+            if rng.random() < 0.5:
+                grown[i] = (u, v, c + rng.uniform(0.5, 3.0))
+            arc_ids.append(2 * i)
+        for i, (u, v, c) in enumerate(grown):
+            if c != arcs[i][2]:
+                warm.raise_capacity(arc_ids[i], c)
+        warm_value = warm.solve()
+        cold = build(8, 0, 7, grown)
+        assert warm_value == pytest.approx(cold.solve(), abs=1e-8)
+
+    def test_reset_discards_flow(self):
+        net = build(3, 0, 2, [(0, 1, 2.0), (1, 2, 2.0)])
+        assert net.solve() == pytest.approx(2.0)
+        net.reset()
+        assert net.flow_value == 0.0
+        assert net.solve() == pytest.approx(2.0)
+
+    def test_set_base_capacity_applies_on_reset(self):
+        net = FlowNetwork(3, 0, 2)
+        arc = net.add_arc(0, 1, 1.0)
+        net.add_arc(1, 2, 10.0)
+        net.freeze()
+        net.reset()
+        assert net.solve() == pytest.approx(1.0)
+        net.set_base_capacity(arc, 4.0)
+        net.reset()
+        assert net.solve() == pytest.approx(4.0)
+
+
+class TestValidation:
+    def test_rejects_equal_source_sink(self):
+        with pytest.raises(FlowError):
+            FlowNetwork(2, 0, 0)
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork(2, 0, 1)
+        with pytest.raises(FlowError):
+            net.add_arc(0, 1, -1.0)
+
+    def test_rejects_arcs_after_freeze(self):
+        net = FlowNetwork(2, 0, 1)
+        net.freeze()
+        with pytest.raises(FlowError):
+            net.add_arc(0, 1, 1.0)
+
+    def test_rejects_lowering_capacity(self):
+        net = FlowNetwork(2, 0, 1)
+        arc = net.add_arc(0, 1, 3.0)
+        net.freeze()
+        net.reset()
+        with pytest.raises(FlowError):
+            net.raise_capacity(arc, 1.0)

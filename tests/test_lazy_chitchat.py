@@ -60,11 +60,16 @@ def assert_same_schedule(a, b):
 class TestLazyEagerEquality:
     @SMALL
     @given(instances())
+    @pytest.mark.parametrize("oracle", ["peel", "exact"])
     @pytest.mark.parametrize("backend", ["dict", "csr"])
-    def test_chitchat_lazy_matches_eager(self, backend, instance):
+    def test_chitchat_lazy_matches_eager(self, backend, oracle, instance):
         graph, workload = instance
-        eager = ChitchatScheduler(graph, workload, backend=backend, lazy=False)
-        lazy = ChitchatScheduler(graph, workload, backend=backend, lazy=True)
+        eager = ChitchatScheduler(
+            graph, workload, backend=backend, lazy=False, oracle=oracle
+        )
+        lazy = ChitchatScheduler(
+            graph, workload, backend=backend, lazy=True, oracle=oracle
+        )
         eager_schedule = eager.run()
         lazy_schedule = lazy.run()
         assert_same_schedule(eager_schedule, lazy_schedule)
@@ -79,11 +84,16 @@ class TestLazyEagerEquality:
 
     @SMALL
     @given(instances())
+    @pytest.mark.parametrize("oracle", ["peel", "exact"])
     @pytest.mark.parametrize("backend", ["dict", "csr"])
-    def test_batched_lazy_matches_eager(self, backend, instance):
+    def test_batched_lazy_matches_eager(self, backend, oracle, instance):
         graph, workload = instance
-        eager = BatchedChitchat(graph, workload, backend=backend, lazy=False)
-        lazy = BatchedChitchat(graph, workload, backend=backend, lazy=True)
+        eager = BatchedChitchat(
+            graph, workload, backend=backend, lazy=False, oracle=oracle
+        )
+        lazy = BatchedChitchat(
+            graph, workload, backend=backend, lazy=True, oracle=oracle
+        )
         assert_same_schedule(eager.run(), lazy.run())
 
     def test_lazy_matches_eager_across_backends(self):
@@ -137,6 +147,21 @@ class TestOracleCallSavings:
         assert_same_schedule(eager.run(), lazy.run())
         assert lazy.stats.oracle_calls < eager.stats.oracle_calls
         assert lazy.stats.oracle_calls_saved > 0
+
+    def test_batched_exact_retains_champions_across_rounds(self):
+        graph = social_copying_graph(
+            250, out_degree=8, copy_fraction=0.7, reciprocity=0.3, seed=3
+        )
+        workload = log_degree_workload(graph, read_write_ratio=5.0)
+        peel = BatchedChitchat(graph, workload, backend="csr", oracle="peel")
+        exact = BatchedChitchat(graph, workload, backend="csr", oracle="exact")
+        peel.run()
+        exact.run()
+        # exact champions survive rounds whose acceptances miss them, so
+        # the flow oracle re-evaluates strictly less than the peel
+        assert exact.stats.champions_retained > 0
+        assert exact.stats.oracle_calls < peel.stats.oracle_calls
+        assert exact.stats.exact_oracle_calls == exact.stats.oracle_calls
 
 
 class TestBootstrapPrune:
