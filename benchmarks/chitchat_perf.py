@@ -224,9 +224,143 @@ def e11_backends(scale: float) -> dict:
     }
 
 
+#: E14 size tiers (hub-graph element counts): the top tier is where the
+#: wave solver beats the loop outright; the bottom tiers are where
+#: ``method="auto"`` falls back to the (λ-seeded) loop.
+E14_BUCKETS = ((1024, None), (256, 1024), (64, 256), (0, 64))
+
+
+def e14_flow_kernel(scale: float) -> dict:
+    """E14 — vectorized flow kernel vs the PR 3 loop on E13 hub-graphs.
+
+    Solves every eligible hub-graph of the E13 instance (initial
+    weights, everything uncovered) exactly, under two kernel
+    configurations:
+
+    * ``pr3`` — the loop discharge with the full-graph Dinkelbach seed,
+      byte-for-byte the kernel PR 3 shipped;
+    * ``new`` — the current default: single-vertex-seeded Dinkelbach on
+      ``method="auto"`` (wave discharge at or above
+      :data:`~repro.flow.maxflow.WAVE_AUTO_MIN_ARCS` forward arcs, loop
+      below).
+
+    Rows bucket the hubs by element count and also time the factor-2
+    peel on the same hub-graphs — the crossover data behind
+    :data:`~repro.flow.maxflow.WAVE_AUTO_MIN_ARCS` and the raised
+    :data:`~repro.flow.exact_oracle.EXACT_AUTO_MAX_ELEMENTS`.
+    Headlines: ``kernel_speedup`` (total pr3 seconds / total new
+    seconds, the ISSUE 4 acceptance metric) and ``exact_vs_peel`` (total
+    new seconds / total peel seconds); ``equal`` certifies that both
+    kernel configurations returned identical selections on every hub.
+    """
+    from repro.core.densest import densest_subgraph
+    from repro.core.hubgraph import build_hub_graph
+    from repro.core.schedule import RequestSchedule
+    from repro.flow.parametric import ParametricDensest
+
+    n = max(600, int(E13_BASE_NODES * scale))
+    graph = social_copying_graph(
+        num_nodes=n,
+        out_degree=E13_OUT_DEGREE,
+        copy_fraction=0.7,
+        reciprocity=0.2,
+        seed=7,
+    )
+    workload = log_degree_workload(graph, read_write_ratio=E13_READ_WRITE_RATIO)
+    view = as_graph_view(graph, "dict")
+    schedule = RequestSchedule()
+
+    hubs = []
+    for node in view.nodes():
+        if view.in_degree(node) > 0 and view.out_degree(node) > 0:
+            hub_graph = build_hub_graph(view, node, None)
+            elements = hub_graph.num_vertices + len(hub_graph.cross_edges)
+            hubs.append((elements, node, hub_graph))
+    hubs.sort(key=lambda item: (-item[0], item[1]))
+
+    def kernel_seconds(hub_graph, method, seed_lambda):
+        peel = hub_graph.peel_index()
+        problem = ParametricDensest(
+            peel.endpoint_idx,
+            len(peel.verts),
+            method=method,
+            seed_lambda=seed_lambda,
+        )
+        weight = [
+            hub_graph.vertex_weight(peel.verts[i], workload, schedule)
+            for i in range(len(peel.verts))
+        ]
+        started = time.perf_counter()
+        selection = problem.solve(weight)
+        return time.perf_counter() - started, selection
+
+    def peel_seconds(hub_graph):
+        uncovered = {edge for edge, _ in hub_graph.element_index()}
+        started = time.perf_counter()
+        densest_subgraph(hub_graph, workload, schedule, uncovered)
+        return time.perf_counter() - started
+
+    totals = {
+        (lo, hi): {"hubs": 0, "elements": 0, "pr3": 0.0, "new": 0.0, "peel": 0.0}
+        for lo, hi in E14_BUCKETS
+    }
+    equal = True
+    for elements, _node, hub_graph in hubs:
+        bucket = next(
+            (lo, hi)
+            for lo, hi in E14_BUCKETS
+            if elements >= lo and (hi is None or elements < hi)
+        )
+        pr3_s, pr3_sel = kernel_seconds(hub_graph, "loop", seed_lambda=False)
+        new_s, new_sel = kernel_seconds(hub_graph, "auto", seed_lambda=True)
+        if (
+            pr3_sel is not None
+            and new_sel is not None
+            and (
+                pr3_sel.selected != new_sel.selected
+                or pr3_sel.covered != new_sel.covered
+            )
+        ):
+            equal = False
+        cell = totals[bucket]
+        cell["hubs"] += 1
+        cell["elements"] += elements
+        cell["pr3"] += pr3_s
+        cell["new"] += new_s
+        cell["peel"] += peel_seconds(hub_graph)
+
+    rows = []
+    for (lo, hi), cell in totals.items():
+        if not cell["hubs"]:
+            continue
+        rows.append(
+            {
+                "elements": f"[{lo},{'inf' if hi is None else hi})",
+                "hubs": cell["hubs"],
+                "mean_elements": cell["elements"] // cell["hubs"],
+                "pr3_loop_ms": round(cell["pr3"] * 1000, 1),
+                "new_kernel_ms": round(cell["new"] * 1000, 1),
+                "peel_ms": round(cell["peel"] * 1000, 1),
+                "speedup": round(cell["pr3"] / max(cell["new"], 1e-9), 2),
+            }
+        )
+    pr3_total = sum(cell["pr3"] for cell in totals.values())
+    new_total = sum(cell["new"] for cell in totals.values())
+    peel_total = sum(cell["peel"] for cell in totals.values())
+    return {
+        "nodes": n,
+        "hubs": sum(cell["hubs"] for cell in totals.values()),
+        "rows": rows,
+        "equal": equal,
+        "kernel_speedup": pr3_total / max(new_total, 1e-9),
+        "exact_vs_peel": new_total / max(peel_total, 1e-9),
+    }
+
+
 COLLECTORS = {
     "E10": e10_scaling,
     "E11": e11_backends,
     "E12": e12_lazy_vs_eager,
     "E13": e13_exact_vs_peel,
+    "E14": e14_flow_kernel,
 }

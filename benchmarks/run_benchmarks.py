@@ -2,10 +2,12 @@
 """Machine-readable benchmark emitter for the CHITCHAT perf trajectory.
 
 Runs the scheduling benchmarks (E10 scaling, E11 backends, E12 lazy vs
-eager) through the shared collectors in :mod:`benchmarks.chitchat_perf`
-and writes one JSON document with wall-clock times and oracle-call
-counts, so successive commits can be compared mechanically (CI uploads
-the file as an artifact)::
+eager, E13 peel vs exact oracle, E14 flow-kernel speedup) through the
+shared collectors in :mod:`benchmarks.chitchat_perf` and writes one JSON
+document with wall-clock times and oracle-call counts, so successive
+commits can be compared mechanically (CI uploads the file as an
+artifact).  ``docs/BENCHMARKS.md`` documents every experiment and how to
+read the emitted rows::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py --json BENCH_chitchat.json
     python benchmarks/run_benchmarks.py --scale 0.1 --experiments E12

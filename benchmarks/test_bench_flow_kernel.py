@@ -1,0 +1,70 @@
+"""E14 — vectorized flow kernel vs the PR 3 discharge loop.
+
+ISSUE 4 rewrote ``repro.flow.maxflow``'s pure-Python FIFO discharge as
+numpy-vectorized wave passes (descending level sweeps with proportional
+batched pushes, segment-minima relabels, vectorized reverse-BFS global
+relabeling) and seeded the Dinkelbach density search at the best
+single-vertex density.  This bench solves every eligible hub-graph of
+the E13 instance exactly under both kernel configurations — the PR 3
+reference (loop discharge, full-graph seed, available via
+``method="loop"`` / ``seed_lambda=False``) and the new default
+(``method="auto"``: wave at or above ``WAVE_AUTO_MIN_ARCS`` forward
+arcs, seeded) — and times the factor-2 peel on the same hub-graphs for
+the crossover context that justifies raising
+``EXACT_AUTO_MAX_ELEMENTS``.
+
+Acceptance (ISSUE 4, at the n≥3000 default-scale instance): the new
+kernel is ≥3× faster than the PR 3 loop overall, with identical
+selections on every hub.  ``benchmarks/run_benchmarks.py --json``
+records the per-tier rows and headline ratios in ``BENCH_chitchat.json``.
+"""
+
+from __future__ import annotations
+
+from benchmarks.chitchat_perf import e14_flow_kernel
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+
+#: Acceptance thresholds at the n>=3000 instance (ISSUE 4); smaller quick
+#: tiers still must show a real speedup, just with slacker margins.
+ACCEPTANCE_NODES = 3000
+ACCEPTANCE_SPEEDUP = 3.0
+QUICK_TIER_SPEEDUP = 1.5
+
+
+def test_bench_flow_kernel_speedup(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: e14_flow_kernel(bench_scale))
+    bar = (
+        ACCEPTANCE_SPEEDUP
+        if result["nodes"] >= ACCEPTANCE_NODES
+        else QUICK_TIER_SPEEDUP
+    )
+    if result["kernel_speedup"] < bar:
+        # wall-clock ratios on loaded shared runners can dip below the
+        # gate without any code regression (the local margin is ~4x);
+        # one re-measurement separates noise from a real slowdown
+        result = e14_flow_kernel(bench_scale)
+    print()
+    print(
+        format_table(
+            result["rows"], title="E14: flow kernel, PR 3 loop vs vectorized"
+        )
+    )
+    print(
+        f"kernel speedup {result['kernel_speedup']:.2f}x over "
+        f"{result['hubs']} hub-graphs; exact oracle at "
+        f"{result['exact_vs_peel']:.2f}x the peel's wall-clock"
+    )
+    # both kernel configurations must agree on every selection — the
+    # vectorization and the λ seeding are pure performance changes
+    assert result["equal"]
+    assert result["kernel_speedup"] >= bar
+    if result["nodes"] >= ACCEPTANCE_NODES:
+        # the top tier is the regime that motivated the rewrite: the
+        # wave discharge must beat the loop by the overall margin too
+        top = next(
+            (row for row in result["rows"] if row["elements"] == "[1024,inf)"),
+            None,
+        )
+        assert top is not None, "acceptance instance must populate the top tier"
+        assert top["speedup"] >= ACCEPTANCE_SPEEDUP

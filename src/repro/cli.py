@@ -49,6 +49,7 @@ def _run_chitchat(graph, workload, args):
         workload,
         max_cross_edges=args.cross_edge_bound,
         oracle=getattr(args, "oracle", "peel"),
+        epsilon=getattr(args, "epsilon", 0.0),
     )
     return scheduler.run(), scheduler.stats
 
@@ -62,6 +63,7 @@ def _oracle_stats_line(oracle: str, stats: ChitchatStats) -> str:
         f"saved={stats.oracle_calls_saved} "
         f"retained={stats.champions_retained} "
         f"pruned={stats.hubs_pruned} "
+        f"epsilon_accepts={stats.epsilon_accepts} "
         f"hub_selections={stats.hub_selections} "
         f"singletons={stats.singleton_selections}"
     )
@@ -135,10 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(exact on small hub-graphs, peel on dense ones)",
     )
     opt.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="CHITCHAT (1+epsilon) approximately-greedy relaxation: skip "
+        "re-evaluating a dirty hub when a clean candidate is priced "
+        "within this factor of its certified bound (default 0 = exact "
+        "greedy)",
+    )
+    opt.add_argument(
         "--stats",
         action="store_true",
         help="print oracle diagnostics (CHITCHAT only): full evaluations, "
-        "early exits, lazy savings, retained champions",
+        "early exits, lazy savings, retained champions, epsilon accepts",
     )
     _add_workload_options(opt)
 
@@ -160,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ORACLE_MODES,
         default="peel",
         help="CHITCHAT densest-subgraph oracle (see optimize --oracle)",
+    )
+    cmp_.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="CHITCHAT (1+epsilon) approximately-greedy relaxation "
+        "(see optimize --epsilon)",
     )
     cmp_.add_argument(
         "--stats",
@@ -195,6 +213,7 @@ def cmd_optimize(args) -> int:
     }
     if args.algorithm == "chitchat":
         metadata["oracle"] = args.oracle
+        metadata["epsilon"] = args.epsilon
     records = save_schedule(schedule, args.output, metadata=metadata)
     print(
         f"{args.algorithm}: cost={schedule_cost(schedule, workload):.1f} "

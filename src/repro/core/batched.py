@@ -50,7 +50,8 @@ from repro.core.densest import (
 )
 from repro.core.hubgraph import HubGraph, build_hub_graph
 from repro.core.schedule import RequestSchedule
-from repro.core.tolerances import COST_EPS
+from repro.core.tolerances import COST_EPS, EPS_ACCEPT_SLACK
+from repro.errors import ReproError
 from repro.flow.exact_oracle import ExactOracle, use_exact, validate_oracle_mode
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node
@@ -76,7 +77,13 @@ class BatchedStats:
     many full evaluations the eager per-round refresh would have run that
     the lazy bounds avoided (0 in eager mode); ``champions_retained``
     counts hubs kept clean across a round because no acceptance touched
-    their exact champion's covered set.
+    their exact champion's covered set; ``epsilon_deferred`` counts dirty
+    re-evaluations the ``(1 + ε)`` relaxation deferred to a later round
+    because the hub's certified bound proved it at best marginal under
+    the round's acceptance bar (0 whenever ``epsilon=0``; unlike
+    ``ChitchatStats.epsilon_accepts``, which counts accepted clean
+    candidates, this counter measures skipped work — the names differ
+    because the events differ).
     """
 
     rounds: int = 0
@@ -85,6 +92,7 @@ class BatchedStats:
     oracle_early_exits: int = 0
     oracle_calls_saved: int = 0
     champions_retained: int = 0
+    epsilon_deferred: int = 0
     champions_accepted: int = 0
     champions_rejected: int = 0
     singleton_fallbacks: int = 0
@@ -120,6 +128,16 @@ class BatchedChitchat:
         elements per hub-graph).  Exact champions additionally survive
         rounds whose acceptances miss their covered set without being
         re-oracled (lazy mode).
+    epsilon:
+        ``(1 + ε)`` relaxation of the lazy round refresh: a dirty hub
+        whose certified optimum bound ``b`` satisfies
+        ``b · (1 + ε) ≥ bar`` (the round's running acceptance bar) is
+        deferred to a later round without an oracle call — even if its
+        true champion squeaked under the bar, it was within ``(1 + ε)``
+        of rejection.  Bounds stay valid across coverage events (the
+        optimum is monotone under covering) and are dropped when a
+        hub's legs are paid.  ``0.0`` (default) disables the relaxation
+        and leaves the accepted champion sets untouched.
     """
 
     def __init__(
@@ -131,9 +149,12 @@ class BatchedChitchat:
         backend: str = "auto",
         lazy: bool = True,
         oracle: str = "peel",
+        epsilon: float = 0.0,
     ) -> None:
         if acceptance_slack < 1.0:
             raise ValueError("acceptance_slack must be >= 1.0")
+        if epsilon < 0.0:
+            raise ReproError(f"epsilon must be >= 0, got {epsilon!r}")
         self.graph = as_graph_view(graph, backend)
         self.workload = workload
         self.max_cross_edges = max_cross_edges
@@ -141,6 +162,7 @@ class BatchedChitchat:
         self.schedule = RequestSchedule()
         self.stats = BatchedStats()
         self._lazy = lazy
+        self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
         self._exact = ExactOracle() if oracle != "peel" else None
         edges = edge_list(self.graph)
@@ -158,6 +180,11 @@ class BatchedChitchat:
         # clean hubs whose last probe was an OracleCutoff: certified lower
         # bounds on their champion cost, valid until the hub is dirtied
         self._bound_cache: dict[Node, float] = {}
+        # every hub's last certified lower bound on its *true optimum*
+        # cost per element — valid across coverage events (the optimum is
+        # monotone under covering), dropped when the hub's legs are paid;
+        # backs the (1 + ε) skip of dirty re-evaluations
+        self._opt_bound: dict[Node, float] = {}
         self._dirty: set[Node] = set(self.graph.nodes())
         # exact champions kept clean by the retention check since the
         # last round's refresh (merged into the eager accounting there)
@@ -180,6 +207,13 @@ class BatchedChitchat:
         running value only overestimates the round's final threshold, so a
         cutoff hub would have been rejected anyway), and clean hubs with a
         cached bound above the bar are skipped without any call.
+
+        With ``epsilon > 0`` a third cut may change marginal acceptances:
+        a *dirty* hub whose cached certified optimum bound ``b`` (valid
+        across coverage events) satisfies ``b·(1+ε) ≥ bar`` is deferred
+        to a later round without any call — its champion was at best
+        within ``(1+ε)`` of the acceptance bar.  The hub stays dirty, so
+        it is re-examined once the bar rises past its bound.
         """
         dirty_set = set(self._dirty)
         jobs: list[tuple[float, int, Node]] = []
@@ -187,6 +221,7 @@ class BatchedChitchat:
             if self.graph.in_degree(hub) == 0 or self.graph.out_degree(hub) == 0:
                 self._champion_cache[hub] = None
                 self._bound_cache.pop(hub, None)
+                self._opt_bound.pop(hub, None)
                 continue
             jobs.append((0.0, self._rank[hub], hub))
         self._eager_equivalent += len(jobs)
@@ -226,6 +261,20 @@ class BatchedChitchat:
                 if bar is not None and cached_bound > bar:
                     continue
                 bar = None
+            elif self._epsilon > 0.0 and bar is not None:
+                # (1 + ε) relaxation: a dirty hub whose certified optimum
+                # bound proves it at best marginal under the bar is
+                # deferred — stays dirty, re-examined when the bar rises
+                bound = self._opt_bound.get(hub)
+                if (
+                    bound is not None
+                    and bound * (1.0 + self._epsilon) + EPS_ACCEPT_SLACK
+                    >= bar
+                ):
+                    self.stats.epsilon_deferred += 1
+                    self._champion_cache.pop(hub, None)
+                    self._dirty.add(hub)
+                    continue
             hub_graph = self._hub_cache.get(hub)
             if hub_graph is None:
                 hub_graph = build_hub_graph(self.graph, hub, self.max_cross_edges)
@@ -249,6 +298,7 @@ class BatchedChitchat:
             if isinstance(result, OracleCutoff):
                 self.stats.oracle_early_exits += 1
                 self._bound_cache[hub] = result.lower_bound
+                self._opt_bound[hub] = result.lower_bound
                 self._champion_cache.pop(hub, None)
                 continue
             self.stats.oracle_calls += 1
@@ -257,10 +307,12 @@ class BatchedChitchat:
             self._bound_cache.pop(hub, None)
             if result is not None and result.covered:
                 self._champion_cache[hub] = result
+                self._opt_bound[hub] = result.opt_lower_bound
                 if result.cost_per_element < best:
                     best = result.cost_per_element
             else:
                 self._champion_cache[hub] = None
+                self._opt_bound.pop(hub, None)
         self.stats.oracle_calls_saved = (
             self._eager_equivalent - self.stats.oracle_calls
         )
@@ -363,6 +415,9 @@ class BatchedChitchat:
             covered_this_round += self._apply(result)
             touched_legs |= legs
             applied.append(result)
+            # the acceptance pays the hub's own legs, which can lower its
+            # true optimum below any previously certified bound
+            self._opt_bound.pop(hub, None)
             self.stats.champions_accepted += 1
         for result in applied:
             self._mark_affected(result.covered)
@@ -404,6 +459,7 @@ def batched_chitchat_schedule(
     backend: str = "auto",
     lazy: bool = True,
     oracle: str = "peel",
+    epsilon: float = 0.0,
 ) -> RequestSchedule:
     """One-shot BATCHEDCHITCHAT run returning a feasible schedule."""
     runner = BatchedChitchat(
@@ -414,6 +470,7 @@ def batched_chitchat_schedule(
         backend=backend,
         lazy=lazy,
         oracle=oracle,
+        epsilon=epsilon,
     )
     return runner.run(max_rounds)
 
@@ -427,6 +484,7 @@ def batched_chitchat_with_stats(
     backend: str = "auto",
     lazy: bool = True,
     oracle: str = "peel",
+    epsilon: float = 0.0,
 ) -> tuple[RequestSchedule, BatchedStats]:
     """Like :func:`batched_chitchat_schedule`, returning diagnostics too."""
     runner = BatchedChitchat(
@@ -437,6 +495,7 @@ def batched_chitchat_with_stats(
         backend=backend,
         lazy=lazy,
         oracle=oracle,
+        epsilon=epsilon,
     )
     schedule = runner.run(max_rounds)
     return schedule, runner.stats

@@ -53,6 +53,21 @@ did not touch is *retained* as-is (no downgrade, no re-evaluation — see
 the optimum itself less a float margin rather than a factor-2
 certificate — dirty hubs resurface only when genuinely competitive.
 
+Approximately-greedy mode (ε)
+-----------------------------
+``epsilon=`` relaxes the greedy selection in lazy mode: when the heap
+top is a *dirty* hub — whose key is a certified lower bound on its true
+champion cost — and some *clean* candidate (a singleton, or a clean hub
+champion further down the heap) is priced within ``(1 + ε)`` of that
+bound, the clean candidate is selected outright and the dirty hub's
+re-evaluation is skipped (``stats.epsilon_accepts``).  Every candidate's
+true cost is at least its key and the dirty top holds the minimum key,
+so the accepted cost is at most ``(1 + ε)`` times the true step optimum
+— the CELF++-style lever that trades a bounded per-step slack for
+fewer oracle calls.  ``epsilon=0`` (the default) disables the
+relaxation entirely and stays byte-identical to exact greedy
+(property-tested on both backends and both oracles).
+
 The scheduler runs on any :class:`~repro.graph.view.GraphView`.  With
 ``backend="auto"`` (the default) large dense-id graphs are frozen into a
 :class:`~repro.graph.csr.CSRGraph` first; on that backend the singleton
@@ -79,8 +94,9 @@ from repro.core.densest import (
     densest_subgraph,
 )
 from repro.core.hubgraph import HubGraph, build_hub_graph
-from repro.core.tolerances import OPT_BOUND_MARGIN
+from repro.core.tolerances import EPS_ACCEPT_SLACK, OPT_BOUND_MARGIN
 from repro.core.schedule import RequestSchedule
+from repro.errors import ReproError
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node
 from repro.flow.exact_oracle import ExactOracle, use_exact, validate_oracle_mode
@@ -101,6 +117,10 @@ from repro.workload.rates import Workload
 #: they reach the heap top.
 HubEntry = tuple[float, int, Node, int, "DensestResult | None"]
 
+#: Sentinel returned by ``ChitchatScheduler._epsilon_accept`` when the
+#: relaxation resolves the greedy step in favor of the best singleton.
+_SINGLETON_WINS = object()
+
 
 @dataclass
 class ChitchatStats:
@@ -118,7 +138,10 @@ class ChitchatStats:
     their own singletons; ``champions_retained`` counts coverage events
     whose hub kept its exact champion untouched because the covered edges
     missed the champion's covered set (exact oracle + lazy mode only —
-    the peel's 2-approximate output cannot be retained).
+    the peel's 2-approximate output cannot be retained);
+    ``epsilon_accepts`` counts greedy steps the ``(1 + ε)`` relaxation
+    resolved with a clean candidate instead of re-evaluating the dirty
+    heap top (0 whenever ``epsilon=0``).
     """
 
     hub_selections: int = 0
@@ -129,6 +152,7 @@ class ChitchatStats:
     oracle_calls_saved: int = 0
     hubs_pruned: int = 0
     champions_retained: int = 0
+    epsilon_accepts: int = 0
     edges_covered_by_hubs: int = 0
     final_cost: float = 0.0
     selection_log: list[tuple[str, float, int]] = field(default_factory=list)
@@ -167,6 +191,14 @@ class ChitchatScheduler:
         ``"auto"`` picks exact for hub-graphs up to
         :data:`~repro.flow.exact_oracle.EXACT_AUTO_MAX_ELEMENTS`
         elements and the peel beyond.
+    epsilon:
+        ``(1 + ε)`` relaxation of the greedy selection (lazy mode only):
+        a dirty heap top whose certified lower-bound key is within
+        ``(1 + ε)`` of a clean candidate's exact price is skipped
+        instead of re-evaluated, and the clean candidate is selected —
+        each accepted step costs at most ``(1 + ε)`` times the true
+        step optimum.  ``0.0`` (default) disables the relaxation and is
+        byte-identical to exact greedy.
     """
 
     def __init__(
@@ -178,13 +210,17 @@ class ChitchatScheduler:
         backend: str = "auto",
         lazy: bool = True,
         oracle: str = "peel",
+        epsilon: float = 0.0,
     ) -> None:
+        if epsilon < 0.0:
+            raise ReproError(f"epsilon must be >= 0, got {epsilon!r}")
         self.graph = as_graph_view(graph, backend)
         self.workload = workload
         self.max_cross_edges = max_cross_edges
         self.stats = ChitchatStats()
         self._record_log = record_log
         self._lazy = lazy
+        self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
         self._exact = ExactOracle() if oracle != "peel" else None
         self.schedule = RequestSchedule()
@@ -273,9 +309,8 @@ class ChitchatScheduler:
         while self._uncovered:
             singleton = self._best_singleton()
             limit = singleton[0] if singleton is not None else math.inf
-            hub_entry = self._best_hub_entry(limit)
-            if hub_entry is not None and hub_entry[0] <= limit:
-                heapq.heappop(self._hub_heap)
+            hub_entry = self._pop_best_hub_entry(limit)
+            if hub_entry is not None:
                 self._apply_hub(hub_entry[4])
             elif singleton is not None:
                 heapq.heappop(self._singleton_heap)
@@ -496,16 +531,20 @@ class ChitchatScheduler:
             (result.cost_per_element, self._rank[hub], hub, version, result),
         )
 
-    def _best_hub_entry(self, limit: float = math.inf) -> HubEntry | None:
-        """Freshest hub champion, or None when no hub can beat ``limit``.
+    def _pop_best_hub_entry(self, limit: float = math.inf) -> HubEntry | None:
+        """Pop and return the winning clean hub entry, or ``None``.
 
-        Discards stale-version entries.  In lazy mode, an entry whose hub
-        is dirty carries a lower bound of the true champion cost, so it is
-        re-oracled only when it reaches the heap top — a *clean* top entry
-        is therefore the global best hub candidate.  Each recompute passes
-        the cheapest competing candidate (``limit`` = best singleton, or
-        the next heap key) as the oracle's ``upper_bound`` so hubs that
-        cannot win this step abandon after an O(m) probe.
+        ``None`` means the best singleton (priced ``limit``) wins this
+        greedy step.  Discards stale-version entries.  In lazy mode, an
+        entry whose hub is dirty carries a lower bound of the true
+        champion cost, so it is re-oracled only when it reaches the heap
+        top — a *clean* top entry is therefore the global best hub
+        candidate.  Each recompute passes the cheapest competing
+        candidate (``limit`` = best singleton, or the next heap key) as
+        the oracle's ``upper_bound`` so hubs that cannot win this step
+        abandon after an O(m) probe.  With ``epsilon > 0`` a dirty top
+        may instead be resolved by :meth:`_epsilon_accept` without any
+        oracle work.
         """
         heap = self._hub_heap
         while heap:
@@ -519,7 +558,15 @@ class ChitchatScheduler:
                 # wins this step regardless of what a recompute would find
                 return None
             if hub not in self._dirty:
-                return entry
+                return heapq.heappop(heap)
+            if self._epsilon > 0.0:
+                outcome = self._epsilon_accept(limit)
+                if outcome is _SINGLETON_WINS:
+                    return None
+                if outcome is not None:
+                    return outcome
+                # no clean candidate within (1 + ε): fall through to the
+                # exact re-evaluation of the dirty top
             heapq.heappop(heap)
             if self._bound_state.get(hub) == self._state_version.get(hub, 0):
                 # this exact state was already probed (the parked bound is
@@ -529,6 +576,50 @@ class ChitchatScheduler:
             else:
                 bar = limit if not heap else min(limit, heap[0][0])
                 self._refresh_hub(hub, upper_bound=bar)
+        return None
+
+    def _epsilon_accept(self, limit: float):
+        """Resolve a dirty heap top by the ``(1 + ε)`` relaxation.
+
+        Preconditions: the heap top is a live dirty entry with key
+        ``anchor ≤ limit``.  Every candidate's true cost is at least its
+        key and ``anchor`` is the minimum key, so the true step optimum
+        is at least ``anchor``.  If some *clean* candidate — a clean hub
+        entry within the scanned prefix, or the best singleton — is
+        priced at most ``(1 + ε)·anchor``, selecting it costs at most
+        ``(1 + ε)`` times the step optimum, and the dirty hubs scanned
+        over are simply left parked (their bounds stay valid).
+
+        Returns the popped clean entry, :data:`_SINGLETON_WINS`, or
+        ``None`` when nothing clean is in range (caller re-evaluates the
+        dirty top exactly, as at ``epsilon = 0``).
+        """
+        heap = self._hub_heap
+        anchor = heap[0][0]
+        threshold = (1.0 + self._epsilon) * anchor + EPS_ACCEPT_SLACK
+        parked: list[HubEntry] = []
+        found: HubEntry | None = None
+        while heap:
+            entry = heap[0]
+            key, _rank, hub, version, _result = entry
+            if version != self._hub_version.get(hub, 0):
+                heapq.heappop(heap)
+                continue
+            if key > threshold or key > limit:
+                break
+            if hub in self._dirty:
+                parked.append(heapq.heappop(heap))
+                continue
+            found = heapq.heappop(heap)
+            break
+        for entry in parked:
+            heapq.heappush(heap, entry)
+        if found is not None:
+            self.stats.epsilon_accepts += 1
+            return found
+        if limit <= threshold:
+            self.stats.epsilon_accepts += 1
+            return _SINGLETON_WINS
         return None
 
     def _best_singleton(self) -> tuple[float, int, Edge] | None:
@@ -671,10 +762,17 @@ def chitchat_schedule(
     backend: str = "auto",
     lazy: bool = True,
     oracle: str = "peel",
+    epsilon: float = 0.0,
 ) -> RequestSchedule:
     """Run CHITCHAT on a DISSEMINATION instance and return the schedule."""
     return ChitchatScheduler(
-        graph, workload, max_cross_edges, backend=backend, lazy=lazy, oracle=oracle
+        graph,
+        workload,
+        max_cross_edges,
+        backend=backend,
+        lazy=lazy,
+        oracle=oracle,
+        epsilon=epsilon,
     ).run()
 
 
@@ -685,6 +783,7 @@ def chitchat_with_stats(
     backend: str = "auto",
     lazy: bool = True,
     oracle: str = "peel",
+    epsilon: float = 0.0,
 ) -> tuple[RequestSchedule, ChitchatStats]:
     """Like :func:`chitchat_schedule` but also returns run diagnostics."""
     scheduler = ChitchatScheduler(
@@ -695,6 +794,7 @@ def chitchat_with_stats(
         backend=backend,
         lazy=lazy,
         oracle=oracle,
+        epsilon=epsilon,
     )
     schedule = scheduler.run()
     return schedule, scheduler.stats

@@ -26,6 +26,15 @@ OPT_BOUND_MARGIN = 1.0 - 1e-9
 #: side of the bar in lazy and eager rounds.
 COST_EPS = 1e-12
 
+#: Absolute slack added to the ``(1 + ε)``-acceptance comparison of the
+#: approximately-greedy schedulers (``epsilon=`` on ``ChitchatScheduler``
+#: and ``BatchedChitchat``): a clean candidate priced exactly at
+#: ``(1 + ε) ×`` a dirty certified bound must be accepted on both float
+#: evaluation paths, or the ε-run would depend on summation order.  At
+#: ``ε = 0`` the relaxation is disabled outright, so this slack can never
+#: perturb an exact-greedy run.
+EPS_ACCEPT_SLACK = 1e-12
+
 #: Residual capacities at or below this are treated as saturated by the
 #: max-flow kernel (arc absent from the residual graph).  Capacities in
 #: the densest-subgraph networks are unit source arcs and ``λ·g`` sink

@@ -2,19 +2,28 @@
 
 Three layers, bottom up:
 
-* :mod:`repro.flow.maxflow` — FIFO push-relabel on flat paired-arc
-  arrays, with warm restarts after capacity raises;
+* :mod:`repro.flow.maxflow` — push-relabel on flat paired-arc arrays,
+  with warm restarts after capacity raises.  Two interchangeable
+  solvers: the numpy-vectorized *wave* kernel (batched pushes over the
+  active frontier in descending level sweeps, segment-minima relabels,
+  vectorized reverse-BFS global relabeling) and the pure-Python FIFO
+  discharge *loop* kept from PR 3 as the reference; ``method="auto"``
+  picks by network size (:data:`WAVE_AUTO_MIN_ARCS`).
 * :mod:`repro.flow.parametric` — Goldberg's fractional-programming
   construction for the weighted hypergraph densest-subgraph problem,
-  solved by a Dinkelbach density search that reuses the residual network
-  across iterations;
+  solved by a Dinkelbach density search that seeds ``λ`` at the best
+  single-vertex density and reuses the residual network across
+  iterations.
 * :mod:`repro.flow.exact_oracle` — the :class:`ExactOracle` adapter
   exposing the peel oracle's exact calling contract to the CHITCHAT
-  schedulers, plus the ``oracle="peel"|"exact"|"auto"`` mode selection.
+  schedulers, plus the ``oracle="peel"|"exact"|"auto"`` mode selection
+  (auto = exact up to :data:`EXACT_AUTO_MAX_ELEMENTS` elements).
 
 The schedulers in :mod:`repro.core` take an ``oracle=`` parameter wiring
-this subsystem in; ``"peel"`` (the default) never imports a flow network
-at runtime.
+this subsystem in; ``"peel"`` (the default) never solves a flow network
+at runtime.  The E14 benchmark (``benchmarks/chitchat_perf.py``)
+measures this subsystem's kernels against each other and against the
+peel on the E13 workload's hub-graphs.
 """
 
 from repro.flow.exact_oracle import (
@@ -24,7 +33,12 @@ from repro.flow.exact_oracle import (
     use_exact,
     validate_oracle_mode,
 )
-from repro.flow.maxflow import FlowError, FlowNetwork
+from repro.flow.maxflow import (
+    FLOW_METHODS,
+    WAVE_AUTO_MIN_ARCS,
+    FlowError,
+    FlowNetwork,
+)
 from repro.flow.parametric import (
     DenseSelection,
     ParametricDensest,
@@ -33,7 +47,9 @@ from repro.flow.parametric import (
 
 __all__ = [
     "EXACT_AUTO_MAX_ELEMENTS",
+    "FLOW_METHODS",
     "ORACLE_MODES",
+    "WAVE_AUTO_MIN_ARCS",
     "DenseSelection",
     "ExactOracle",
     "FlowError",

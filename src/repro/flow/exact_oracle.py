@@ -21,8 +21,10 @@ valid a reason to skip an exact max-flow as it is to skip a peel.
 Oracle-mode selection lives here too: ``"peel"`` and ``"exact"`` force an
 oracle, ``"auto"`` uses exact for hub-graphs up to
 :data:`EXACT_AUTO_MAX_ELEMENTS` elements and falls back to the peel on
-bigger ones, where the flat-array peel's vectorized passes beat the
-Python push-relabel loop.
+bigger ones — a guard for the pathologically dense regime the E14
+kernel benchmark has not measured, now that the vectorized wave kernel
+and the λ-seeded Dinkelbach search price exactness within ~2-3x of a
+peel call at every measured size.
 """
 
 from __future__ import annotations
@@ -48,10 +50,16 @@ from repro.workload.rates import Workload
 ORACLE_MODES = ("peel", "exact", "auto")
 
 #: Element-count ceiling up to which ``oracle="auto"`` picks the exact
-#: max-flow oracle.  Above it the pure-Python push-relabel loop loses to
-#: the vectorized peel by more than the exactness is worth, so auto
-#: degrades gracefully to the factor-2 peel on dense hubs.
-EXACT_AUTO_MAX_ELEMENTS = 512
+#: max-flow oracle.  PR 3 capped this at 512: the pure-Python discharge
+#: loop ran ~3x the peel's wall-clock per call and fell further behind
+#: with size.  The E14 crossover measurement of the vectorized kernel
+#: (single-vertex-seeded Dinkelbach + wave discharge above
+#: :data:`~repro.flow.maxflow.WAVE_AUTO_MIN_ARCS` arcs) puts every
+#: measured tier up to ~2.3k elements within ~2-3x of a peel call, with
+#: the ratio *falling* as hubs grow — so auto now buys exactness on all
+#: but pathologically dense hubs, where the untested regime keeps a
+#: finite guard.
+EXACT_AUTO_MAX_ELEMENTS = 4096
 
 
 def validate_oracle_mode(oracle: str) -> str:

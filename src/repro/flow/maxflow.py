@@ -17,13 +17,40 @@ element set — so the design splits structure from state:
   recomputing it — the warm start that makes the parametric density
   search cheap.
 
-The solver is FIFO push-relabel with the gap heuristic and a global
-relabeling pass at the start of every (re)run.  Only the first phase is
-executed: it yields a *maximum preflow*, whose value at the sink already
-equals the max-flow/min-cut value and whose residual graph exposes the
-min cut, which is all the densest-subgraph reduction needs — excess
-stranded at high labels is never routed back to the source, and doubles
-as the starting state of the next warm run.
+Two interchangeable solvers sit behind :meth:`FlowNetwork.solve`
+(``method=`` at construction):
+
+``"wave"``
+    Numpy-vectorized wave passes over the flat arc arrays: every
+    iteration sweeps the populated label levels top-down, batch-pushing
+    along *all* admissible arcs of each level's active nodes (excess is
+    split across a node's admissible arcs proportionally to residual,
+    by per-segment reductions), then batch-relabels every stuck active
+    node to one past the segment-minimum of its residual neighbor
+    heights, applies the gap heuristic from a label histogram, and
+    periodically recomputes exact labels by a vectorized reverse BFS
+    (global relabeling).  This is the production kernel above the
+    :data:`WAVE_AUTO_MIN_ARCS` crossover; combined with the λ-seeded
+    Dinkelbach search of :mod:`repro.flow.parametric` it runs the E13
+    workload's exact oracle ~4x faster than the PR 3 stack (E14
+    benchmark, 10x on the biggest hubs).
+
+``"loop"``
+    The original FIFO discharge loop in pure Python, kept both as the
+    reference implementation the wave solver is property-tested against
+    and as the faster choice on very small networks, where per-wave
+    numpy dispatch overhead dominates.
+
+``"auto"`` (the default) resolves at :meth:`FlowNetwork.freeze` time:
+wave at or above :data:`WAVE_AUTO_MIN_ARCS` forward arcs, loop below —
+the crossover measured by ``benchmarks/chitchat_perf.e14_flow_kernel``.
+
+Both solvers execute only the first phase of push-relabel: it yields a
+*maximum preflow*, whose value at the sink already equals the
+max-flow/min-cut value and whose residual graph exposes the min cut,
+which is all the densest-subgraph reduction needs — excess stranded at
+high labels is never routed back to the source, and doubles as the
+starting state of the next warm run.
 
 Arc ``i``'s reverse is ``i ^ 1`` (forward arcs are even).  Capacities are
 floats; residuals at or below :data:`~repro.core.tolerances.FLOW_EPS`
@@ -36,8 +63,30 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from repro.core.tolerances import FLOW_EPS
 from repro.errors import ReproError
+
+#: Valid ``method=`` arguments of :class:`FlowNetwork`.
+FLOW_METHODS = ("auto", "wave", "loop")
+
+#: Forward-arc count at or above which ``method="auto"`` resolves to the
+#: vectorized wave solver.  Below it the pure-Python loop's lower constant
+#: factor wins (numpy dispatch overhead is paid per wave and per level,
+#: not per arc).  Measured by the E14 kernel benchmark on the E13
+#: hub-graph network family: the seeded wave/loop crossover sits near
+#: 1.1k forward arcs (≈ 380 hub-graph elements), and the penalty for
+#: picking wave slightly early is under ~20% on the bucket below.
+WAVE_AUTO_MIN_ARCS = 1024
+
+#: Relabel operations between global relabels of the wave solver.  Low
+#: values make the solver behave like Dinic's phase structure — exact
+#: labels either expose an admissible arc on every active node or park
+#: unreachable excess at label ``n`` outright — which is what keeps wave
+#: counts small on the shallow hub-graph networks this kernel serves,
+#: where a vectorized reverse BFS costs only a handful of array passes.
+_GLOBAL_RELABEL_INTERVAL = 4
 
 
 class FlowError(ReproError):
@@ -52,6 +101,10 @@ class FlowNetwork:
     num_nodes:
         Node ids are ``0 .. num_nodes - 1``; ``source`` and ``sink`` are
         two of them.
+    method:
+        ``"wave"`` (vectorized wave passes), ``"loop"`` (pure-Python FIFO
+        discharge, the reference), or ``"auto"`` (default: pick by arc
+        count at :meth:`freeze`, see :data:`WAVE_AUTO_MIN_ARCS`).
 
     Usage::
 
@@ -62,12 +115,19 @@ class FlowNetwork:
         net.reset()
         value = net.solve()
         side = net.source_side()   # maximal min-cut source side
+
+    After :meth:`freeze`, :attr:`method` holds the resolved solver name.
+    The capacity state lives in Python lists under ``"loop"`` and in the
+    grouped numpy arrays under ``"wave"``; both are updated consistently
+    by :meth:`reset` / :meth:`raise_capacity` / :meth:`set_base_capacity`,
+    so callers never need to know which solver runs.
     """
 
     __slots__ = (
         "num_nodes",
         "source",
         "sink",
+        "method",
         "head",
         "cap",
         "base_cap",
@@ -76,23 +136,39 @@ class FlowNetwork:
         "label",
         "_frozen",
         "_adj_build",
+        "_g_perm",
+        "_g_pos",
+        "_g_rev",
+        "_g_head",
+        "_g_tail",
+        "_g_src",
+        "_g_tail_ok",
+        "_g_ptr",
+        "_g_counts",
     )
 
-    def __init__(self, num_nodes: int, source: int, sink: int) -> None:
+    def __init__(
+        self, num_nodes: int, source: int, sink: int, method: str = "auto"
+    ) -> None:
         if not (0 <= source < num_nodes and 0 <= sink < num_nodes):
             raise FlowError("source/sink out of range")
         if source == sink:
             raise FlowError("source and sink must differ")
+        if method not in FLOW_METHODS:
+            raise FlowError(
+                f"unknown flow method {method!r}; options: {FLOW_METHODS}"
+            )
         self.num_nodes = num_nodes
         self.source = source
         self.sink = sink
+        self.method = method
         self.head: list[int] = []
         self.base_cap: list[float] = []
         self.cap: list[float] = []
         self._adj_build: list[list[int]] = [[] for _ in range(num_nodes)]
         self.adj: list[list[int]] = self._adj_build
-        self.excess: list[float] = [0.0] * num_nodes
-        self.label: list[int] = [0] * num_nodes
+        self.excess = [0.0] * num_nodes
+        self.label = [0] * num_nodes
         self._frozen = False
 
     # ------------------------------------------------------------------
@@ -114,10 +190,60 @@ class FlowNetwork:
         return arc
 
     def freeze(self) -> None:
-        """Seal the topology; capacities stay rewritable via the setters."""
+        """Seal the topology and resolve the solver; capacities stay rewritable.
+
+        ``method="auto"`` resolves to ``"wave"`` at or above
+        :data:`WAVE_AUTO_MIN_ARCS` forward arcs, ``"loop"`` below.  The
+        wave solver's grouped arc arrays (arcs sorted by tail, CSR-style
+        segment pointers, reverse-arc position map) are built here, once.
+        """
         self._frozen = True
         self.adj = self._adj_build
-        self.cap = list(self.base_cap)
+        if self.method == "auto":
+            self.method = (
+                "wave" if len(self.head) // 2 >= WAVE_AUTO_MIN_ARCS else "loop"
+            )
+        if self.method == "wave":
+            self._freeze_wave()
+        else:
+            self.cap = list(self.base_cap)
+
+    def _freeze_wave(self) -> None:
+        """Compile the grouped (tail-sorted) arc arrays for the wave solver.
+
+        Grouped position ``p`` holds arc ``perm[p]``; ``_g_rev[p]`` is the
+        grouped position of its paired reverse arc, so residual updates
+        are pure fancy-indexing (``perm`` is a bijection, hence so is
+        ``_g_rev`` — no scatter conflicts).
+        """
+        n = self.num_nodes
+        adj = self._adj_build
+        perm = np.fromiter(
+            (a for node_arcs in adj for a in node_arcs),
+            dtype=np.int64,
+            count=len(self.head),
+        )
+        pos = np.empty(len(self.head), dtype=np.int64)
+        pos[perm] = np.arange(len(self.head), dtype=np.int64)
+        counts = np.fromiter(
+            (len(node_arcs) for node_arcs in adj), dtype=np.int64, count=n
+        )
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=ptr[1:])
+        self._g_perm = perm
+        self._g_pos = pos
+        self._g_rev = pos[perm ^ 1]
+        self._g_head = np.asarray(self.head, dtype=np.int64)[perm]
+        self._g_tail = np.repeat(np.arange(n, dtype=np.int64), counts)
+        self._g_src = np.nonzero(
+            (self._g_tail == self.source) & (perm % 2 == 0)
+        )[0]
+        self._g_tail_ok = self._g_tail != self.source
+        self._g_ptr = ptr
+        self._g_counts = counts
+        self.cap = np.asarray(self.base_cap, dtype=np.float64)[perm]
+        self.excess = np.zeros(n, dtype=np.float64)
+        self.label = np.zeros(n, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Capacity state
@@ -132,8 +258,12 @@ class FlowNetwork:
         """Zero the flow: residuals back to base capacities, excesses cleared."""
         if not self._frozen:
             raise FlowError("freeze() before reset()")
-        self.cap = list(self.base_cap)
-        self.excess = [0.0] * self.num_nodes
+        if self.method == "wave":
+            self.cap = np.asarray(self.base_cap, dtype=np.float64)[self._g_perm]
+            self.excess = np.zeros(self.num_nodes, dtype=np.float64)
+        else:
+            self.cap = list(self.base_cap)
+            self.excess = [0.0] * self.num_nodes
 
     def raise_capacity(self, arc: int, capacity: float) -> None:
         """Grow a forward arc's capacity *without* discarding the preflow.
@@ -146,10 +276,236 @@ class FlowNetwork:
         if delta < 0.0:
             raise FlowError("raise_capacity cannot lower a capacity")
         self.base_cap[arc] = capacity
-        self.cap[arc] += delta
+        if self.method == "wave":
+            self.cap[self._g_pos[arc]] += delta
+        else:
+            self.cap[arc] += delta
 
     # ------------------------------------------------------------------
     # Solver
+    # ------------------------------------------------------------------
+    def solve(self) -> float:
+        """Run/resume push-relabel; return the max-flow value at the sink.
+
+        Starts from the current preflow (zero after :meth:`reset`, the
+        previous run's preflow after :meth:`raise_capacity`), saturates
+        the source arcs, and discharges until no active node can reach
+        the sink.  Dispatches to the wave or loop solver resolved at
+        :meth:`freeze`; both compute the same value and expose the same
+        maximal min cut via :meth:`source_side`.
+        """
+        if self.method == "wave":
+            return self._solve_wave()
+        return self._solve_loop()
+
+    @property
+    def flow_value(self) -> float:
+        """Flow currently delivered to the sink."""
+        return float(self.excess[self.sink])
+
+    # ------------------------------------------------------------------
+    # Wave solver (vectorized)
+    # ------------------------------------------------------------------
+    def _wave_global_relabel(self) -> np.ndarray:
+        """Exact distance-to-sink labels via vectorized reverse BFS.
+
+        One full-array pass per BFS level: an unlabeled tail whose arc
+        has residual capacity into the current frontier joins the next
+        level.  Unreachable nodes (and the source) keep label ``n``,
+        which parks their stranded excess — phase-two flow return is
+        never needed for the min-cut/value uses this kernel serves.
+        """
+        n = self.num_nodes
+        cap = self.cap
+        g_head = self._g_head
+        g_tail = self._g_tail
+        label = np.full(n, n, dtype=np.int64)
+        label[self.sink] = 0
+        residual = (cap > FLOW_EPS) & self._g_tail_ok
+        level = 0
+        while True:
+            into = residual & (label[g_head] == level) & (label[g_tail] == n)
+            if not into.any():
+                break
+            label[g_tail[into]] = level + 1
+            level += 1
+        self.label = label
+        return label
+
+    def _segments(self, nodes: np.ndarray):
+        """Gather ``nodes``'s ragged arc segments into one flat index.
+
+        Returns ``(idx, seg_start, lens)``: ``idx[k]`` is the grouped
+        position of the k-th gathered arc, node ``nodes[i]``'s segment
+        spans ``idx[seg_start[i] : seg_start[i] + lens[i]]``.
+        """
+        lens = self._g_counts[nodes]
+        seg_end = np.cumsum(lens)
+        seg_start = seg_end - lens
+        idx = np.repeat(self._g_ptr[nodes] - seg_start, lens)
+        idx += np.arange(int(seg_end[-1]), dtype=np.int64)
+        return idx, seg_start, lens
+
+    def _solve_wave(self) -> float:
+        """Wave-based discharge: top-down level sweeps over the frontier.
+
+        Every wave:
+
+        * **sweeps the populated label levels in descending order**,
+          batch-pushing along every admissible arc of each level's
+          active nodes — descending order lets a parcel admitted at a
+          high label cascade through every level down to the sink
+          within one wave.  A node's excess is split across its
+          admissible arcs *proportionally to their residuals* (any
+          split is a legal preflow move; the proportional one saturates
+          downstream capacities evenly, avoiding overflow-and-bounce
+          rounds).  Labels are fixed for the whole sweep, so pushes are
+          individually valid: admissibility cannot hold for an arc and
+          its reverse simultaneously.
+        * **batch-relabels** every still-active node (after a full
+          sweep each one is stuck) to one past the segment-minimum of
+          its residual neighbor heights — labels only increase, so
+          simultaneous relabels preserve validity — then applies the
+          gap heuristic from a label histogram;
+        * every :data:`_GLOBAL_RELABEL_INTERVAL` relabel operations,
+          recomputes *exact* labels by the vectorized reverse BFS — an
+          exact labeling either exposes an admissible arc on every
+          active node (a shortest-path level structure, as in Dinic's
+          phases) or parks unreachable excess at label ``n`` outright.
+
+        Termination follows from the standard push-relabel counting
+        argument: labels are monotone and bounded, every stuck node is
+        strictly lifted, and every push moves more than ``FLOW_EPS``.
+        """
+        n = self.num_nodes
+        cap = self.cap
+        g_head = self._g_head
+        g_rev = self._g_rev
+        excess = self.excess
+        source, sink = self.source, self.sink
+
+        label = self._wave_global_relabel()
+        # saturate (re-saturate on warm runs) every forward source arc
+        src = self._g_src
+        if src.size:
+            residual = cap[src]
+            live = residual > FLOW_EPS
+            if live.any():
+                pos = src[live]
+                amount = residual[live]
+                cap[pos] = 0.0
+                cap[g_rev[pos]] += amount
+                excess += np.bincount(g_head[pos], weights=amount, minlength=n)
+
+        since_gr = 0
+        while True:
+            active = (excess > FLOW_EPS) & (label < n)
+            active[source] = False
+            active[sink] = False
+            act = np.nonzero(active)[0]
+            if not act.size:
+                break
+            if since_gr >= _GLOBAL_RELABEL_INTERVAL:
+                label = self._wave_global_relabel()
+                since_gr = 0
+                continue
+
+            # --- descending level sweep: batch-push each populated level
+            # in turn, so a parcel admitted at a high label cascades all
+            # the way to the sink within one wave (labels are fixed for
+            # the whole sweep; each level reads the excess the levels
+            # above it just delivered)
+            act_labels = label[act]
+            top = int(act_labels.max())
+            levels = np.unique(label[(label > 0) & (label < n)])
+            for lev in levels[levels <= top][::-1]:
+                nodes = np.nonzero((label == lev) & (excess > FLOW_EPS))[0]
+                if nodes.size == 0:
+                    continue
+                idx, seg_start, lens = self._segments(nodes)
+                a_cap = cap[idx]
+                a_head = g_head[idx]
+                adm = (a_cap > FLOW_EPS) & (label[a_head] == lev - 1)
+                if not adm.any():
+                    continue
+                # allocate each node's excess across its admissible arcs
+                # proportionally to their residuals: any split is a legal
+                # preflow move, and the proportional one spreads load so
+                # downstream capacities saturate evenly — far fewer
+                # overflow-and-bounce rounds than saturating in arc order
+                res = np.where(adm, a_cap, 0.0)
+                seg_sum = np.add.reduceat(res, seg_start)
+                ratio = np.minimum(
+                    1.0, excess[nodes] / np.maximum(seg_sum, 1e-300)
+                )
+                delta = res * np.repeat(ratio, lens)
+                delta[delta <= FLOW_EPS] = 0.0
+                # a node whose proportional shares all rounded to dust
+                # would stall forever; route its whole excess onto its
+                # first admissible arc instead (> FLOW_EPS by admissibility)
+                kept = np.add.reduceat(delta, seg_start)
+                stalled = (kept <= 0.0) & (seg_sum > 0.0)
+                if stalled.any():
+                    order = np.cumsum(adm)
+                    base = np.repeat(order[seg_start] - adm[seg_start], lens)
+                    first = adm & (order - base == 1) & np.repeat(stalled, lens)
+                    delta = np.where(
+                        first,
+                        np.minimum(res, np.repeat(excess[nodes], lens)),
+                        delta,
+                    )
+                moved = np.nonzero(delta)[0]
+                if moved.size:
+                    amount = delta[moved]
+                    tgt = idx[moved]
+                    cap[tgt] -= amount
+                    cap[g_rev[tgt]] += amount
+                    excess += np.bincount(
+                        a_head[moved], weights=amount, minlength=n
+                    )
+                    excess -= np.bincount(
+                        np.repeat(nodes, lens)[moved],
+                        weights=amount,
+                        minlength=n,
+                    )
+
+            # --- batched relabel: after a full sweep every still-active
+            # node is stuck (its admissible residuals are exhausted), so
+            # lift each to one past the segment-minimum of its residual
+            # neighbor heights
+            active = (excess > FLOW_EPS) & (label < n)
+            active[source] = False
+            active[sink] = False
+            act = np.nonzero(active)[0]
+            if not act.size:
+                break
+            idx, seg_start, _lens = self._segments(act)
+            a_cap = cap[idx]
+            neigh = np.where(a_cap > FLOW_EPS, label[g_head[idx]], 2 * n)
+            seg_min = np.minimum.reduceat(neigh, seg_start)
+            cand = seg_min + 1
+            lift = cand > label[act]
+            if lift.any():
+                label[act[lift]] = np.minimum(cand[lift], n)
+                since_gr += int(np.count_nonzero(lift))
+                # gap heuristic: labels above an empty level can never
+                # reach the sink again
+                hist = np.bincount(label[label < n], minlength=n)
+                gaps = np.nonzero(hist == 0)[0]
+                if gaps.size:
+                    above = (label > gaps[0]) & (label < n)
+                    if above.any():
+                        label[above] = n
+            else:
+                # nodes with admissible arcs left but below FLOW_EPS
+                # excess granularity: exact labels resolve the stall
+                label = self._wave_global_relabel()
+                since_gr = 0
+        self.label = label
+        return float(excess[sink])
+
+    # ------------------------------------------------------------------
+    # Loop solver (pure-Python reference)
     # ------------------------------------------------------------------
     def _global_relabel(self) -> list[int]:
         """Exact distance-to-sink labels over the residual graph.
@@ -178,14 +534,8 @@ class FlowNetwork:
         self.label = label
         return label
 
-    def solve(self) -> float:
-        """Run/resume push-relabel; return the max-flow value at the sink.
-
-        Starts from the current preflow (zero after :meth:`reset`, the
-        previous run's preflow after :meth:`raise_capacity`), saturates
-        the source arcs, and discharges until no active node can reach
-        the sink.
-        """
+    def _solve_loop(self) -> float:
+        """FIFO discharge with the gap heuristic — the reference solver."""
         n = self.num_nodes
         cap = self.cap
         head = self.head
@@ -271,11 +621,6 @@ class FlowNetwork:
                     current[u] += 1
         return excess[sink]
 
-    @property
-    def flow_value(self) -> float:
-        """Flow currently delivered to the sink."""
-        return self.excess[self.sink]
-
     # ------------------------------------------------------------------
     # Cut extraction
     # ------------------------------------------------------------------
@@ -288,7 +633,22 @@ class FlowNetwork:
         is the right choice for the densest-subgraph reduction: at the
         optimum density it selects the largest optimal sub-hub-graph,
         mirroring the peel's preference for more coverage on cost ties.
+        The maximal side is a property of the max-flow *value*, not of
+        the particular preflow found, so the wave and loop solvers agree.
         """
+        if self.method == "wave":
+            n = self.num_nodes
+            g_tail = self._g_tail
+            g_head = self._g_head
+            residual = self.cap > FLOW_EPS
+            reaches = np.zeros(n, dtype=bool)
+            reaches[self.sink] = True
+            while True:
+                into = residual & reaches[g_head] & ~reaches[g_tail]
+                if not into.any():
+                    break
+                reaches[g_tail[into]] = True
+            return (~reaches).tolist()
         n = self.num_nodes
         cap = self.cap
         head = self.head

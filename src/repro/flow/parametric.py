@@ -18,14 +18,22 @@ decides whether any subgraph beats density ``λ``, and the residual
 graph's maximal source side is the *largest* such subgraph.
 
 The density search is Dinkelbach's iteration rather than binary search:
-start from the density of the full alive subgraph, cut, re-set ``λ`` to
-the density of the extracted subgraph, repeat until the excess vanishes.
-Each step strictly increases ``λ``, so the sink capacities ``λ·g(v)``
-only grow — the previous preflow stays feasible and
+start from a feasible density guess, cut, re-set ``λ`` to the density of
+the extracted subgraph, repeat until the excess vanishes.  Each step
+strictly increases ``λ``, so the sink capacities ``λ·g(v)`` only grow —
+the previous preflow stays feasible and
 :meth:`~repro.flow.maxflow.FlowNetwork.raise_capacity` +
 :meth:`~repro.flow.maxflow.FlowNetwork.solve` resume it warm instead of
 recomputing from scratch.  Convergence is finite (each iterate is the
-exact density of a distinct subgraph) and in practice takes 2–5 cuts.
+exact density of a distinct subgraph); the iteration count is governed
+by the starting guess, so :meth:`ParametricDensest.solve` seeds ``λ``
+with the *best single-vertex density* (one vectorized pass over the
+single-endpoint elements) rather than the full alive subgraph's density:
+on hub-graphs the optimum usually is one consumer vertex with its
+covered legs, so the seeded search typically converges in a single cut
+where the full-graph seed needed 5–7 (the dominant term of the E14
+kernel speedup).  Seeding never changes the answer — Dinkelbach from
+any feasible ``λ`` converges to the same maximal optimal subgraph.
 
 Free subgraphs (every weighted endpoint already zero-weight because its
 leg is paid for) are peeled off before the flow ever runs: they have
@@ -37,7 +45,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.tolerances import DINKELBACH_RTOL
+import numpy as np
+
+from repro.core.tolerances import DINKELBACH_RTOL, OPT_BOUND_MARGIN
 from repro.flow.maxflow import FlowNetwork
 
 #: Hard cap on Dinkelbach iterations; the search is provably finite and
@@ -79,17 +89,33 @@ class ParametricDensest:
     set.  The CHITCHAT exact oracle keeps one instance per hub for
     exactly this reason — the hub-graph never changes, only coverage and
     leg payments do.
+
+    ``method`` selects the max-flow solver (``"auto"`` — the default —
+    picks the vectorized wave kernel for networks at or above
+    :data:`~repro.flow.maxflow.WAVE_AUTO_MIN_ARCS` forward arcs and the
+    pure-Python loop below; ``"wave"`` / ``"loop"`` force one, which the
+    E14 kernel benchmark uses to measure the crossover).  ``seed_lambda``
+    enables the single-vertex density seed of the Dinkelbach search;
+    ``False`` restores the PR 3 behavior (seed at the full alive
+    subgraph's density), kept as the E14 reference configuration — the
+    answer is identical either way, only the cut count changes.
     """
 
     def __init__(
-        self, endpoints: Sequence[tuple[int, ...]], num_verts: int
+        self,
+        endpoints: Sequence[tuple[int, ...]],
+        num_verts: int,
+        method: str = "auto",
+        seed_lambda: bool = True,
     ) -> None:
         self.endpoints = [tuple(e) for e in endpoints]
         self.num_verts = num_verts
         num_elems = len(self.endpoints)
         self._elem_base = 2
         self._vert_base = 2 + num_elems
-        net = FlowNetwork(2 + num_elems + num_verts, source=0, sink=1)
+        net = FlowNetwork(
+            2 + num_elems + num_verts, source=0, sink=1, method=method
+        )
         big = float(num_elems + 1)  # exceeds any feasible flow: acts as ∞
         self._src_arcs = [
             net.add_arc(0, self._elem_base + e, 0.0) for e in range(num_elems)
@@ -102,12 +128,20 @@ class ParametricDensest:
         ]
         net.freeze()
         self.net = net
+        self.seed_lambda = seed_lambda
         # vertex -> incident element lists, for the free shortcut and the
         # useless-vertex filter
         self._incident: list[list[int]] = [[] for _ in range(num_verts)]
         for e, verts in enumerate(self.endpoints):
             for v in verts:
                 self._incident[v].append(e)
+        # single-endpoint elements, for the λ-seeding pass: element e with
+        # endpoints (v,) contributes to the density of the subgraph {v}
+        self._single_vert = np.fromiter(
+            (e[0] if len(e) == 1 else -1 for e in self.endpoints),
+            dtype=np.int64,
+            count=num_elems,
+        )
 
     # ------------------------------------------------------------------
     def solve(
@@ -145,12 +179,49 @@ class ParametricDensest:
                 iterations=0,
             )
 
-        # --- Initial feasible density: the full alive subgraph.
+        # --- Initial feasible density: the better of the full alive
+        # subgraph and the best single-vertex subgraph (its alive
+        # single-endpoint elements over its weight).  Both are genuine
+        # sub-hypergraphs, so either density is a valid Dinkelbach seed;
+        # the single-vertex one is usually within one cut of the optimum.
         incident_verts = sorted({v for e in alive_idx for v in endpoints[e]})
         total_weight = sum(weight[v] for v in incident_verts)
         # no free elements => every alive element touches positive weight
         best = (tuple(incident_verts), tuple(alive_idx), total_weight)
+        best_is_seed = False
         lam = len(alive_idx) / total_weight
+        single = self._single_vert
+        alive_arr = np.asarray(alive, dtype=bool)
+        singles = (
+            single[alive_arr & (single >= 0)]
+            if self.seed_lambda
+            else np.empty(0, dtype=np.int64)
+        )
+        if singles.size:
+            counts = np.bincount(singles, minlength=self.num_verts)
+            weight_arr = np.asarray(weight, dtype=np.float64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                density = np.where(
+                    (counts > 0) & (weight_arr > 0.0),
+                    counts / weight_arr,
+                    0.0,
+                )
+            seed_vert = int(np.argmax(density))
+            if density[seed_vert] > lam:
+                lam = float(density[seed_vert])
+                covered_seed = np.nonzero(
+                    alive_arr & (single == seed_vert)
+                )[0]
+                best = (
+                    (seed_vert,),
+                    tuple(int(e) for e in covered_seed),
+                    float(weight[seed_vert]),
+                )
+                # unlike every later incumbent, this one is not a
+                # maximal cut: if the search converges onto it via the
+                # float-overshoot path, a repair cut re-establishes the
+                # maximal-selection contract (see below)
+                best_is_seed = True
 
         net = self.net
         for e in range(num_elems):
@@ -180,6 +251,36 @@ class ParametricDensest:
                 # overshoot, where the incumbent is the optimum)
                 if covered:
                     return self._finish(selected, covered, weight, iterations)
+                if best_is_seed:
+                    # the incumbent is the raw λ-seed, optimal in value
+                    # but possibly not maximal on exact density ties —
+                    # one repair cut a margin below its density always
+                    # extracts the *maximal* optimum (every optimal
+                    # subgraph is strictly positive there)
+                    sel, cov, wgt = best
+                    lam = (len(cov) / wgt) * OPT_BOUND_MARGIN
+                    for v in range(self.num_verts):
+                        net.set_base_capacity(
+                            self._sink_arcs[v], lam * max(weight[v], 0.0)
+                        )
+                    net.reset()
+                    iterations += 1
+                    net.solve()
+                    side = net.source_side()
+                    repaired = [
+                        e for e in alive_idx if side[self._elem_base + e]
+                    ]
+                    if repaired:
+                        return self._finish(
+                            [
+                                v
+                                for v in incident_verts
+                                if side[self._vert_base + v]
+                            ],
+                            repaired,
+                            weight,
+                            iterations,
+                        )
                 sel, cov, _w = best
                 return self._finish(list(sel), list(cov), weight, iterations)
             sel_weight = sum(weight[v] for v in selected)
@@ -189,6 +290,7 @@ class ParametricDensest:
             if new_lam <= lam:  # float stagnation: cannot improve further
                 return self._finish(selected, covered, weight, iterations)
             best = (tuple(selected), tuple(covered), sel_weight)
+            best_is_seed = False
             lam = new_lam
             for v in incident_verts:
                 net.raise_capacity(

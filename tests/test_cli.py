@@ -76,6 +76,45 @@ class TestOptimize:
         assert metadata["oracle"] == oracle
         assert schedule.is_feasible(graph)
 
+    def test_optimize_chitchat_epsilon(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        out = tmp_path / "chitchat-eps.json"
+        code = main(
+            [
+                "optimize",
+                str(path),
+                "-o",
+                str(out),
+                "--algorithm",
+                "chitchat",
+                "--epsilon",
+                "0.05",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "epsilon_accepts=" in printed
+        schedule, metadata = load_schedule(out)
+        assert metadata["epsilon"] == 0.05
+        assert schedule.is_feasible(graph)
+
+    def test_optimize_rejects_negative_epsilon(self, graph_file, tmp_path):
+        path, _graph = graph_file
+        code = main(
+            [
+                "optimize",
+                str(path),
+                "-o",
+                str(tmp_path / "s.json"),
+                "--algorithm",
+                "chitchat",
+                "--epsilon",
+                "-0.5",
+            ]
+        )
+        assert code == 2  # ReproError surfaces as the CLI error exit
+
     def test_optimize_rejects_unknown_oracle(self, graph_file, tmp_path):
         path, _graph = graph_file
         with pytest.raises(SystemExit):

@@ -16,6 +16,7 @@ Three layers of evidence:
 from __future__ import annotations
 
 import math
+import random
 
 import hypothesis.strategies as st
 import pytest
@@ -64,6 +65,48 @@ def hub_instances(draw):
     )
     covered = {e for e in edges if draw(st.integers(0, 4)) == 0}
     return SocialGraph(edges), workload, covered
+
+
+class TestSeededDinkelbachMaximality:
+    """The λ-seed must not break the maximal-selection contract.
+
+    On exact density ties the maximal optimal subgraph is the union of
+    the tied optima; the single-vertex seed alone is non-maximal there,
+    so the repair-cut path must kick in (ISSUE 4 review finding)."""
+
+    def test_tied_single_vertices_select_maximal_union(self):
+        from repro.flow.parametric import ParametricDensest
+
+        endpoints = [(0,), (0,), (1,), (1,)]
+        weight = [1.0, 1.0]
+        seeded = ParametricDensest(endpoints, 2).solve(weight)
+        reference = ParametricDensest(endpoints, 2, seed_lambda=False).solve(
+            weight
+        )
+        assert seeded.selected == (0, 1)
+        assert seeded.covered == (0, 1, 2, 3)
+        assert seeded.selected == reference.selected
+        assert seeded.covered == reference.covered
+
+    @pytest.mark.parametrize("trial", range(40))
+    def test_seeded_matches_unseeded_on_tie_prone_weights(self, trial):
+        from repro.flow.parametric import ParametricDensest
+
+        rng = random.Random(trial)
+        num_verts = rng.randint(2, 5)
+        endpoints = []
+        for v in range(num_verts):
+            for _ in range(rng.randint(1, 4)):
+                endpoints.append((v,))
+        for _ in range(rng.randint(0, 4)):
+            endpoints.append(tuple(rng.sample(range(num_verts), 2)))
+        weight = [rng.choice([0.5, 1.0, 1.0, 2.0]) for _ in range(num_verts)]
+        seeded = ParametricDensest(endpoints, num_verts).solve(weight)
+        reference = ParametricDensest(
+            endpoints, num_verts, seed_lambda=False
+        ).solve(weight)
+        assert seeded.selected == reference.selected
+        assert seeded.covered == reference.covered
 
 
 class TestExactMatchesBruteForce:

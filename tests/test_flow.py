@@ -1,9 +1,14 @@
 """Unit tests for the push-relabel max-flow kernel (``repro.flow.maxflow``).
 
-The kernel is validated against exhaustive min-cut enumeration on small
-random networks (≤ 12 nodes, every source-containing subset priced), and
-its warm-restart path — the capacity raises the parametric densest
-search relies on — is checked to agree with from-scratch solves.
+Both solvers — the numpy-vectorized wave kernel and the pure-Python FIFO
+discharge loop kept as the reference — are validated against exhaustive
+min-cut enumeration on small random networks (≤ 12 nodes, every
+source-containing subset priced), and their warm-restart path — the
+capacity raises the parametric densest search relies on — is checked to
+agree with from-scratch solves.  The two solvers must also agree with
+each other on the flow value *and* on the maximal min-cut source side,
+which is a property of the instance, not of the particular preflow a
+solver finds.
 """
 
 from __future__ import annotations
@@ -13,7 +18,14 @@ import random
 
 import pytest
 
-from repro.flow.maxflow import FlowError, FlowNetwork
+from repro.flow.maxflow import (
+    FLOW_METHODS,
+    WAVE_AUTO_MIN_ARCS,
+    FlowError,
+    FlowNetwork,
+)
+
+METHODS = ("loop", "wave")
 
 
 def brute_force_min_cut(num_nodes, source, sink, arcs):
@@ -37,8 +49,8 @@ def random_network(rng, num_nodes):
     return arcs
 
 
-def build(num_nodes, source, sink, arcs):
-    net = FlowNetwork(num_nodes, source, sink)
+def build(num_nodes, source, sink, arcs, method="auto"):
+    net = FlowNetwork(num_nodes, source, sink, method=method)
     for u, v, c in arcs:
         net.add_arc(u, v, c)
     net.freeze()
@@ -46,38 +58,43 @@ def build(num_nodes, source, sink, arcs):
     return net
 
 
+@pytest.fixture(params=METHODS)
+def method(request):
+    return request.param
+
+
 class TestMaxFlow:
-    def test_single_path(self):
-        net = build(3, 0, 2, [(0, 1, 2.0), (1, 2, 1.5)])
+    def test_single_path(self, method):
+        net = build(3, 0, 2, [(0, 1, 2.0), (1, 2, 1.5)], method)
         assert net.solve() == pytest.approx(1.5)
 
-    def test_parallel_paths(self):
+    def test_parallel_paths(self, method):
         arcs = [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 1.0)]
-        net = build(4, 0, 3, arcs)
+        net = build(4, 0, 3, arcs, method)
         assert net.solve() == pytest.approx(2.0)
 
-    def test_disconnected_sink(self):
-        net = build(3, 0, 2, [(0, 1, 5.0)])
+    def test_disconnected_sink(self, method):
+        net = build(3, 0, 2, [(0, 1, 5.0)], method)
         assert net.solve() == pytest.approx(0.0)
         assert net.source_side() == [True, True, False]
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_matches_brute_force_min_cut(self, seed):
+    def test_matches_brute_force_min_cut(self, seed, method):
         """Acceptance check: flow value == exhaustive min cut, ≤ 12 nodes."""
         rng = random.Random(seed)
         for num_nodes in (3, 5, 8, 12):
             arcs = random_network(rng, num_nodes)
-            net = build(num_nodes, 0, num_nodes - 1, arcs)
+            net = build(num_nodes, 0, num_nodes - 1, arcs, method)
             value = net.solve()
             expected = brute_force_min_cut(num_nodes, 0, num_nodes - 1, arcs)
             assert value == pytest.approx(expected, abs=1e-8)
 
     @pytest.mark.parametrize("seed", range(8))
-    def test_source_side_is_a_minimum_cut(self, seed):
+    def test_source_side_is_a_minimum_cut(self, seed, method):
         """The extracted source side must itself price at the flow value."""
         rng = random.Random(100 + seed)
         arcs = random_network(rng, 9)
-        net = build(9, 0, 8, arcs)
+        net = build(9, 0, 8, arcs, method)
         value = net.solve()
         side = net.source_side()
         assert side[0] and not side[8]
@@ -85,11 +102,11 @@ class TestMaxFlow:
         assert cut == pytest.approx(value, abs=1e-8)
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_source_side_is_maximal(self, seed):
+    def test_source_side_is_maximal(self, seed, method):
         """The returned side must contain every other min-cut source side."""
         rng = random.Random(200 + seed)
         arcs = random_network(rng, 7)
-        net = build(7, 0, 6, arcs)
+        net = build(7, 0, 6, arcs, method)
         value = net.solve()
         side = net.source_side()
         others = [v for v in range(7) if v not in (0, 6)]
@@ -102,16 +119,27 @@ class TestMaxFlow:
                 if cut == pytest.approx(value, abs=1e-9):
                     assert all(side[v] for v in candidate)
 
+    @pytest.mark.parametrize("seed", range(10))
+    def test_wave_and_loop_agree(self, seed):
+        """Same value and same maximal cut from both solvers."""
+        rng = random.Random(400 + seed)
+        for num_nodes in (4, 7, 10):
+            arcs = random_network(rng, num_nodes)
+            wave = build(num_nodes, 0, num_nodes - 1, arcs, "wave")
+            loop = build(num_nodes, 0, num_nodes - 1, arcs, "loop")
+            assert wave.solve() == pytest.approx(loop.solve(), abs=1e-8)
+            assert wave.source_side() == loop.source_side()
+
 
 class TestWarmRestart:
     @pytest.mark.parametrize("seed", range(6))
-    def test_raise_capacity_matches_fresh_solve(self, seed):
+    def test_raise_capacity_matches_fresh_solve(self, seed, method):
         """Raising capacities and resuming == solving the new instance cold."""
         rng = random.Random(300 + seed)
         arcs = random_network(rng, 8)
         if not arcs:
             return
-        warm = build(8, 0, 7, arcs)
+        warm = build(8, 0, 7, arcs, method)
         warm.solve()
         # grow a random subset of capacities, warm-resume
         grown = list(arcs)
@@ -124,18 +152,18 @@ class TestWarmRestart:
             if c != arcs[i][2]:
                 warm.raise_capacity(arc_ids[i], c)
         warm_value = warm.solve()
-        cold = build(8, 0, 7, grown)
+        cold = build(8, 0, 7, grown, method)
         assert warm_value == pytest.approx(cold.solve(), abs=1e-8)
 
-    def test_reset_discards_flow(self):
-        net = build(3, 0, 2, [(0, 1, 2.0), (1, 2, 2.0)])
+    def test_reset_discards_flow(self, method):
+        net = build(3, 0, 2, [(0, 1, 2.0), (1, 2, 2.0)], method)
         assert net.solve() == pytest.approx(2.0)
         net.reset()
         assert net.flow_value == 0.0
         assert net.solve() == pytest.approx(2.0)
 
-    def test_set_base_capacity_applies_on_reset(self):
-        net = FlowNetwork(3, 0, 2)
+    def test_set_base_capacity_applies_on_reset(self, method):
+        net = FlowNetwork(3, 0, 2, method=method)
         arc = net.add_arc(0, 1, 1.0)
         net.add_arc(1, 2, 10.0)
         net.freeze()
@@ -146,10 +174,39 @@ class TestWarmRestart:
         assert net.solve() == pytest.approx(4.0)
 
 
+class TestMethodResolution:
+    def test_auto_resolves_by_size(self):
+        small = FlowNetwork(3, 0, 2)
+        small.add_arc(0, 1, 1.0)
+        small.freeze()
+        assert small.method == "loop"
+        num_arcs = WAVE_AUTO_MIN_ARCS
+        big = FlowNetwork(num_arcs + 2, 0, 1)
+        for i in range(num_arcs):
+            big.add_arc(0, 2 + i, 1.0)
+        big.freeze()
+        assert big.method == "wave"
+
+    def test_forced_methods_survive_freeze(self):
+        for method in ("loop", "wave"):
+            net = FlowNetwork(3, 0, 2, method=method)
+            net.add_arc(0, 1, 1.0)
+            net.add_arc(1, 2, 1.0)
+            net.freeze()
+            assert net.method == method
+
+    def test_methods_tuple_is_exported(self):
+        assert set(FLOW_METHODS) == {"auto", "wave", "loop"}
+
+
 class TestValidation:
     def test_rejects_equal_source_sink(self):
         with pytest.raises(FlowError):
             FlowNetwork(2, 0, 0)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(FlowError):
+            FlowNetwork(2, 0, 1, method="quantum")
 
     def test_rejects_negative_capacity(self):
         net = FlowNetwork(2, 0, 1)
