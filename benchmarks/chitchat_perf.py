@@ -16,9 +16,8 @@ from repro.core.batched import batched_chitchat_with_stats
 from repro.core.chitchat import ChitchatScheduler
 from repro.core.cost import schedule_cost
 from repro.core.parallelnosy import parallel_nosy_schedule
-from repro.experiments.datasets import load_dataset
+from repro.experiments.datasets import e10_twitter_sample
 from repro.graph.generators import social_copying_graph
-from repro.graph.sampling import breadth_first_sample
 from repro.graph.view import as_graph_view
 from repro.workload.rates import log_degree_workload
 
@@ -149,12 +148,7 @@ def e13_exact_vs_peel(scale: float) -> dict:
 
 def e10_scaling(scale: float) -> dict:
     """E10 — oracle-call volume of the scaling techniques (compact form)."""
-    dataset = load_dataset("twitter", scale=min(scale, 0.3))
-    sample = breadth_first_sample(
-        dataset.graph, target_edges=dataset.graph.num_edges // 4, seed=0
-    )
-    sample, _mapping = sample.relabeled()
-    workload = log_degree_workload(sample, read_write_ratio=2.0)
+    sample, workload = e10_twitter_sample(scale=min(scale, 0.3))
     ff_cost = schedule_cost(hybrid_schedule(sample, workload), workload)
     rows = []
 
@@ -357,10 +351,71 @@ def e14_flow_kernel(scale: float) -> dict:
     }
 
 
+def e15_warm_oracle(scale: float) -> dict:
+    """E15 — cross-call warm starts of the exact oracle (ISSUE 5).
+
+    Runs lazy exact-oracle CHITCHAT on the E13 instance (CSR backend)
+    twice: ``warm=False`` (every oracle call resets its hub's flow
+    network and rebuilds the preflow from zero — the PR 4 behavior) and
+    ``warm=True`` (each call repairs the preflow the hub's previous call
+    left behind and re-seeds the density search from its previous
+    optimum).  Headlines: ``pass_ratio`` — cold flow-solver work units
+    (loop discharges / wave sweeps) over warm, the ISSUE 5 acceptance
+    metric — plus ``wall_ratio``, and ``equal`` certifying the two
+    schedules are byte-identical (warm starts are a pure performance
+    change).  ``warm_solves`` / ``preflow_repairs`` in the rows show the
+    session actually resumed preflows rather than winning some other way.
+    """
+    n = max(600, int(E13_BASE_NODES * scale))
+    graph = social_copying_graph(
+        num_nodes=n,
+        out_degree=E13_OUT_DEGREE,
+        copy_fraction=0.7,
+        reciprocity=0.2,
+        seed=7,
+    )
+    workload = log_degree_workload(graph, read_write_ratio=E13_READ_WRITE_RATIO)
+    rows = []
+    runs = {}
+    for mode, warm in (("cold", False), ("warm", True)):
+        started = time.perf_counter()
+        scheduler = ChitchatScheduler(
+            graph, workload, backend="csr", lazy=True, oracle="exact", warm=warm
+        )
+        schedule = scheduler.run()
+        elapsed = time.perf_counter() - started
+        runs[mode] = (schedule, scheduler.stats, elapsed)
+        rows.append(
+            {
+                "mode": mode,
+                "nodes": n,
+                "edges": graph.num_edges,
+                "oracle_calls": scheduler.stats.oracle_calls,
+                "flow_passes": scheduler.stats.flow_passes,
+                "warm_solves": scheduler.stats.warm_solves,
+                "preflow_repairs": scheduler.stats.preflow_repairs,
+                "cost": round(scheduler.stats.final_cost, 1),
+                "seconds": round(elapsed, 2),
+            }
+        )
+    cold_schedule, cold_stats, cold_secs = runs["cold"]
+    warm_schedule, warm_stats, warm_secs = runs["warm"]
+    return {
+        "nodes": n,
+        "rows": rows,
+        "equal": _schedules_equal(cold_schedule, warm_schedule),
+        "pass_ratio": cold_stats.flow_passes / max(1, warm_stats.flow_passes),
+        "wall_ratio": cold_secs / max(1e-9, warm_secs),
+        "warm_solves": warm_stats.warm_solves,
+        "preflow_repairs": warm_stats.preflow_repairs,
+    }
+
+
 COLLECTORS = {
     "E10": e10_scaling,
     "E11": e11_backends,
     "E12": e12_lazy_vs_eager,
     "E13": e13_exact_vs_peel,
     "E14": e14_flow_kernel,
+    "E15": e15_warm_oracle,
 }

@@ -50,6 +50,7 @@ def _run_chitchat(graph, workload, args):
         max_cross_edges=args.cross_edge_bound,
         oracle=getattr(args, "oracle", "peel"),
         epsilon=getattr(args, "epsilon", 0.0),
+        warm=getattr(args, "warm", True),
     )
     return scheduler.run(), scheduler.stats
 
@@ -64,6 +65,8 @@ def _oracle_stats_line(oracle: str, stats: ChitchatStats) -> str:
         f"retained={stats.champions_retained} "
         f"pruned={stats.hubs_pruned} "
         f"epsilon_accepts={stats.epsilon_accepts} "
+        f"warm_solves={stats.warm_solves} "
+        f"preflow_repairs={stats.preflow_repairs} "
         f"hub_selections={stats.hub_selections} "
         f"singletons={stats.singleton_selections}"
     )
@@ -143,13 +146,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="CHITCHAT (1+epsilon) approximately-greedy relaxation: skip "
         "re-evaluating a dirty hub when a clean candidate is priced "
         "within this factor of its certified bound (default 0 = exact "
-        "greedy)",
+        "greedy; the measured production recommendation is "
+        "repro.core.tolerances.PRODUCTION_EPSILON = 0.01)",
+    )
+    opt.add_argument(
+        "--warm",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="cross-call warm starts of the exact oracle's per-hub flow "
+        "problems (repair the previous preflow instead of resetting; "
+        "identical schedules, fewer discharge passes).  --no-warm "
+        "restores per-call cold solves",
     )
     opt.add_argument(
         "--stats",
         action="store_true",
         help="print oracle diagnostics (CHITCHAT only): full evaluations, "
-        "early exits, lazy savings, retained champions, epsilon accepts",
+        "early exits, lazy savings, retained champions, epsilon accepts, "
+        "warm solves and preflow repairs",
     )
     _add_workload_options(opt)
 
@@ -178,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="CHITCHAT (1+epsilon) approximately-greedy relaxation "
         "(see optimize --epsilon)",
+    )
+    cmp_.add_argument(
+        "--warm",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="CHITCHAT exact-oracle warm starts (see optimize --warm)",
     )
     cmp_.add_argument(
         "--stats",
@@ -214,6 +234,7 @@ def cmd_optimize(args) -> int:
     if args.algorithm == "chitchat":
         metadata["oracle"] = args.oracle
         metadata["epsilon"] = args.epsilon
+        metadata["warm"] = args.warm
     records = save_schedule(schedule, args.output, metadata=metadata)
     print(
         f"{args.algorithm}: cost={schedule_cost(schedule, workload):.1f} "

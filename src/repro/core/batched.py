@@ -84,6 +84,11 @@ class BatchedStats:
     ``ChitchatStats.epsilon_accepts``, which counts accepted clean
     candidates, this counter measures skipped work — the names differ
     because the events differ).
+
+    ``warm_solves`` / ``preflow_repairs`` / ``flow_passes`` mirror the
+    :class:`~repro.flow.exact_oracle.ExactOracle` warm-session counters
+    exactly as on :class:`~repro.core.chitchat.ChitchatStats` (0 under
+    ``oracle="peel"``).
     """
 
     rounds: int = 0
@@ -93,6 +98,9 @@ class BatchedStats:
     oracle_calls_saved: int = 0
     champions_retained: int = 0
     epsilon_deferred: int = 0
+    warm_solves: int = 0
+    preflow_repairs: int = 0
+    flow_passes: int = 0
     champions_accepted: int = 0
     champions_rejected: int = 0
     singleton_fallbacks: int = 0
@@ -138,6 +146,14 @@ class BatchedChitchat:
         optimum is monotone under covering) and are dropped when a
         hub's legs are paid.  ``0.0`` (default) disables the relaxation
         and leaves the accepted champion sets untouched.
+    warm:
+        Cross-call warm starts of the exact oracle's per-hub flow
+        problems, exactly as on
+        :class:`~repro.core.chitchat.ChitchatScheduler`: ``True`` (the
+        default) repairs each hub's previous preflow across rounds,
+        ``False`` restores per-call cold solves.  Accepted champion sets
+        are identical either way (property-tested); irrelevant under
+        ``oracle="peel"``.
     """
 
     def __init__(
@@ -150,6 +166,7 @@ class BatchedChitchat:
         lazy: bool = True,
         oracle: str = "peel",
         epsilon: float = 0.0,
+        warm: bool = True,
     ) -> None:
         if acceptance_slack < 1.0:
             raise ValueError("acceptance_slack must be >= 1.0")
@@ -164,7 +181,7 @@ class BatchedChitchat:
         self._lazy = lazy
         self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
-        self._exact = ExactOracle() if oracle != "peel" else None
+        self._exact = ExactOracle(warm=warm) if oracle != "peel" else None
         edges = edge_list(self.graph)
         self._uncovered: set[Edge] = set(edges)
         # dense edge-id mirrors of the scheduler state (CSR mode)
@@ -386,9 +403,22 @@ class BatchedChitchat:
         )
         return result.cost_per_element <= cheapest + COST_EPS
 
+    def _sync_session_stats(self) -> None:
+        """Mirror the exact-oracle session counters into ``self.stats``.
+
+        Called after every round (not just at the end of :meth:`run`) so
+        callers driving :meth:`run_round` directly see counters as
+        current as the inline ones (``oracle_calls`` etc.).
+        """
+        if self._exact is not None:
+            self.stats.warm_solves = self._exact.warm_solves
+            self.stats.preflow_repairs = self._exact.preflow_repairs
+            self.stats.flow_passes = self._exact.flow_passes
+
     def run_round(self) -> int:
         """One bulk round; returns the number of edges covered."""
         champions = self._champions()
+        self._sync_session_stats()
         if not champions:
             return 0
         covered_this_round = 0
@@ -447,6 +477,7 @@ class BatchedChitchat:
         self._uncovered.clear()
         if self._mirror is not None:
             self._mirror.cover_all()
+        self._sync_session_stats()
         return self.schedule
 
 
@@ -460,6 +491,7 @@ def batched_chitchat_schedule(
     lazy: bool = True,
     oracle: str = "peel",
     epsilon: float = 0.0,
+    warm: bool = True,
 ) -> RequestSchedule:
     """One-shot BATCHEDCHITCHAT run returning a feasible schedule."""
     runner = BatchedChitchat(
@@ -471,6 +503,7 @@ def batched_chitchat_schedule(
         lazy=lazy,
         oracle=oracle,
         epsilon=epsilon,
+        warm=warm,
     )
     return runner.run(max_rounds)
 
@@ -485,6 +518,7 @@ def batched_chitchat_with_stats(
     lazy: bool = True,
     oracle: str = "peel",
     epsilon: float = 0.0,
+    warm: bool = True,
 ) -> tuple[RequestSchedule, BatchedStats]:
     """Like :func:`batched_chitchat_schedule`, returning diagnostics too."""
     runner = BatchedChitchat(
@@ -496,6 +530,7 @@ def batched_chitchat_with_stats(
         lazy=lazy,
         oracle=oracle,
         epsilon=epsilon,
+        warm=warm,
     )
     schedule = runner.run(max_rounds)
     return schedule, runner.stats

@@ -52,6 +52,10 @@ did not touch is *retained* as-is (no downgrade, no re-evaluation — see
 ``_invalidate``), and when a downgrade is needed the certified bound is
 the optimum itself less a float margin rather than a factor-2
 certificate — dirty hubs resurface only when genuinely competitive.
+The exact oracle is a *warm session* by default (``warm=True``): each
+per-hub flow problem persists across calls and repairs its previous
+preflow instead of resetting, since coverage only ever shrinks a hub's
+element set (see :class:`~repro.flow.exact_oracle.ExactOracle`).
 
 Approximately-greedy mode (ε)
 -----------------------------
@@ -142,6 +146,13 @@ class ChitchatStats:
     ``epsilon_accepts`` counts greedy steps the ``(1 + ε)`` relaxation
     resolved with a clean candidate instead of re-evaluating the dirty
     heap top (0 whenever ``epsilon=0``).
+
+    The warm-session counters mirror the :class:`ExactOracle` session
+    (all 0 under ``oracle="peel"``): ``warm_solves`` — exact solves that
+    resumed the hub's previous preflow instead of resetting it;
+    ``preflow_repairs`` — capacity decreases that had to cancel routed
+    flow; ``flow_passes`` — total flow-solver work units (loop
+    discharges / wave sweeps), the E15 warm-vs-cold benchmark metric.
     """
 
     hub_selections: int = 0
@@ -153,6 +164,9 @@ class ChitchatStats:
     hubs_pruned: int = 0
     champions_retained: int = 0
     epsilon_accepts: int = 0
+    warm_solves: int = 0
+    preflow_repairs: int = 0
+    flow_passes: int = 0
     edges_covered_by_hubs: int = 0
     final_cost: float = 0.0
     selection_log: list[tuple[str, float, int]] = field(default_factory=list)
@@ -199,6 +213,16 @@ class ChitchatScheduler:
         each accepted step costs at most ``(1 + ε)`` times the true
         step optimum.  ``0.0`` (default) disables the relaxation and is
         byte-identical to exact greedy.
+    warm:
+        Cross-call warm starts of the exact oracle's per-hub flow
+        problems (``True`` by default; irrelevant under
+        ``oracle="peel"``): each oracle call repairs the preflow the
+        hub's previous call left behind — coverage only removes element
+        arcs, leg payments only shrink vertex weights — instead of
+        rebuilding the flow from zero, and seeds the density search from
+        the hub's previous optimum.  Schedules are byte-identical warm
+        or cold (property-tested); ``False`` restores per-call cold
+        solves, the E15 benchmark's reference configuration.
     """
 
     def __init__(
@@ -211,6 +235,7 @@ class ChitchatScheduler:
         lazy: bool = True,
         oracle: str = "peel",
         epsilon: float = 0.0,
+        warm: bool = True,
     ) -> None:
         if epsilon < 0.0:
             raise ReproError(f"epsilon must be >= 0, got {epsilon!r}")
@@ -222,7 +247,7 @@ class ChitchatScheduler:
         self._lazy = lazy
         self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
-        self._exact = ExactOracle() if oracle != "peel" else None
+        self._exact = ExactOracle(warm=warm) if oracle != "peel" else None
         self.schedule = RequestSchedule()
         edges = edge_list(self.graph)
         self._uncovered: set[Edge] = set(edges)
@@ -321,6 +346,10 @@ class ChitchatScheduler:
             self.stats.oracle_calls_saved = (
                 self._eager_equivalent - self.stats.oracle_calls
             )
+        if self._exact is not None:
+            self.stats.warm_solves = self._exact.warm_solves
+            self.stats.preflow_repairs = self._exact.preflow_repairs
+            self.stats.flow_passes = self._exact.flow_passes
         self.stats.final_cost = schedule_cost(self.schedule, self.workload)
         return self.schedule
 
@@ -763,6 +792,7 @@ def chitchat_schedule(
     lazy: bool = True,
     oracle: str = "peel",
     epsilon: float = 0.0,
+    warm: bool = True,
 ) -> RequestSchedule:
     """Run CHITCHAT on a DISSEMINATION instance and return the schedule."""
     return ChitchatScheduler(
@@ -773,6 +803,7 @@ def chitchat_schedule(
         lazy=lazy,
         oracle=oracle,
         epsilon=epsilon,
+        warm=warm,
     ).run()
 
 
@@ -784,6 +815,7 @@ def chitchat_with_stats(
     lazy: bool = True,
     oracle: str = "peel",
     epsilon: float = 0.0,
+    warm: bool = True,
 ) -> tuple[RequestSchedule, ChitchatStats]:
     """Like :func:`chitchat_schedule` but also returns run diagnostics."""
     scheduler = ChitchatScheduler(
@@ -795,6 +827,7 @@ def chitchat_with_stats(
         lazy=lazy,
         oracle=oracle,
         epsilon=epsilon,
+        warm=warm,
     )
     schedule = scheduler.run()
     return schedule, scheduler.stats

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.errors import ExperimentError
 from repro.graph.digraph import SocialGraph
 from repro.graph.generators import social_copying_graph
+from repro.graph.sampling import breadth_first_sample
 from repro.graph.stats import summarize
 from repro.workload.rates import Workload, log_degree_workload
 
@@ -101,3 +102,22 @@ def load_dataset(
 def dataset_table(scale: float = 1.0) -> list[dict[str, object]]:
     """Structural-statistics rows for all presets (the E0 dataset table)."""
     return [load_dataset(name, scale).summary_row() for name in sorted(DATASETS)]
+
+
+def e10_twitter_sample(scale: float = 1.0) -> tuple[SocialGraph, Workload]:
+    """The E10 scaling workload, shared by everything that claims to use it.
+
+    Twitter-like preset at ``scale``, breadth-first sampled down to a
+    quarter of its edges (seed 0), relabeled to dense ids, priced with
+    the log-degree model at read/write ratio 2.  The E10 benchmark
+    (``benchmarks/chitchat_perf.e10_scaling``), the ε-sweep example
+    (``examples/epsilon_tradeoff.py --dataset twitter``), and the
+    ``PRODUCTION_EPSILON`` regression pin all call this one recipe, so
+    they can never silently measure different workloads.
+    """
+    dataset = load_dataset("twitter", scale=scale)
+    sample = breadth_first_sample(
+        dataset.graph, target_edges=dataset.graph.num_edges // 4, seed=0
+    )
+    sample, _mapping = sample.relabeled()
+    return sample, log_degree_workload(sample, read_write_ratio=2.0)

@@ -3,7 +3,9 @@
 Three layers, bottom up:
 
 * :mod:`repro.flow.maxflow` — push-relabel on flat paired-arc arrays,
-  with warm restarts after capacity raises.  Two interchangeable
+  with warm restarts after capacity raises *and* capacity decreases
+  (the preflow is repaired in place: overflowing flow is cancelled and
+  the deficit drained out of the downstream paths).  Two interchangeable
   solvers: the numpy-vectorized *wave* kernel (batched pushes over the
   active frontier in descending level sweeps, segment-minima relabels,
   vectorized reverse-BFS global relabeling) and the pure-Python FIFO
@@ -17,7 +19,11 @@ Three layers, bottom up:
 * :mod:`repro.flow.exact_oracle` — the :class:`ExactOracle` adapter
   exposing the peel oracle's exact calling contract to the CHITCHAT
   schedulers, plus the ``oracle="peel"|"exact"|"auto"`` mode selection
-  (auto = exact up to :data:`EXACT_AUTO_MAX_ELEMENTS` elements).
+  (auto = exact up to :data:`EXACT_AUTO_MAX_ELEMENTS` elements).  The
+  adapter is a *session*: per-hub flow problems persist across calls
+  (LRU-capped at :data:`ORACLE_SESSION_HUBS`) and are warm-started by
+  default — each call repairs the previous preflow, since coverage only
+  shrinks each hub's element set.
 
 The schedulers in :mod:`repro.core` take an ``oracle=`` parameter wiring
 this subsystem in; ``"peel"`` (the default) never solves a flow network
@@ -29,6 +35,7 @@ peel on the E13 workload's hub-graphs.
 from repro.flow.exact_oracle import (
     EXACT_AUTO_MAX_ELEMENTS,
     ORACLE_MODES,
+    ORACLE_SESSION_HUBS,
     ExactOracle,
     use_exact,
     validate_oracle_mode,
@@ -37,7 +44,9 @@ from repro.flow.maxflow import (
     FLOW_METHODS,
     WAVE_AUTO_MIN_ARCS,
     FlowError,
+    FlowMidSolveError,
     FlowNetwork,
+    FlowNotFrozenError,
 )
 from repro.flow.parametric import (
     DenseSelection,
@@ -49,11 +58,14 @@ __all__ = [
     "EXACT_AUTO_MAX_ELEMENTS",
     "FLOW_METHODS",
     "ORACLE_MODES",
+    "ORACLE_SESSION_HUBS",
     "WAVE_AUTO_MIN_ARCS",
     "DenseSelection",
     "ExactOracle",
     "FlowError",
+    "FlowMidSolveError",
     "FlowNetwork",
+    "FlowNotFrozenError",
     "ParametricDensest",
     "densest_selection",
     "use_exact",

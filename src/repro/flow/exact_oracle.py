@@ -5,6 +5,9 @@
 ``DensestResult | OracleCutoff | None`` outcomes, but the champion it
 returns is the *true optimum* sub-hub-graph (parametric max-flow,
 :mod:`repro.flow.parametric`) rather than the Lemma-1 2-approximation.
+It is also a *session*: per-hub flow problems persist across calls
+(LRU-capped), and with ``warm=True`` each call repairs the previous
+preflow instead of rebuilding it — see the class docstring.
 Results carry ``exact=True`` and an ``opt_lower_bound`` one float margin
 below the optimum itself, which is what lets the lazy CHITCHAT heap
 retain dirtied champions outright: the exact optimum is monotone
@@ -28,6 +31,8 @@ peel call at every measured size.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -61,6 +66,17 @@ ORACLE_MODES = ("peel", "exact", "auto")
 #: finite guard.
 EXACT_AUTO_MAX_ELEMENTS = 4096
 
+#: Default ceiling on cached per-hub flow problems in an
+#: :class:`ExactOracle` session.  Each cached
+#: :class:`~repro.flow.parametric.ParametricDensest` holds the compiled
+#: arc arrays plus the warm preflow — a few hundred bytes per element —
+#: so the default bounds the session at roughly a gigabyte on worst-case
+#: hub sizes while never evicting on the benchmarked workloads (every
+#: E10–E15 instance has fewer eligible hubs).  Least-recently-*solved*
+#: hubs are evicted first; an evicted hub simply rebuilds cold on its
+#: next call.
+ORACLE_SESSION_HUBS = 8192
+
 
 def validate_oracle_mode(oracle: str) -> str:
     """Check an ``oracle=`` argument, returning it for chaining."""
@@ -82,26 +98,105 @@ def use_exact(oracle: str, hub_graph: HubGraph) -> bool:
 
 
 class ExactOracle:
-    """Stateful exact oracle: one cached flow problem per hub.
+    """Stateful exact oracle session: one cached flow problem per hub.
 
     A hub-graph's incidence structure never changes over a scheduler run
     (only coverage and leg payments do), so the per-hub
     :class:`~repro.flow.parametric.ParametricDensest` network is compiled
-    once and re-parameterized on every call — the cross-call counterpart
-    of the warm Dinkelbach restarts inside one call.  Schedulers own one
-    instance per run; the cache is keyed by hub node.
+    once and re-parameterized on every call — and, with ``warm=True``
+    (the default), each call *repairs the previous call's preflow*
+    instead of resetting it: coverage only removes element arcs and leg
+    payments only shrink vertex weights, so most of the routed flow is
+    still valid and the per-hub solver re-runs its density search seeded
+    from the hub's previous optimum.  Warm and cold sessions return
+    byte-identical results (differential-tested), so the schedulers'
+    schedules cannot depend on the flag.
+
+    Schedulers own one session per run; the cache is keyed by hub node
+    and capped at ``max_cached`` problems (:data:`ORACLE_SESSION_HUBS`,
+    ``None`` = unbounded) with least-recently-solved eviction, so
+    million-hub graphs cannot pin one flow network per hub in memory.
+
+    Session counters (cumulative, read by the schedulers into their
+    run stats): ``warm_solves`` — flow solves that resumed a preflow;
+    ``preflow_repairs`` — capacity decreases that cancelled routed flow;
+    ``flow_passes`` — solver work units (loop discharges / wave sweeps),
+    the E15 benchmark's warm-vs-cold metric; ``evictions`` — cache
+    evictions under the ``max_cached`` cap.
     """
 
-    def __init__(self) -> None:
-        self._problems: dict[Node, ParametricDensest] = {}
+    def __init__(
+        self,
+        warm: bool = True,
+        max_cached: int | None = ORACLE_SESSION_HUBS,
+    ) -> None:
+        if max_cached is not None and max_cached < 1:
+            raise ReproError(
+                f"max_cached must be >= 1 or None, got {max_cached!r}"
+            )
+        self.warm = warm
+        self.max_cached = max_cached
+        self.warm_solves = 0
+        self.preflow_repairs = 0
+        self.flow_passes = 0
+        self.evictions = 0
+        # hub -> (peel index the network was compiled from, compiled
+        # problem); the peel reference backs an O(1) identity check that
+        # the hub-graph is still the one the session knows
+        self._problems: OrderedDict[Node, tuple[object, ParametricDensest]] = (
+            OrderedDict()
+        )
 
     def _problem(self, hub_graph: HubGraph) -> ParametricDensest:
-        problem = self._problems.get(hub_graph.hub)
+        peel = hub_graph.peel_index()
+        entry = self._problems.get(hub_graph.hub)
+        problem = None
+        if entry is not None:
+            cached_peel, problem = entry
+            if cached_peel is not peel and (
+                problem.num_verts != len(peel.verts)
+                or problem.endpoints != [tuple(e) for e in peel.endpoint_idx]
+            ):
+                # same hub id, different hub-graph: the session outlived
+                # the graph it was built against (sessions are per
+                # scheduler run; reuse across graphs is a caller bug we
+                # refuse to serve with a stale network).  The schedulers
+                # cache HubGraph objects and peel_index() is memoized, so
+                # correct use hits the identity check above and the full
+                # incidence comparison — not a shape check, since two
+                # hubs of a regular graph can share vertex/element counts
+                # exactly — runs only on genuine cache misses.
+                problem = None
         if problem is None:
-            peel = hub_graph.peel_index()
-            problem = ParametricDensest(peel.endpoint_idx, len(peel.verts))
-            self._problems[hub_graph.hub] = problem
+            problem = ParametricDensest(
+                peel.endpoint_idx, len(peel.verts), warm=self.warm
+            )
+        self._problems[hub_graph.hub] = (peel, problem)
+        self._problems.move_to_end(hub_graph.hub)
+        if (
+            self.max_cached is not None
+            and len(self._problems) > self.max_cached
+        ):
+            self._problems.popitem(last=False)
+            self.evictions += 1
         return problem
+
+    def invalidate(self, hub: Node) -> None:
+        """Force the hub's next solve cold (keep its compiled network).
+
+        The per-call capacity diff keeps a session consistent across any
+        monotone covering sequence on its own; this hook exists for
+        callers that mutate coverage *non-monotonically* between calls
+        (e.g. recycling a session across scheduler runs).
+        """
+        entry = self._problems.get(hub)
+        if entry is not None:
+            entry[1].invalidate()
+
+    def invalidate_all(self) -> None:
+        """Cold-restart every cached hub problem (see :meth:`invalidate`)."""
+        for _peel, problem in self._problems.values():
+            problem.invalidate()
 
     def __call__(
         self,
@@ -157,7 +252,14 @@ class ExactOracle:
             if mediant_bound > upper_bound:
                 return OracleCutoff(hub=hub, lower_bound=mediant_bound)
 
-        selection = self._problem(hub_graph).solve(weight, alive_element)
+        problem = self._problem(hub_graph)
+        net = problem.net
+        passes_before, repairs_before = net.passes, net.repairs
+        warm_before = problem.warm_solves
+        selection = problem.solve(weight, alive_element)
+        self.flow_passes += net.passes - passes_before
+        self.preflow_repairs += net.repairs - repairs_before
+        self.warm_solves += problem.warm_solves - warm_before
         if selection is None or not selection.covered:
             return None
 

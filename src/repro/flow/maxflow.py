@@ -10,12 +10,19 @@ element set — so the design splits structure from state:
 * the arc structure (paired forward/reverse arcs, CSR-style adjacency)
   is built once and frozen;
 * base capacities can be rewritten between runs (:meth:`FlowNetwork.reset`
-  starts a fresh preflow) or *raised in place*
+  starts a fresh preflow), *raised in place*
   (:meth:`FlowNetwork.raise_capacity` keeps the current preflow, which
-  stays feasible because residuals only grow) so a later
+  stays feasible because residuals only grow), or *lowered in place*
+  (:meth:`FlowNetwork.lower_capacity` /
+  :meth:`FlowNetwork.lower_capacities` repair the preflow: flow above
+  the new capacity is cancelled and the resulting inflow deficit is
+  pulled forward out of the downstream flow paths in a bounded sweep,
+  absorbing parked excess along the way) so a later
   :meth:`FlowNetwork.solve` resumes from the previous flow instead of
   recomputing it — the warm start that makes the parametric density
-  search cheap.
+  search cheap within one call (capacity raises per Dinkelbach
+  iteration) and across calls (capacity decreases as coverage kills
+  element arcs, see :mod:`repro.flow.parametric`).
 
 Two interchangeable solvers sit behind :meth:`FlowNetwork.solve`
 (``method=`` at construction):
@@ -93,6 +100,26 @@ class FlowError(ReproError):
     """Invalid flow-network construction or capacity update."""
 
 
+class FlowNotFrozenError(FlowError):
+    """A flow-state operation was attempted before :meth:`FlowNetwork.freeze`.
+
+    ``reset``, ``solve``, and the in-place capacity repairs all operate on
+    the solver state compiled at freeze time; call :meth:`freeze` once the
+    topology is complete (``set_base_capacity`` stays legal before it).
+    """
+
+
+class FlowMidSolveError(FlowError):
+    """Flow state was mutated while a :meth:`FlowNetwork.solve` is discharging.
+
+    The solvers read and rewrite residuals/excess/labels throughout a
+    discharge; a concurrent ``reset()`` or capacity repair (from a signal
+    handler, another thread, or a re-entrant callback) would corrupt the
+    preflow invariants silently, so it is rejected with this distinct
+    error rather than the unfrozen-network one.
+    """
+
+
 class FlowNetwork:
     """A max-flow instance with static topology and rewritable capacities.
 
@@ -134,7 +161,10 @@ class FlowNetwork:
         "adj",
         "excess",
         "label",
+        "passes",
+        "repairs",
         "_frozen",
+        "_in_solve",
         "_adj_build",
         "_g_perm",
         "_g_pos",
@@ -143,6 +173,7 @@ class FlowNetwork:
         "_g_tail",
         "_g_src",
         "_g_tail_ok",
+        "_g_forward",
         "_g_ptr",
         "_g_counts",
     )
@@ -169,7 +200,16 @@ class FlowNetwork:
         self.adj: list[list[int]] = self._adj_build
         self.excess = [0.0] * num_nodes
         self.label = [0] * num_nodes
+        #: Work counters for the warm-start diagnostics: ``passes`` counts
+        #: solver progress units (node discharges under ``"loop"``, wave
+        #: iterations under ``"wave"`` — comparable across runs of the
+        #: same network, not across methods); ``repairs`` counts capacity
+        #: decreases that had to cancel routed flow.  Both are cumulative;
+        #: callers diff them around a solve.
+        self.passes = 0
+        self.repairs = 0
         self._frozen = False
+        self._in_solve = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -239,6 +279,7 @@ class FlowNetwork:
             (self._g_tail == self.source) & (perm % 2 == 0)
         )[0]
         self._g_tail_ok = self._g_tail != self.source
+        self._g_forward = perm % 2 == 0
         self._g_ptr = ptr
         self._g_counts = counts
         self.cap = np.asarray(self.base_cap, dtype=np.float64)[perm]
@@ -248,6 +289,23 @@ class FlowNetwork:
     # ------------------------------------------------------------------
     # Capacity state
     # ------------------------------------------------------------------
+    def _check_mutable(self, operation: str) -> None:
+        """Reject flow-state mutation on unfrozen or mid-solve networks.
+
+        The two failure modes get *distinct* errors: an unfrozen network
+        has no solver state to mutate yet (:class:`FlowNotFrozenError`,
+        fix: call :meth:`freeze`), while a network inside an active
+        :meth:`solve` has state that must not change under the solver's
+        feet (:class:`FlowMidSolveError`, fix: mutate between solves).
+        """
+        if self._in_solve:
+            raise FlowMidSolveError(
+                f"{operation} called while solve() is discharging; "
+                "mutate the flow state only between solves"
+            )
+        if not self._frozen:
+            raise FlowNotFrozenError(f"freeze() before {operation}")
+
     def set_base_capacity(self, arc: int, capacity: float) -> None:
         """Rewrite a forward arc's base capacity (applied by :meth:`reset`)."""
         if capacity < 0.0:
@@ -256,8 +314,7 @@ class FlowNetwork:
 
     def reset(self) -> None:
         """Zero the flow: residuals back to base capacities, excesses cleared."""
-        if not self._frozen:
-            raise FlowError("freeze() before reset()")
+        self._check_mutable("reset()")
         if self.method == "wave":
             self.cap = np.asarray(self.base_cap, dtype=np.float64)[self._g_perm]
             self.excess = np.zeros(self.num_nodes, dtype=np.float64)
@@ -272,6 +329,7 @@ class FlowNetwork:
         grows, the reverse residual — the flow already routed — is
         untouched), so the next :meth:`solve` resumes warm.
         """
+        self._check_mutable("raise_capacity()")
         delta = capacity - self.base_cap[arc]
         if delta < 0.0:
             raise FlowError("raise_capacity cannot lower a capacity")
@@ -280,6 +338,211 @@ class FlowNetwork:
             self.cap[self._g_pos[arc]] += delta
         else:
             self.cap[arc] += delta
+
+    def lower_capacity(self, arc: int, capacity: float) -> None:
+        """Shrink a forward arc's capacity *without* discarding the preflow.
+
+        The cheap case consumes unused forward residual only.  When the
+        routed flow itself exceeds the new capacity, the overflow is
+        cancelled in place: the arc's flow drops to the new capacity, the
+        tail keeps the cancelled amount as excess (it already received
+        it), and the head's matching inflow *deficit* is pulled forward
+        out of its downstream flow paths by :meth:`_drain_deficit` —
+        parked excess absorbs the deficit first, the remainder cancels
+        flow toward the sink (shrinking the delivered value when it gets
+        there).  The result is a feasible preflow of the lowered network,
+        so the next :meth:`solve` resumes warm exactly as after a raise;
+        labels need no care because both solvers recompute exact labels
+        on entry.
+
+        The drain terminates in one sweep per flow-path hop on networks
+        whose flow paths are acyclic — true for every parametric densest
+        network (source → elements → vertices → sink) — and is bounded
+        defensively for arbitrary topologies.
+        """
+        self._check_mutable("lower_capacity()")
+        if capacity < 0.0:
+            raise FlowError(f"negative capacity {capacity!r}")
+        delta = self.base_cap[arc] - capacity
+        if delta < 0.0:
+            raise FlowError("lower_capacity cannot raise a capacity")
+        if delta == 0.0:
+            return
+        self.base_cap[arc] = capacity
+        cap = self.cap
+        if self.method == "wave":
+            pos = int(self._g_pos[arc])
+            rev = int(self._g_rev[pos])
+            head = int(self._g_head[pos])
+        else:
+            pos = arc
+            rev = arc ^ 1
+            head = self.head[arc]
+        take = min(float(cap[pos]), delta)
+        cap[pos] = float(cap[pos]) - take
+        over = delta - take
+        if over <= 0.0:
+            return
+        if over > FLOW_EPS:
+            self.repairs += 1
+        cap[rev] = max(float(cap[rev]) - over, 0.0)
+        tail = self.head[arc ^ 1]
+        if tail != self.source:
+            self.excess[tail] += over
+        self._drain_deficit(head, over)
+
+    def lower_capacities(self, arcs, capacities) -> None:
+        """Batch :meth:`lower_capacity`; one vectorized repair sweep on wave.
+
+        Under the wave kernel the whole batch is repaired in a handful of
+        array passes (:meth:`_drain_deficits_wave`) instead of one scalar
+        drain per arc; the loop kernel applies the scalar repair per arc.
+        Arc ids must be distinct forward arcs.
+        """
+        self._check_mutable("lower_capacities()")
+        if self.method != "wave":
+            for arc, capacity in zip(arcs, capacities):
+                self.lower_capacity(arc, capacity)
+            return
+        arcs = np.asarray(arcs, dtype=np.int64)
+        caps = np.asarray(capacities, dtype=np.float64)
+        if arcs.size == 0:
+            return
+        if caps.min() < 0.0:
+            raise FlowError("negative capacity in lower_capacities()")
+        base = np.array([self.base_cap[a] for a in arcs], dtype=np.float64)
+        delta = base - caps
+        if delta.min() < 0.0:
+            raise FlowError("lower_capacities cannot raise a capacity")
+        for arc, capacity in zip(arcs.tolist(), caps.tolist()):
+            self.base_cap[arc] = capacity
+        cap = self.cap
+        pos = self._g_pos[arcs]
+        take = np.minimum(cap[pos], delta)
+        cap[pos] -= take
+        over = delta - take
+        hot = over > 0.0
+        if not hot.any():
+            return
+        self.repairs += int(np.count_nonzero(over > FLOW_EPS))
+        pos, over = pos[hot], over[hot]
+        rev = self._g_rev[pos]
+        cap[rev] = np.maximum(cap[rev] - over, 0.0)
+        n = self.num_nodes
+        tails = self._g_tail[pos]
+        keep = tails != self.source
+        if keep.any():
+            self.excess += np.bincount(
+                tails[keep], weights=over[keep], minlength=n
+            )
+        deficit = np.bincount(self._g_head[pos], weights=over, minlength=n)
+        self._drain_deficits_wave(deficit)
+
+    def _drain_deficit(self, node: int, amount: float) -> None:
+        """Scalar deficit drain: cancel downstream flow to restore balance.
+
+        Processes a worklist of ``(node, deficit)`` parcels: each node
+        absorbs what it can from its parked excess (the sink absorbs
+        everything — its excess *is* the delivered flow value), then
+        cancels flow on its outgoing arcs in adjacency order, forwarding
+        the cancelled amounts as new parcels at their heads.  Preflow
+        conservation guarantees the outgoing flow always suffices once
+        excess is exhausted, so every parcel terminates at the sink, at
+        parked excess, or at the source.
+        """
+        cap = self.cap
+        wave = self.method == "wave"
+        excess = self.excess
+        pending = deque([(node, amount)])
+        budget = 16 * len(self.head) + 64
+        while pending:
+            budget -= 1
+            if budget < 0:  # pragma: no cover - cyclic-flow pathologies
+                raise FlowError(
+                    "preflow repair did not converge; flow paths of this "
+                    "network appear cyclic — reset() instead"
+                )
+            v, d = pending.popleft()
+            if v == self.source:
+                continue  # the source under-writes any balance change
+            if v == self.sink:
+                excess[v] = max(float(excess[v]) - d, 0.0)
+                continue
+            absorb = min(float(excess[v]), d)
+            excess[v] = float(excess[v]) - absorb
+            d -= absorb
+            if d <= FLOW_EPS:
+                continue
+            for arc in self.adj[v]:
+                if arc & 1:
+                    continue  # reverse arc owned by v: carries no flow
+                if wave:
+                    fwd = int(self._g_pos[arc])
+                    bwd = int(self._g_rev[fwd])
+                else:
+                    fwd = arc
+                    bwd = arc ^ 1
+                flow = float(cap[bwd])
+                if flow <= FLOW_EPS:
+                    continue
+                t = min(flow, d)
+                cap[fwd] = float(cap[fwd]) + t
+                cap[bwd] = flow - t
+                pending.append((self.head[arc], t))
+                d -= t
+                if d <= FLOW_EPS:
+                    break
+
+    def _drain_deficits_wave(self, deficit: np.ndarray) -> None:
+        """Vectorized deficit drain: one array sweep per flow-path hop.
+
+        Each round absorbs deficits from parked excess (and the sink's
+        delivered value), then cancels each remaining node's outgoing
+        flow *proportionally* across its flow-carrying arcs — any split
+        restores that node's balance, and the proportional one is a pure
+        reduceat/repeat pipeline — forwarding the cancelled amounts as
+        the next round's deficits.  Depth-bounded on acyclic flow paths
+        (3 rounds for the parametric densest networks), defensively
+        bounded otherwise.
+        """
+        n = self.num_nodes
+        cap = self.cap
+        excess = self.excess
+        g_head = self._g_head
+        g_rev = self._g_rev
+        for _ in range(n + 2):
+            deficit[self.source] = 0.0
+            sink_d = deficit[self.sink]
+            if sink_d > 0.0:
+                excess[self.sink] = max(float(excess[self.sink]) - sink_d, 0.0)
+                deficit[self.sink] = 0.0
+            absorb = np.minimum(excess, deficit)
+            excess -= absorb
+            deficit -= absorb
+            nodes = np.nonzero(deficit > FLOW_EPS)[0]
+            if nodes.size == 0:
+                return
+            idx, seg_start, lens = self._segments(nodes)
+            flow = np.where(self._g_forward[idx], cap[g_rev[idx]], 0.0)
+            seg_sum = np.add.reduceat(flow, seg_start)
+            ratio = np.minimum(
+                1.0, deficit[nodes] / np.maximum(seg_sum, 1e-300)
+            )
+            cancel = flow * np.repeat(ratio, lens)
+            moved = np.nonzero(cancel)[0]
+            deficit = np.zeros(n, dtype=np.float64)
+            if moved.size:
+                amount = cancel[moved]
+                tgt = idx[moved]
+                cap[tgt] += amount
+                cap[g_rev[tgt]] = np.maximum(cap[g_rev[tgt]] - amount, 0.0)
+                deficit += np.bincount(
+                    g_head[tgt], weights=amount, minlength=n
+                )
+        raise FlowError(  # pragma: no cover - cyclic-flow pathologies
+            "preflow repair did not converge; flow paths of this network "
+            "appear cyclic — reset() instead"
+        )
 
     # ------------------------------------------------------------------
     # Solver
@@ -294,9 +557,14 @@ class FlowNetwork:
         :meth:`freeze`; both compute the same value and expose the same
         maximal min cut via :meth:`source_side`.
         """
-        if self.method == "wave":
-            return self._solve_wave()
-        return self._solve_loop()
+        self._check_mutable("solve()")
+        self._in_solve = True
+        try:
+            if self.method == "wave":
+                return self._solve_wave()
+            return self._solve_loop()
+        finally:
+            self._in_solve = False
 
     @property
     def flow_value(self) -> float:
@@ -405,6 +673,7 @@ class FlowNetwork:
             act = np.nonzero(active)[0]
             if not act.size:
                 break
+            self.passes += 1
             if since_gr >= _GLOBAL_RELABEL_INTERVAL:
                 label = self._wave_global_relabel()
                 since_gr = 0
@@ -573,6 +842,7 @@ class FlowNetwork:
             in_queue[u] = False
             if label[u] >= n:
                 continue  # gap-lifted while queued: can never reach the sink
+            self.passes += 1
             arcs = adj[u]
             degree = len(arcs)
             while excess[u] > FLOW_EPS:

@@ -38,6 +38,26 @@ any feasible ``λ`` converges to the same maximal optimal subgraph.
 Free subgraphs (every weighted endpoint already zero-weight because its
 leg is paid for) are peeled off before the flow ever runs: they have
 infinite density, which the parametric machinery cannot represent.
+
+Cross-call warm starts
+----------------------
+``warm=True`` extends the residual reuse *across* :meth:`solve` calls:
+instead of reprogramming every capacity and :meth:`~FlowNetwork.reset`-ing,
+the solver diffs the requested capacities against what the network
+currently holds and repairs the previous call's preflow in place —
+:meth:`~repro.flow.maxflow.FlowNetwork.raise_capacity` where a capacity
+grew, :meth:`~repro.flow.maxflow.FlowNetwork.lower_capacities` (cancel
+overflowing flow, drain the deficit in a bounded vectorized sweep) where
+it shrank.  CHITCHAT's covering events only ever *remove* element arcs
+and only ever *shrink* vertex weights, so most of the routed flow
+survives from call to call and the next Dinkelbach search starts with
+the network nearly solved.  The search is additionally seeded at the
+previous call's optimal selection re-priced under the current weights
+and alive set — a genuine sub-hypergraph, hence always a feasible
+Dinkelbach seed, and usually within one cut of the new optimum.  Warm
+and cold solves return byte-identical selections: the maximal min cut
+is a property of the capacities, not of the preflow history
+(differential-tested in ``tests/test_warm_oracle.py``).
 """
 
 from __future__ import annotations
@@ -99,6 +119,16 @@ class ParametricDensest:
     ``False`` restores the PR 3 behavior (seed at the full alive
     subgraph's density), kept as the E14 reference configuration — the
     answer is identical either way, only the cut count changes.
+
+    ``warm`` enables the cross-call preflow reuse described in the
+    module docstring: each :meth:`solve` repairs the network left by the
+    previous one instead of resetting it, and seeds the density search
+    from the previous optimal selection.  Identical selections either
+    way; ``warm_solves`` counts the calls that actually resumed a
+    preflow (the first call, and any call after :meth:`invalidate`, is
+    cold).  The flow-level work counters live on ``self.net``
+    (:attr:`~repro.flow.maxflow.FlowNetwork.passes` /
+    :attr:`~repro.flow.maxflow.FlowNetwork.repairs`).
     """
 
     def __init__(
@@ -107,6 +137,7 @@ class ParametricDensest:
         num_verts: int,
         method: str = "auto",
         seed_lambda: bool = True,
+        warm: bool = False,
     ) -> None:
         self.endpoints = [tuple(e) for e in endpoints]
         self.num_verts = num_verts
@@ -129,6 +160,15 @@ class ParametricDensest:
         net.freeze()
         self.net = net
         self.seed_lambda = seed_lambda
+        self.warm = warm
+        #: Calls that resumed the previous preflow instead of resetting.
+        self.warm_solves = 0
+        # cross-call warm state: whether the network's residuals encode a
+        # completed solve of its current base capacities, and the last
+        # optimal selection (its re-priced density seeds the next search)
+        self._warm_ready = False
+        self._prev_selected: tuple[int, ...] = ()
+        self._prev_covered: tuple[int, ...] = ()
         # vertex -> incident element lists, for the free shortcut and the
         # useless-vertex filter
         self._incident: list[list[int]] = [[] for _ in range(num_verts)]
@@ -200,7 +240,7 @@ class ParametricDensest:
         if singles.size:
             counts = np.bincount(singles, minlength=self.num_verts)
             weight_arr = np.asarray(weight, dtype=np.float64)
-            with np.errstate(divide="ignore", invalid="ignore"):
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
                 density = np.where(
                     (counts > 0) & (weight_arr > 0.0),
                     counts / weight_arr,
@@ -222,15 +262,37 @@ class ParametricDensest:
                 # float-overshoot path, a repair cut re-establishes the
                 # maximal-selection contract (see below)
                 best_is_seed = True
+        if self.warm and self._warm_ready and self._prev_selected:
+            # the previous call's optimal selection, re-priced under the
+            # current weights and alive set, is still a genuine
+            # sub-hypergraph (its covered elements kept all their
+            # endpoints) — a feasible Dinkelbach seed that is usually
+            # within one cut of the new optimum, since covering events
+            # only trim it
+            prev_weight = sum(weight[v] for v in self._prev_selected)
+            if prev_weight > 0.0:
+                prev_cov = tuple(
+                    e for e in self._prev_covered if alive[e]
+                )
+                if prev_cov and len(prev_cov) / prev_weight > lam:
+                    lam = len(prev_cov) / prev_weight
+                    best = (self._prev_selected, prev_cov, prev_weight)
+                    best_is_seed = True
 
         net = self.net
-        for e in range(num_elems):
-            net.set_base_capacity(self._src_arcs[e], 1.0 if alive[e] else 0.0)
-        for v in range(self.num_verts):
-            net.set_base_capacity(
-                self._sink_arcs[v], lam * max(weight[v], 0.0)
-            )
-        net.reset()
+        use_warm = self.warm and self._warm_ready
+        # not warm-ready again until a solve completes through _finish
+        self._warm_ready = False
+        if use_warm:
+            self.warm_solves += 1
+        self._program_capacities(
+            [
+                (self._src_arcs[e], 1.0 if alive[e] else 0.0)
+                for e in range(num_elems)
+            ]
+            + self._sink_targets(lam, weight),
+            repair=use_warm,
+        )
 
         iterations = 0
         alive_count = float(len(alive_idx))
@@ -259,11 +321,13 @@ class ParametricDensest:
                     # subgraph is strictly positive there)
                     sel, cov, wgt = best
                     lam = (len(cov) / wgt) * OPT_BOUND_MARGIN
-                    for v in range(self.num_verts):
-                        net.set_base_capacity(
-                            self._sink_arcs[v], lam * max(weight[v], 0.0)
-                        )
-                    net.reset()
+                    # warm: the residuals encode the preflow just solved
+                    # at the higher λ and the repair cut only lowers sink
+                    # capacities, so repair in place instead of
+                    # rebuilding the flow from zero
+                    self._program_capacities(
+                        self._sink_targets(lam, weight), repair=self.warm
+                    )
                     iterations += 1
                     net.solve()
                     side = net.source_side()
@@ -299,6 +363,67 @@ class ParametricDensest:
         sel, cov, _w = best  # pragma: no cover - defensive fallback
         return self._finish(list(sel), list(cov), weight, iterations)
 
+    def _sink_targets(
+        self, lam: float, weight: Sequence[float]
+    ) -> list[tuple[int, float]]:
+        """``(sink arc, λ·g(v))`` capacity targets for every vertex."""
+        return [
+            (self._sink_arcs[v], lam * max(weight[v], 0.0))
+            for v in range(self.num_verts)
+        ]
+
+    def _program_capacities(
+        self, targets: list[tuple[int, float]], repair: bool
+    ) -> None:
+        """Install target capacities: repair the live preflow, or reset.
+
+        Both the initial per-call programming and the repair cut go
+        through here, so warm and cold solves can never drift apart on
+        how a capacity is installed.
+        """
+        if repair:
+            self._repair_capacities(targets)
+            return
+        net = self.net
+        for arc, capacity in targets:
+            net.set_base_capacity(arc, capacity)
+        net.reset()
+
+    def _repair_capacities(self, targets: list[tuple[int, float]]) -> None:
+        """Diff ``(arc, capacity)`` targets against the network; repair in place.
+
+        Raises are warm by construction; decreases go through the batched
+        :meth:`~repro.flow.maxflow.FlowNetwork.lower_capacities` repair
+        (one vectorized drain sweep on the wave kernel).  Arcs already at
+        their target are untouched, which is the common case across
+        covering events.
+        """
+        net = self.net
+        base = net.base_cap
+        lower_arcs: list[int] = []
+        lower_caps: list[float] = []
+        for arc, capacity in targets:
+            current = base[arc]
+            if capacity > current:
+                net.raise_capacity(arc, capacity)
+            elif capacity < current:
+                lower_arcs.append(arc)
+                lower_caps.append(capacity)
+        if lower_arcs:
+            net.lower_capacities(lower_arcs, lower_caps)
+
+    def invalidate(self) -> None:
+        """Drop the cross-call warm state; the next :meth:`solve` is cold.
+
+        Needed only when the caller's notion of the instance diverges
+        from the network's (e.g. the owning session is recycled across
+        scheduler runs); within one monotone covering sequence the
+        per-call capacity diff keeps the state consistent by itself.
+        """
+        self._warm_ready = False
+        self._prev_selected = ()
+        self._prev_covered = ()
+
     def _finish(
         self,
         selected: list[int],
@@ -320,12 +445,18 @@ class ParametricDensest:
             for v in selected
             if any(e in covered_set for e in self._incident[v])
         ]
-        return DenseSelection(
+        selection = DenseSelection(
             selected=tuple(useful),
             covered=tuple(sorted(covered)),
             weight=sum(weight[v] for v in useful),
             iterations=iterations,
         )
+        # the network now holds a completed solve of its base capacities:
+        # the next warm call may repair it, seeded by this selection
+        self._prev_selected = selection.selected
+        self._prev_covered = selection.covered
+        self._warm_ready = True
+        return selection
 
 
 def densest_selection(

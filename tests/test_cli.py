@@ -99,6 +99,36 @@ class TestOptimize:
         assert metadata["epsilon"] == 0.05
         assert schedule.is_feasible(graph)
 
+    @pytest.mark.parametrize("flag,expected", [("--warm", True), ("--no-warm", False)])
+    def test_optimize_chitchat_warm_flag(
+        self, graph_file, tmp_path, capsys, flag, expected
+    ):
+        path, graph = graph_file
+        out = tmp_path / f"chitchat-warm-{expected}.json"
+        code = main(
+            [
+                "optimize",
+                str(path),
+                "-o",
+                str(out),
+                "--algorithm",
+                "chitchat",
+                "--oracle",
+                "exact",
+                flag,
+                "--stats",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "warm_solves=" in printed and "preflow_repairs=" in printed
+        if not expected:
+            # a cold session must never report warm resumes
+            assert "warm_solves=0" in printed
+        schedule, metadata = load_schedule(out)
+        assert metadata["warm"] is expected
+        assert schedule.is_feasible(graph)
+
     def test_optimize_rejects_negative_epsilon(self, graph_file, tmp_path):
         path, _graph = graph_file
         code = main(

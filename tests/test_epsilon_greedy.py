@@ -14,6 +14,11 @@ Three contracts:
   is fixed-seed rather than adversarially random);
 * the relaxation actually fires (``stats.epsilon_accepts``) and cuts
   full oracle evaluations on a non-trivial instance.
+
+ISSUE 5 adds the warm-oracle identity to the same harness
+(``TestWarmOracleIdentity``): full scheduler runs with the exact
+oracle's cross-call warm starts on vs off must be byte-identical, on
+both backends and for ε ∈ {0, 0.01}.
 """
 
 from __future__ import annotations
@@ -111,6 +116,82 @@ class TestEpsilonZeroIdentity:
         assert scheduler.stats.epsilon_accepts == 0
 
 
+class TestWarmOracleIdentity:
+    """Warm-started exact oracle == cold per-call solves, schedule-for-
+    schedule (ISSUE 5): the preflow repairs and the λ re-seeding are pure
+    performance changes, so full CHITCHAT and BATCHEDCHITCHAT runs must
+    be byte-identical with ``warm=True`` vs ``warm=False`` on both
+    backends and across the ε relaxation."""
+
+    @SMALL
+    @given(instances())
+    @pytest.mark.parametrize("epsilon", [0.0, 0.01])
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_chitchat_warm_matches_cold(self, backend, epsilon, instance):
+        graph, workload = instance
+        warm = ChitchatScheduler(
+            graph,
+            workload,
+            backend=backend,
+            oracle="exact",
+            epsilon=epsilon,
+            warm=True,
+        ).run()
+        cold = ChitchatScheduler(
+            graph,
+            workload,
+            backend=backend,
+            oracle="exact",
+            epsilon=epsilon,
+            warm=False,
+        ).run()
+        assert_same_schedule(warm, cold)
+
+    @SMALL
+    @given(instances())
+    @pytest.mark.parametrize("epsilon", [0.0, 0.01])
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_batched_warm_matches_cold(self, backend, epsilon, instance):
+        graph, workload = instance
+        warm = BatchedChitchat(
+            graph,
+            workload,
+            backend=backend,
+            oracle="exact",
+            epsilon=epsilon,
+            warm=True,
+        ).run()
+        cold = BatchedChitchat(
+            graph,
+            workload,
+            backend=backend,
+            oracle="exact",
+            epsilon=epsilon,
+            warm=False,
+        ).run()
+        assert_same_schedule(warm, cold)
+
+    def test_warm_actually_fires_and_is_identical_at_scale(self):
+        """On a real instance the warm session must resume preflows
+        (stats.warm_solves > 0, repairs > 0) and still match cold."""
+        graph, workload = fixed_instance(3)
+        warm = ChitchatScheduler(
+            graph, workload, backend="csr", oracle="exact", warm=True
+        )
+        cold = ChitchatScheduler(
+            graph, workload, backend="csr", oracle="exact", warm=False
+        )
+        warm_schedule = warm.run()
+        cold_schedule = cold.run()
+        assert_same_schedule(warm_schedule, cold_schedule)
+        assert warm.stats.warm_solves > 0
+        assert warm.stats.preflow_repairs > 0
+        assert cold.stats.warm_solves == 0
+        assert cold.stats.preflow_repairs == 0
+        # the whole point: warm solves do measurably less discharge work
+        assert warm.stats.flow_passes < cold.stats.flow_passes
+
+
 class TestEpsilonCostBound:
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("oracle", ["peel", "exact"])
@@ -186,6 +267,44 @@ class TestEpsilonSavings:
         runner = BatchedChitchat(graph, workload, backend="csr", epsilon=0.1)
         runner.run()
         assert runner.stats.epsilon_deferred > 0
+
+
+class TestProductionDefault:
+    """Pin the ε production recommendation picked by the E10 Twitter sweep.
+
+    ``examples/epsilon_tradeoff.py --dataset twitter`` measured (see
+    docs/BENCHMARKS.md): ε=0.01 already collapses the bulk of the
+    dirty-hub re-evaluations at a cost ratio indistinguishable from
+    exact greedy, and larger ε buys little more.  The constant and the
+    behavior it was chosen for are both pinned here so a future change
+    to either is a conscious one.
+    """
+
+    def test_production_epsilon_value(self):
+        from repro.core.tolerances import PRODUCTION_EPSILON
+
+        assert PRODUCTION_EPSILON == 0.01
+
+    def test_production_epsilon_behavior_on_twitter_sample(self):
+        """At ε=PRODUCTION_EPSILON the Twitter-sample run must keep the
+        measured trade-off: meaningfully fewer full evaluations, cost
+        within the (1+ε) guarantee of exact greedy."""
+        from repro.core.tolerances import PRODUCTION_EPSILON
+        from repro.experiments.datasets import e10_twitter_sample
+
+        sample, workload = e10_twitter_sample(scale=0.4)
+        exact = ChitchatScheduler(sample, workload, backend="csr")
+        base_cost = schedule_cost(exact.run(), workload)
+        relaxed = ChitchatScheduler(
+            sample, workload, backend="csr", epsilon=PRODUCTION_EPSILON
+        )
+        schedule = relaxed.run()
+        validate_schedule(sample, schedule)
+        cost = schedule_cost(schedule, workload)
+        assert cost <= (1.0 + PRODUCTION_EPSILON) * base_cost + 1e-6
+        assert relaxed.stats.epsilon_accepts > 0
+        # the sweep's headline: a large cut in full oracle evaluations
+        assert relaxed.stats.oracle_calls <= 0.85 * exact.stats.oracle_calls
 
 
 class TestValidation:

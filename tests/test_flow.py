@@ -22,7 +22,9 @@ from repro.flow.maxflow import (
     FLOW_METHODS,
     WAVE_AUTO_MIN_ARCS,
     FlowError,
+    FlowMidSolveError,
     FlowNetwork,
+    FlowNotFrozenError,
 )
 
 METHODS = ("loop", "wave")
@@ -226,3 +228,50 @@ class TestValidation:
         net.reset()
         with pytest.raises(FlowError):
             net.raise_capacity(arc, 1.0)
+
+    def test_unfrozen_state_operations_raise_distinct_error(self):
+        """Flow-state ops before freeze(): FlowNotFrozenError, not the
+        generic FlowError and not the mid-solve one."""
+        net = FlowNetwork(3, 0, 2)
+        arc = net.add_arc(0, 1, 1.0)
+        for operation in (
+            net.reset,
+            net.solve,
+            lambda: net.raise_capacity(arc, 2.0),
+            lambda: net.lower_capacity(arc, 0.5),
+            lambda: net.lower_capacities([arc], [0.5]),
+        ):
+            with pytest.raises(FlowNotFrozenError) as excinfo:
+                operation()
+            assert "freeze()" in str(excinfo.value)
+            assert not isinstance(excinfo.value, FlowMidSolveError)
+
+    def test_mid_solve_mutation_raises_distinct_error(self):
+        """Flow-state ops during an active discharge: FlowMidSolveError.
+
+        Simulates the re-entrant caller (signal handler, second thread)
+        by flipping the in-solve flag the solvers hold while running —
+        the message must name the mid-solve cause, not claim the network
+        is unfrozen.
+        """
+        net = FlowNetwork(3, 0, 2)
+        arc = net.add_arc(0, 1, 1.0)
+        net.add_arc(1, 2, 1.0)
+        net.freeze()
+        net.reset()
+        net._in_solve = True
+        try:
+            for operation in (
+                net.reset,
+                net.solve,
+                lambda: net.raise_capacity(arc, 2.0),
+                lambda: net.lower_capacity(arc, 0.5),
+                lambda: net.lower_capacities([arc], [0.5]),
+            ):
+                with pytest.raises(FlowMidSolveError) as excinfo:
+                    operation()
+                assert "solve()" in str(excinfo.value)
+                assert not isinstance(excinfo.value, FlowNotFrozenError)
+        finally:
+            net._in_solve = False
+        assert net.solve() == pytest.approx(1.0)  # healthy again after
