@@ -352,20 +352,27 @@ def e14_flow_kernel(scale: float) -> dict:
 
 
 def e15_warm_oracle(scale: float) -> dict:
-    """E15 — cross-call warm starts of the exact oracle (ISSUE 5).
+    """E15 — cross-call warm starts of the exact oracle (ISSUE 5 + 6).
 
     Runs lazy exact-oracle CHITCHAT on the E13 instance (CSR backend)
-    twice: ``warm=False`` (every oracle call resets its hub's flow
-    network and rebuilds the preflow from zero — the PR 4 behavior) and
-    ``warm=True`` (each call repairs the preflow the hub's previous call
-    left behind and re-seeds the density search from its previous
-    optimum).  Headlines: ``pass_ratio`` — cold flow-solver work units
-    (loop discharges / wave sweeps) over warm, the ISSUE 5 acceptance
-    metric — plus ``wall_ratio``, and ``equal`` certifying the two
-    schedules are byte-identical (warm starts are a pure performance
-    change).  ``warm_solves`` / ``preflow_repairs`` in the rows show the
-    session actually resumed preflows rather than winning some other way.
+    three times: ``cold`` (``warm=False`` — every oracle call resets its
+    hub's flow network and rebuilds the preflow from zero, the PR 4
+    behavior), ``warm-fixed`` (``warm=True`` with the warm-aware
+    global-relabel cadence disabled — the original fixed interval), and
+    ``warm`` (``warm=True`` with
+    :data:`~repro.flow.maxflow.ADAPTIVE_WARM_RELABEL` on: the relabel
+    interval stretches by how intact the resumed preflow is).  All
+    three run with ``batch_k=0`` so the rows measure the sequential
+    kernel's cadence, not the arena's (E18 owns the batched tier).
+
+    Headlines: ``pass_ratio`` — cold flow-solver work units over
+    (adaptive) warm, the ISSUE 5 acceptance metric — plus
+    ``cadence_pass_ratio`` (fixed-cadence warm passes / adaptive warm
+    passes, the ISSUE 6 before/after), ``wall_ratio``, and ``equal``
+    certifying all three schedules are byte-identical.
     """
+    from repro.flow import maxflow
+
     n = max(600, int(E13_BASE_NODES * scale))
     graph = social_copying_graph(
         num_nodes=n,
@@ -377,13 +384,29 @@ def e15_warm_oracle(scale: float) -> dict:
     workload = log_degree_workload(graph, read_write_ratio=E13_READ_WRITE_RATIO)
     rows = []
     runs = {}
-    for mode, warm in (("cold", False), ("warm", True)):
-        started = time.perf_counter()
-        scheduler = ChitchatScheduler(
-            graph, workload, backend="csr", lazy=True, oracle="exact", warm=warm
-        )
-        schedule = scheduler.run()
-        elapsed = time.perf_counter() - started
+    configs = (
+        ("cold", False, True),
+        ("warm-fixed", True, False),
+        ("warm", True, True),
+    )
+    for mode, warm, adaptive in configs:
+        saved = maxflow.ADAPTIVE_WARM_RELABEL
+        maxflow.ADAPTIVE_WARM_RELABEL = adaptive
+        try:
+            started = time.perf_counter()
+            scheduler = ChitchatScheduler(
+                graph,
+                workload,
+                backend="csr",
+                lazy=True,
+                oracle="exact",
+                warm=warm,
+                batch_k=0,
+            )
+            schedule = scheduler.run()
+            elapsed = time.perf_counter() - started
+        finally:
+            maxflow.ADAPTIVE_WARM_RELABEL = saved
         runs[mode] = (schedule, scheduler.stats, elapsed)
         rows.append(
             {
@@ -399,15 +422,97 @@ def e15_warm_oracle(scale: float) -> dict:
             }
         )
     cold_schedule, cold_stats, cold_secs = runs["cold"]
+    fixed_schedule, fixed_stats, _fixed_secs = runs["warm-fixed"]
     warm_schedule, warm_stats, warm_secs = runs["warm"]
     return {
         "nodes": n,
         "rows": rows,
-        "equal": _schedules_equal(cold_schedule, warm_schedule),
+        "equal": _schedules_equal(cold_schedule, warm_schedule)
+        and _schedules_equal(fixed_schedule, warm_schedule),
         "pass_ratio": cold_stats.flow_passes / max(1, warm_stats.flow_passes),
+        "cadence_pass_ratio": fixed_stats.flow_passes
+        / max(1, warm_stats.flow_passes),
         "wall_ratio": cold_secs / max(1e-9, warm_secs),
         "warm_solves": warm_stats.warm_solves,
         "preflow_repairs": warm_stats.preflow_repairs,
+    }
+
+
+def e18_batched_solve(scale: float) -> dict:
+    """E18 — the batched block-diagonal multi-hub flow tier (ISSUE 6).
+
+    Runs lazy exact-oracle CHITCHAT on the E13 instance (CSR backend)
+    twice: ``sequential`` (``batch_k=0`` — every dirty heap-top hub gets
+    its own per-hub Dinkelbach solve) and ``batched`` (the default
+    ``batch_k`` — up to :data:`~repro.core.tolerances.BATCH_K` dirty
+    heap-top hubs are popped together and their flow problems solved in
+    one :class:`~repro.flow.batched_solve.BatchedNetwork` wave pass per
+    Dinkelbach round).
+
+    Headlines: ``invocation_ratio`` — sequential kernel invocations over
+    batched ones (one arena solve counts once however many blocks it
+    discharges; the acceptance floor is 3×, reached at the default
+    ``BATCH_K=16``) — ``wall_ratio`` (informative: the pure-numpy arena
+    runs at wall parity because an arena pass costs about as much as the
+    per-block passes it replaces and non-kernel stages dominate the run;
+    the pytest gate only enforces a non-regression floor, see
+    ``benchmarks/test_bench_batched_solve.py``), and ``equal``
+    certifying the schedules are byte-identical (the batch tier is a
+    pure performance change at ``epsilon=0``).  Rows record the arena's
+    profile: batched solves, blocks per batch, and the
+    freeze/discharge/relabel time split.
+    """
+    n = max(600, int(E13_BASE_NODES * scale))
+    graph = social_copying_graph(
+        num_nodes=n,
+        out_degree=E13_OUT_DEGREE,
+        copy_fraction=0.7,
+        reciprocity=0.2,
+        seed=7,
+    )
+    workload = log_degree_workload(graph, read_write_ratio=E13_READ_WRITE_RATIO)
+    rows = []
+    runs = {}
+    for mode, batch_k in (("sequential", 0), ("batched", None)):
+        started = time.perf_counter()
+        scheduler = ChitchatScheduler(
+            graph,
+            workload,
+            backend="csr",
+            lazy=True,
+            oracle="exact",
+            batch_k=batch_k,
+        )
+        schedule = scheduler.run()
+        elapsed = time.perf_counter() - started
+        runs[mode] = (schedule, scheduler.stats, elapsed)
+        rows.append(
+            {
+                "mode": mode,
+                "nodes": n,
+                "edges": graph.num_edges,
+                "oracle_calls": scheduler.stats.oracle_calls,
+                "kernel_invocations": scheduler.stats.kernel_invocations,
+                "batched_solves": scheduler.stats.batched_solves,
+                "blocks_per_batch": round(scheduler.stats.blocks_per_batch, 2),
+                "freeze_s": round(scheduler.stats.batch_freeze_seconds, 3),
+                "discharge_s": round(scheduler.stats.batch_discharge_seconds, 3),
+                "relabel_s": round(scheduler.stats.batch_relabel_seconds, 3),
+                "cost": round(scheduler.stats.final_cost, 1),
+                "seconds": round(elapsed, 2),
+            }
+        )
+    seq_schedule, seq_stats, seq_secs = runs["sequential"]
+    bat_schedule, bat_stats, bat_secs = runs["batched"]
+    return {
+        "nodes": n,
+        "rows": rows,
+        "equal": _schedules_equal(seq_schedule, bat_schedule),
+        "invocation_ratio": seq_stats.kernel_invocations
+        / max(1, bat_stats.kernel_invocations),
+        "wall_ratio": seq_secs / max(1e-9, bat_secs),
+        "batched_solves": bat_stats.batched_solves,
+        "blocks_per_batch": bat_stats.blocks_per_batch,
     }
 
 
@@ -418,4 +523,5 @@ COLLECTORS = {
     "E13": e13_exact_vs_peel,
     "E14": e14_flow_kernel,
     "E15": e15_warm_oracle,
+    "E18": e18_batched_solve,
 }

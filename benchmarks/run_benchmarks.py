@@ -12,9 +12,17 @@ read the emitted rows::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py --json BENCH_chitchat.json
     python benchmarks/run_benchmarks.py --scale 0.1 --experiments E12
+    python benchmarks/run_benchmarks.py --baseline BENCH_chitchat.json
 
 ``--scale`` defaults to the ``REPRO_BENCH_SCALE`` environment variable
 (0.25 if unset), matching the pytest benchmark suite.
+
+``--baseline PATH`` diffs the fresh run's headline ratios against a
+previously committed document (the repo keeps one at
+``benchmarks/BENCH_chitchat.json``) and prints per-headline deltas —
+*warn-only*: a regression prints a ``WARNING`` line but never changes
+the exit code, since wall-clock headlines are hardware-noisy and the
+hard perf floors live in the pytest benchmark gates instead.
 """
 
 from __future__ import annotations
@@ -38,6 +46,57 @@ from benchmarks.chitchat_perf import COLLECTORS  # noqa: E402
 
 SCHEMA_VERSION = 1
 
+#: Headline keys where bigger is better; a drop past
+#: :data:`BASELINE_WARN_FRACTION` prints a warn-only regression line.
+RATIO_HEADLINES = (
+    "call_ratio",
+    "wall_ratio",
+    "pass_ratio",
+    "cadence_pass_ratio",
+    "invocation_ratio",
+    "kernel_speedup",
+    "reeval_ratio",
+)
+
+#: Relative drop in a ratio headline that triggers a warning (wall-clock
+#: ratios are noisy across hosts, so the margin is generous).
+BASELINE_WARN_FRACTION = 0.2
+
+
+def diff_baseline(document: dict, baseline: dict) -> list[str]:
+    """Warn-only headline comparison of a fresh run against a baseline.
+
+    Returns the report lines (also used by the tests); ``WARNING``-
+    prefixed lines mark ratio headlines that dropped by more than
+    :data:`BASELINE_WARN_FRACTION`, and ``equal`` flags that went from
+    true to false (a correctness certificate disappearing is always
+    worth a look, even warn-only).
+    """
+    lines: list[str] = []
+    if baseline.get("scale") != document.get("scale"):
+        lines.append(
+            "note: baseline scale %s != run scale %s; deltas are indicative only"
+            % (baseline.get("scale"), document.get("scale"))
+        )
+    old_experiments = baseline.get("experiments", {})
+    for name, result in document.get("experiments", {}).items():
+        old = old_experiments.get(name)
+        if old is None:
+            lines.append(f"{name}: no baseline entry (new experiment)")
+            continue
+        for key in RATIO_HEADLINES:
+            if key not in result or key not in old:
+                continue
+            new_v, old_v = float(result[key]), float(old[key])
+            delta = (new_v - old_v) / old_v if old_v else 0.0
+            line = f"{name}.{key}: {old_v:.2f} -> {new_v:.2f} ({delta:+.1%})"
+            if delta < -BASELINE_WARN_FRACTION:
+                line = "WARNING " + line
+            lines.append(line)
+        if old.get("equal") is True and result.get("equal") is False:
+            lines.append(f"WARNING {name}.equal: True -> False")
+    return lines
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -57,6 +116,13 @@ def main(argv: list[str] | None = None) -> int:
         "--experiments",
         default=",".join(COLLECTORS),
         help="comma-separated subset of %s (default: all)" % ",".join(COLLECTORS),
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH JSON to diff headline ratios against "
+        "(warn-only: regressions print WARNING lines, exit code stays 0)",
     )
     args = parser.parse_args(argv)
 
@@ -83,6 +149,14 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.json.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.json}")
+    if args.baseline is not None:
+        if args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+            print(f"--- headline diff vs {args.baseline} (warn-only) ---")
+            for line in diff_baseline(document, baseline):
+                print(line)
+        else:
+            print(f"baseline {args.baseline} not found; skipping diff")
     return 0
 
 

@@ -51,13 +51,14 @@ def _run_chitchat(graph, workload, args):
         oracle=getattr(args, "oracle", "peel"),
         epsilon=getattr(args, "epsilon", 0.0),
         warm=getattr(args, "warm", True),
+        batch_k=getattr(args, "batch_k", None),
     )
     return scheduler.run(), scheduler.stats
 
 
 def _oracle_stats_line(oracle: str, stats: ChitchatStats) -> str:
     """One-line oracle diagnostics for ``--stats`` output."""
-    return (
+    line = (
         f"oracle={oracle}: calls={stats.oracle_calls} "
         f"exact={stats.exact_oracle_calls} "
         f"early_exits={stats.oracle_early_exits} "
@@ -70,6 +71,17 @@ def _oracle_stats_line(oracle: str, stats: ChitchatStats) -> str:
         f"hub_selections={stats.hub_selections} "
         f"singletons={stats.singleton_selections}"
     )
+    if stats.kernel_invocations or stats.batched_solves:
+        line += (
+            f"\nflow: kernel_invocations={stats.kernel_invocations} "
+            f"batched_solves={stats.batched_solves} "
+            f"blocks={stats.batched_blocks} "
+            f"blocks_per_batch={stats.blocks_per_batch:.2f} "
+            f"freeze={stats.batch_freeze_seconds:.3f}s "
+            f"discharge={stats.batch_discharge_seconds:.3f}s "
+            f"relabel={stats.batch_relabel_seconds:.3f}s"
+        )
+    return line
 
 
 #: Every factory returns ``(schedule, oracle_stats-or-None)``; only
@@ -159,11 +171,22 @@ def build_parser() -> argparse.ArgumentParser:
         "restores per-call cold solves",
     )
     opt.add_argument(
+        "--batch-k",
+        type=int,
+        default=None,
+        dest="batch_k",
+        help="CHITCHAT batched flow tier width: solve up to this many "
+        "dirty heap-top hubs in one block-diagonal arena pass "
+        "(default repro.core.tolerances.BATCH_K = 8; 0 disables; "
+        "schedules are identical at every width)",
+    )
+    opt.add_argument(
         "--stats",
         action="store_true",
         help="print oracle diagnostics (CHITCHAT only): full evaluations, "
         "early exits, lazy savings, retained champions, epsilon accepts, "
-        "warm solves and preflow repairs",
+        "warm solves and preflow repairs, plus a flow line with batched-"
+        "solve counts and the kernel time split when the exact oracle ran",
     )
     _add_workload_options(opt)
 
@@ -198,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="CHITCHAT exact-oracle warm starts (see optimize --warm)",
+    )
+    cmp_.add_argument(
+        "--batch-k",
+        type=int,
+        default=None,
+        dest="batch_k",
+        help="CHITCHAT batched flow tier width (see optimize --batch-k)",
     )
     cmp_.add_argument(
         "--stats",
@@ -235,6 +265,8 @@ def cmd_optimize(args) -> int:
         metadata["oracle"] = args.oracle
         metadata["epsilon"] = args.epsilon
         metadata["warm"] = args.warm
+        if args.batch_k is not None:
+            metadata["batch_k"] = args.batch_k
     records = save_schedule(schedule, args.output, metadata=metadata)
     print(
         f"{args.algorithm}: cost={schedule_cost(schedule, workload):.1f} "

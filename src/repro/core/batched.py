@@ -50,9 +50,14 @@ from repro.core.densest import (
 )
 from repro.core.hubgraph import HubGraph, build_hub_graph
 from repro.core.schedule import RequestSchedule
-from repro.core.tolerances import COST_EPS, EPS_ACCEPT_SLACK
+from repro.core.tolerances import BATCH_K, COST_EPS, EPS_ACCEPT_SLACK
 from repro.errors import ReproError
-from repro.flow.exact_oracle import ExactOracle, use_exact, validate_oracle_mode
+from repro.flow.exact_oracle import (
+    ExactOracle,
+    MultiHubSession,
+    use_exact,
+    validate_oracle_mode,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node
 from repro.graph.view import (
@@ -88,7 +93,10 @@ class BatchedStats:
     ``warm_solves`` / ``preflow_repairs`` / ``flow_passes`` mirror the
     :class:`~repro.flow.exact_oracle.ExactOracle` warm-session counters
     exactly as on :class:`~repro.core.chitchat.ChitchatStats` (0 under
-    ``oracle="peel"``).
+    ``oracle="peel"``), and ``kernel_invocations`` / ``batched_solves``
+    / ``batched_blocks`` mirror the oracle's
+    :class:`~repro.flow.batched_solve.FlowStats` profile of the batched
+    block-diagonal flow tier (``batch_k=``).
     """
 
     rounds: int = 0
@@ -101,6 +109,9 @@ class BatchedStats:
     warm_solves: int = 0
     preflow_repairs: int = 0
     flow_passes: int = 0
+    kernel_invocations: int = 0
+    batched_solves: int = 0
+    batched_blocks: int = 0
     champions_accepted: int = 0
     champions_rejected: int = 0
     singleton_fallbacks: int = 0
@@ -154,6 +165,18 @@ class BatchedChitchat:
         ``False`` restores per-call cold solves.  Accepted champion sets
         are identical either way (property-tested); irrelevant under
         ``oracle="peel"``.
+    batch_k:
+        Width of the batched block-diagonal flow tier: each round's
+        dirty exact-eligible hubs are solved in arena passes of up to
+        this many blocks (one
+        :class:`~repro.flow.batched_solve.BatchedNetwork` solve instead
+        of per-hub kernel invocations).  Batched hubs are fully
+        evaluated instead of bound-probed; a hub the probe would have
+        cut off carries a true cost above the round's acceptance
+        threshold, so the accepted champion sets are unchanged (only
+        probe/eval counters differ).  ``None`` (default) uses
+        :data:`~repro.core.tolerances.BATCH_K`; ``0`` or ``1`` disables
+        batching; irrelevant under ``oracle="peel"``.
     """
 
     def __init__(
@@ -167,11 +190,14 @@ class BatchedChitchat:
         oracle: str = "peel",
         epsilon: float = 0.0,
         warm: bool = True,
+        batch_k: int | None = None,
     ) -> None:
         if acceptance_slack < 1.0:
             raise ValueError("acceptance_slack must be >= 1.0")
         if epsilon < 0.0:
             raise ReproError(f"epsilon must be >= 0, got {epsilon!r}")
+        if batch_k is not None and batch_k < 0:
+            raise ReproError(f"batch_k must be >= 0, got {batch_k!r}")
         self.graph = as_graph_view(graph, backend)
         self.workload = workload
         self.max_cross_edges = max_cross_edges
@@ -182,6 +208,12 @@ class BatchedChitchat:
         self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
         self._exact = ExactOracle(warm=warm) if oracle != "peel" else None
+        self._batch_k = BATCH_K if batch_k is None else int(batch_k)
+        self._multi = (
+            MultiHubSession(self._exact)
+            if self._exact is not None and self._batch_k >= 2
+            else None
+        )
         edges = edge_list(self.graph)
         self._uncovered: set[Edge] = set(edges)
         # dense edge-id mirrors of the scheduler state (CSR mode)
@@ -266,7 +298,82 @@ class BatchedChitchat:
             ),
             default=math.inf,
         )
+        # Batched flow tier: this round's dirty exact-eligible hubs are
+        # solved in block-diagonal arena passes of up to ``batch_k``
+        # blocks.  Each chunk carries the live acceptance bar as its
+        # probe bound — hubs whose O(m) pre-peel relaxation proves them
+        # above the bar are parked as certified bounds (exactly the
+        # sequential loop's cutoff path) instead of paying a full
+        # Dinkelbach solve.  A cut-off hub's true cost exceeds the bar,
+        # which only tightens as ``best`` drops, so it would have been
+        # rejected in the acceptance scan anyway — accepted champion
+        # sets are unchanged, only which tier did the work differs.
+        handled: set[Node] = set()
+        if self._multi is not None:
+            bar0: float | None = None
+            if self._lazy and math.isfinite(best):
+                bar0 = best * self.acceptance_slack + COST_EPS
+            batch_jobs: list[tuple[Node, HubGraph]] = []
+            for _bound, _job_rank, hub in jobs:
+                if hub not in dirty_set:
+                    continue  # clean bound hubs keep the cheap skip path
+                if self._epsilon > 0.0 and bar0 is not None:
+                    bound = self._opt_bound.get(hub)
+                    if (
+                        bound is not None
+                        and bound * (1.0 + self._epsilon) + EPS_ACCEPT_SLACK
+                        >= bar0
+                    ):
+                        # defers under the initial bar, hence under the
+                        # (only smaller) live bar too — leave it to the
+                        # sequential loop's deferral accounting
+                        continue
+                hub_graph = self._hub_cache.get(hub)
+                if hub_graph is None:
+                    hub_graph = build_hub_graph(
+                        self.graph, hub, self.max_cross_edges
+                    )
+                    self._hub_cache[hub] = hub_graph
+                if use_exact(self._oracle_mode, hub_graph):
+                    batch_jobs.append((hub, hub_graph))
+            if len(batch_jobs) >= 2:
+                mirror = self._mirror
+                for start in range(0, len(batch_jobs), self._batch_k):
+                    chunk = batch_jobs[start : start + self._batch_k]
+                    bar: float | None = None
+                    if self._lazy and math.isfinite(best):
+                        bar = best * self.acceptance_slack + COST_EPS
+                    results = self._multi(
+                        [hg for _hub, hg in chunk],
+                        self.workload,
+                        self.schedule,
+                        self._uncovered,
+                        uncovered_mask=mirror.uncovered_mask if mirror else None,
+                        arrays=mirror.arrays if mirror else None,
+                        upper_bounds=[bar] * len(chunk),
+                    )
+                    for (hub, _hg), result in zip(chunk, results):
+                        handled.add(hub)
+                        if isinstance(result, OracleCutoff):
+                            self.stats.oracle_early_exits += 1
+                            self._bound_cache[hub] = result.lower_bound
+                            self._opt_bound[hub] = result.lower_bound
+                            self._champion_cache.pop(hub, None)
+                            continue
+                        self.stats.oracle_calls += 1
+                        self.stats.exact_oracle_calls += 1
+                        self._bound_cache.pop(hub, None)
+                        if result is not None and result.covered:
+                            self._champion_cache[hub] = result
+                            self._opt_bound[hub] = result.opt_lower_bound
+                            if result.cost_per_element < best:
+                                best = result.cost_per_element
+                        else:
+                            self._champion_cache[hub] = None
+                            self._opt_bound.pop(hub, None)
         for cached_bound, _rank, hub in jobs:
+            if hub in handled:
+                continue
             bar: float | None = None
             if self._lazy and math.isfinite(best):
                 bar = best * self.acceptance_slack + COST_EPS
@@ -414,6 +521,10 @@ class BatchedChitchat:
             self.stats.warm_solves = self._exact.warm_solves
             self.stats.preflow_repairs = self._exact.preflow_repairs
             self.stats.flow_passes = self._exact.flow_passes
+            flow_stats = self._exact.flow_stats
+            self.stats.kernel_invocations = flow_stats.kernel_invocations
+            self.stats.batched_solves = flow_stats.batched_solves
+            self.stats.batched_blocks = flow_stats.batched_blocks
 
     def run_round(self) -> int:
         """One bulk round; returns the number of edges covered."""
@@ -492,6 +603,7 @@ def batched_chitchat_schedule(
     oracle: str = "peel",
     epsilon: float = 0.0,
     warm: bool = True,
+    batch_k: int | None = None,
 ) -> RequestSchedule:
     """One-shot BATCHEDCHITCHAT run returning a feasible schedule."""
     runner = BatchedChitchat(
@@ -504,6 +616,7 @@ def batched_chitchat_schedule(
         oracle=oracle,
         epsilon=epsilon,
         warm=warm,
+        batch_k=batch_k,
     )
     return runner.run(max_rounds)
 
@@ -519,6 +632,7 @@ def batched_chitchat_with_stats(
     oracle: str = "peel",
     epsilon: float = 0.0,
     warm: bool = True,
+    batch_k: int | None = None,
 ) -> tuple[RequestSchedule, BatchedStats]:
     """Like :func:`batched_chitchat_schedule`, returning diagnostics too."""
     runner = BatchedChitchat(
@@ -531,6 +645,7 @@ def batched_chitchat_with_stats(
         oracle=oracle,
         epsilon=epsilon,
         warm=warm,
+        batch_k=batch_k,
     )
     schedule = runner.run(max_rounds)
     return schedule, runner.stats

@@ -98,12 +98,17 @@ from repro.core.densest import (
     densest_subgraph,
 )
 from repro.core.hubgraph import HubGraph, build_hub_graph
-from repro.core.tolerances import EPS_ACCEPT_SLACK, OPT_BOUND_MARGIN
+from repro.core.tolerances import BATCH_K, EPS_ACCEPT_SLACK, OPT_BOUND_MARGIN
 from repro.core.schedule import RequestSchedule
 from repro.errors import ReproError
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Edge, Node
-from repro.flow.exact_oracle import ExactOracle, use_exact, validate_oracle_mode
+from repro.flow.exact_oracle import (
+    ExactOracle,
+    MultiHubSession,
+    use_exact,
+    validate_oracle_mode,
+)
 from repro.graph.view import (
     GraphView,
     NeighborSetCache,
@@ -153,6 +158,16 @@ class ChitchatStats:
     ``preflow_repairs`` — capacity decreases that had to cancel routed
     flow; ``flow_passes`` — total flow-solver work units (loop
     discharges / wave sweeps), the E15 warm-vs-cold benchmark metric.
+
+    The batched-tier counters mirror the session's
+    :class:`~repro.flow.batched_solve.FlowStats` (all 0 without the
+    exact oracle, or with ``batch_k < 2``): ``kernel_invocations`` —
+    flow-solver entries, sequential and arena alike (the E18 headline
+    metric); ``batched_solves`` / ``batched_blocks`` — arena dispatches
+    and the hub problems they carried (``blocks_per_batch`` is their
+    ratio); ``batch_freeze_seconds`` / ``batch_discharge_seconds`` /
+    ``batch_relabel_seconds`` — the batched tier's kernel time split
+    (arena assembly / wave sweeps / exact-label BFS share).
     """
 
     hub_selections: int = 0
@@ -167,9 +182,22 @@ class ChitchatStats:
     warm_solves: int = 0
     preflow_repairs: int = 0
     flow_passes: int = 0
+    kernel_invocations: int = 0
+    batched_solves: int = 0
+    batched_blocks: int = 0
+    batch_freeze_seconds: float = 0.0
+    batch_discharge_seconds: float = 0.0
+    batch_relabel_seconds: float = 0.0
     edges_covered_by_hubs: int = 0
     final_cost: float = 0.0
     selection_log: list[tuple[str, float, int]] = field(default_factory=list)
+
+    @property
+    def blocks_per_batch(self) -> float:
+        """Mean hub problems per batched arena dispatch (0 when unused)."""
+        if self.batched_solves == 0:
+            return 0.0
+        return self.batched_blocks / self.batched_solves
 
 
 class ChitchatScheduler:
@@ -223,6 +251,20 @@ class ChitchatScheduler:
         the hub's previous optimum.  Schedules are byte-identical warm
         or cold (property-tested); ``False`` restores per-call cold
         solves, the E15 benchmark's reference configuration.
+    batch_k:
+        Speculative batch width of the exact oracle's multi-hub flow
+        tier (lazy mode; ``None`` defaults to
+        :data:`~repro.core.tolerances.BATCH_K`, ``0``/``1`` disable):
+        when the heap top is dirty, up to ``batch_k`` *contiguous* dirty
+        top entries are popped together and solved in one
+        block-diagonal arena pass
+        (:class:`~repro.flow.exact_oracle.MultiHubSession`) instead of
+        one flow problem at a time.  Refreshing the runners-up is
+        speculation on where the heap top goes next — the greedy winner
+        is re-derived from the refreshed *true* costs with the same
+        tie-breaks, so the schedule is byte-identical at ``epsilon=0``
+        at every width (property-tested), and with ``epsilon > 0`` the
+        relaxation can accept clean champions straight from the batch.
     """
 
     def __init__(
@@ -236,9 +278,12 @@ class ChitchatScheduler:
         oracle: str = "peel",
         epsilon: float = 0.0,
         warm: bool = True,
+        batch_k: int | None = None,
     ) -> None:
         if epsilon < 0.0:
             raise ReproError(f"epsilon must be >= 0, got {epsilon!r}")
+        if batch_k is not None and batch_k < 0:
+            raise ReproError(f"batch_k must be >= 0, got {batch_k!r}")
         self.graph = as_graph_view(graph, backend)
         self.workload = workload
         self.max_cross_edges = max_cross_edges
@@ -248,6 +293,12 @@ class ChitchatScheduler:
         self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
         self._exact = ExactOracle(warm=warm) if oracle != "peel" else None
+        self._batch_k = BATCH_K if batch_k is None else int(batch_k)
+        self._multi = (
+            MultiHubSession(self._exact)
+            if self._exact is not None and self._batch_k >= 2
+            else None
+        )
         self.schedule = RequestSchedule()
         edges = edge_list(self.graph)
         self._uncovered: set[Edge] = set(edges)
@@ -350,6 +401,13 @@ class ChitchatScheduler:
             self.stats.warm_solves = self._exact.warm_solves
             self.stats.preflow_repairs = self._exact.preflow_repairs
             self.stats.flow_passes = self._exact.flow_passes
+            flow_stats = self._exact.flow_stats
+            self.stats.kernel_invocations = flow_stats.kernel_invocations
+            self.stats.batched_solves = flow_stats.batched_solves
+            self.stats.batched_blocks = flow_stats.batched_blocks
+            self.stats.batch_freeze_seconds = flow_stats.freeze_seconds
+            self.stats.batch_discharge_seconds = flow_stats.discharge_seconds
+            self.stats.batch_relabel_seconds = flow_stats.relabel_seconds
         self.stats.final_cost = schedule_cost(self.schedule, self.workload)
         return self.schedule
 
@@ -530,6 +588,22 @@ class ChitchatScheduler:
             arrays=mirror.arrays if mirror else None,
             upper_bound=upper_bound,
         )
+        self._install_result(hub, version, result, exact)
+
+    def _install_result(
+        self,
+        hub: Node,
+        version: int,
+        result: DensestResult | OracleCutoff | None,
+        exact: bool,
+    ) -> None:
+        """Install one oracle outcome: requeue, retire, or crown the hub.
+
+        The single write path for oracle results — the sequential
+        :meth:`_refresh_hub` and the batched :meth:`_refresh_hubs_batched`
+        both land here, so champion/bound bookkeeping cannot drift
+        between them.
+        """
         if isinstance(result, OracleCutoff):
             self.stats.oracle_early_exits += 1
             self._dirty.add(hub)
@@ -559,6 +633,98 @@ class ChitchatScheduler:
             self._hub_heap,
             (result.cost_per_element, self._rank[hub], hub, version, result),
         )
+
+    def _gather_dirty_top(self, limit: float) -> list[tuple[float, Node]]:
+        """Pop up to ``batch_k`` contiguous live dirty top ``(key, hub)``s.
+
+        Stops at the first clean entry (it may be this step's winner),
+        the first key above ``limit`` (a singleton wins regardless), or
+        the batch width.  The popped entries are *not* reinserted — the
+        batched refresh requeues every gathered hub at its true cost or
+        refreshed probe bound.  Called with a live dirty top, so at
+        least one hub comes back.
+        """
+        heap = self._hub_heap
+        gathered: list[tuple[float, Node]] = []
+        while heap and len(gathered) < self._batch_k:
+            key, _rank, hub, version, _result = heap[0]
+            if version != self._hub_version.get(hub, 0):
+                heapq.heappop(heap)
+                continue
+            if key > limit or hub not in self._dirty:
+                break
+            heapq.heappop(heap)
+            gathered.append((key, hub))
+        return gathered
+
+    def _refresh_hubs_batched(
+        self, gathered: list[tuple[float, Node]], limit: float
+    ) -> None:
+        """Recompute several hubs' champions in one batched oracle call.
+
+        Exact-eligible hub-graphs go through the
+        :class:`~repro.flow.exact_oracle.MultiHubSession` arena as one
+        block-diagonal flow solve; stragglers (``oracle="auto"`` hubs
+        beyond the exact ceiling) take the ordinary peel.  Each hub
+        carries the same bounded-probe bar the sequential path would
+        have passed — the cheapest *competing* candidate: the limit, the
+        next heap key, or another gathered hub's certified key — so
+        speculative evaluation pays an O(m) probe, not a full solve, for
+        hubs that provably cannot win this step.  Hubs whose probe was
+        already memoized for this state skip the probe (it cannot cut
+        off twice), exactly as the sequential path peels them directly.
+        Installed results are true champions or refreshed certified
+        bounds either way, so the greedy winner re-derives from the same
+        keys with unchanged tie-breaks as the one-at-a-time refresh.
+        """
+        keys = [key for key, _hub in gathered]
+        next_key = self._hub_heap[0][0] if self._hub_heap else math.inf
+        jobs: list[tuple[Node, HubGraph, int, float | None]] = []
+        for idx, (_key, hub) in enumerate(gathered):
+            version = self._hub_version.get(hub, 0) + 1
+            self._hub_version[hub] = version
+            self._dirty.discard(hub)
+            if hub not in self._eligible:  # pragma: no cover - defensive
+                continue  # gathered entries only exist for eligible hubs
+            if self._bound_state.get(hub) == self._state_version.get(hub, 0):
+                bar: float | None = None  # probed this state already
+            else:
+                other = keys[1] if idx == 0 else keys[0]
+                bar = min(limit, next_key, other)
+            hub_graph = self._hub_cache.get(hub)
+            if hub_graph is None:
+                hub_graph = build_hub_graph(
+                    self.graph, hub, self.max_cross_edges
+                )
+                self._hub_cache[hub] = hub_graph
+            if use_exact(self._oracle_mode, hub_graph):
+                jobs.append((hub, hub_graph, version, bar))
+            else:
+                mirror = self._mirror
+                result = densest_subgraph(
+                    hub_graph,
+                    self.workload,
+                    self.schedule,
+                    self._uncovered,
+                    uncovered_mask=mirror.uncovered_mask if mirror else None,
+                    arrays=mirror.arrays if mirror else None,
+                    upper_bound=bar,
+                )
+                self._install_result(hub, version, result, exact=False)
+        if not jobs:
+            return
+        mirror = self._mirror
+        results = self._multi(
+            [hub_graph for _hub, hub_graph, _version, _bar in jobs],
+            self.workload,
+            self.schedule,
+            self._uncovered,
+            uncovered_mask=mirror.uncovered_mask if mirror else None,
+            arrays=mirror.arrays if mirror else None,
+            upper_bounds=[bar for _hub, _hub_graph, _version, bar in jobs],
+        )
+        for (hub, _hub_graph, version, _bar), result in zip(jobs, results):
+            self._install_result(hub, version, result, exact=True)
 
     def _pop_best_hub_entry(self, limit: float = math.inf) -> HubEntry | None:
         """Pop and return the winning clean hub entry, or ``None``.
@@ -596,7 +762,18 @@ class ChitchatScheduler:
                     return outcome
                 # no clean candidate within (1 + ε): fall through to the
                 # exact re-evaluation of the dirty top
-            heapq.heappop(heap)
+            if self._multi is not None:
+                gathered = self._gather_dirty_top(limit)
+                if len(gathered) >= 2:
+                    # speculative top-k batch: refresh the contiguous dirty
+                    # prefix in one block-diagonal arena pass, then re-derive
+                    # the winner from the installed true costs — identical to
+                    # refreshing each hub one at a time at the heap top
+                    self._refresh_hubs_batched(gathered, limit)
+                    continue
+                hub = gathered[0][1]
+            else:
+                heapq.heappop(heap)
             if self._bound_state.get(hub) == self._state_version.get(hub, 0):
                 # this exact state was already probed (the parked bound is
                 # the probe's answer, and a popped key never exceeds the
@@ -793,6 +970,7 @@ def chitchat_schedule(
     oracle: str = "peel",
     epsilon: float = 0.0,
     warm: bool = True,
+    batch_k: int | None = None,
 ) -> RequestSchedule:
     """Run CHITCHAT on a DISSEMINATION instance and return the schedule."""
     return ChitchatScheduler(
@@ -804,6 +982,7 @@ def chitchat_schedule(
         oracle=oracle,
         epsilon=epsilon,
         warm=warm,
+        batch_k=batch_k,
     ).run()
 
 
@@ -816,6 +995,7 @@ def chitchat_with_stats(
     oracle: str = "peel",
     epsilon: float = 0.0,
     warm: bool = True,
+    batch_k: int | None = None,
 ) -> tuple[RequestSchedule, ChitchatStats]:
     """Like :func:`chitchat_schedule` but also returns run diagnostics."""
     scheduler = ChitchatScheduler(
@@ -828,6 +1008,7 @@ def chitchat_with_stats(
         oracle=oracle,
         epsilon=epsilon,
         warm=warm,
+        batch_k=batch_k,
     )
     schedule = scheduler.run()
     return schedule, scheduler.stats

@@ -47,6 +47,27 @@ FLOW_EPS = 1e-10
 #: incumbent density by more than this fraction of the covered count.
 DINKELBACH_RTOL = 1e-12
 
+#: Default speculative batch width of the lazy schedulers' batched
+#: multi-hub flow tier (``batch_k=`` on ``ChitchatScheduler`` and
+#: ``BatchedChitchat``): up to this many dirty heap-top hubs are popped
+#: together and solved in one block-diagonal arena pass
+#: (:class:`repro.flow.batched_solve.BatchedNetwork`).  Refreshing the
+#: runners-up is pure speculation — the greedy winner is re-derived from
+#: the refreshed true costs with the same tie-breaks, so the schedule is
+#: unchanged at any width (property-tested across widths in
+#: ``tests/test_batch_k_identity.py``) — and the E18 sweep on the
+#: n=3000 E13 instance picks 16 as the knee of the kernel-invocation
+#: curve: width 8 cuts invocations 2.7x, width 16 reaches 3.2x (past
+#: the ISSUE 6 3x floor), and width 32 adds only ~0.3x more while the
+#: probe filter discards a growing share of the deeper gathers.
+#: ``batch_k=0`` (or 1) disables batching.
+BATCH_K = 16
+
+#: Minimum number of prepared blocks an arena dispatch needs to beat two
+#: sequential solves; below it the batched tier falls back to the
+#: per-hub path (arena assembly would cost more than it saves).
+BATCH_MIN_BLOCKS = 2
+
 #: Recommended production setting for the ``epsilon=`` approximately-
 #: greedy relaxation, chosen by the ε sweep on the E10 Twitter-sample
 #: workload (``examples/epsilon_tradeoff.py --dataset twitter``; the

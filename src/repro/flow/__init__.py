@@ -16,6 +16,12 @@ Three layers, bottom up:
   solved by a Dinkelbach density search that seeds ``λ`` at the best
   single-vertex density and reuses the residual network across
   iterations.
+* :mod:`repro.flow.batched_solve` — the block-diagonal batched tier:
+  :class:`BatchedNetwork` stacks many independent hub networks into one
+  flat arena and discharges them all in shared wave sweeps, so k
+  Dinkelbach solves cost one kernel invocation per round instead of k.
+  :class:`FlowStats` profiles the tier (invocation counts, blocks per
+  batch, freeze/discharge/relabel time split).
 * :mod:`repro.flow.exact_oracle` — the :class:`ExactOracle` adapter
   exposing the peel oracle's exact calling contract to the CHITCHAT
   schedulers, plus the ``oracle="peel"|"exact"|"auto"`` mode selection
@@ -23,7 +29,9 @@ Three layers, bottom up:
   adapter is a *session*: per-hub flow problems persist across calls
   (LRU-capped at :data:`ORACLE_SESSION_HUBS`) and are warm-started by
   default — each call repairs the previous preflow, since coverage only
-  shrinks each hub's element set.
+  shrinks each hub's element set.  :class:`MultiHubSession` drives
+  several hubs' Dinkelbach iterations through the batched arena at once
+  (the schedulers' ``batch_k=`` speculative top-k evaluation).
 
 The schedulers in :mod:`repro.core` take an ``oracle=`` parameter wiring
 this subsystem in; ``"peel"`` (the default) never solves a flow network
@@ -32,21 +40,26 @@ measures this subsystem's kernels against each other and against the
 peel on the E13 workload's hub-graphs.
 """
 
+from repro.flow.batched_solve import BatchedNetwork, BlockTemplate, FlowStats
 from repro.flow.exact_oracle import (
     EXACT_AUTO_MAX_ELEMENTS,
     ORACLE_MODES,
     ORACLE_SESSION_HUBS,
     ExactOracle,
+    MultiHubSession,
     use_exact,
     validate_oracle_mode,
 )
 from repro.flow.maxflow import (
+    ADAPTIVE_WARM_RELABEL,
     FLOW_METHODS,
     WAVE_AUTO_MIN_ARCS,
+    WARM_RELABEL_MAX_STRETCH,
     FlowError,
     FlowMidSolveError,
     FlowNetwork,
     FlowNotFrozenError,
+    compile_grouped,
 )
 from repro.flow.parametric import (
     DenseSelection,
@@ -55,18 +68,25 @@ from repro.flow.parametric import (
 )
 
 __all__ = [
+    "ADAPTIVE_WARM_RELABEL",
     "EXACT_AUTO_MAX_ELEMENTS",
     "FLOW_METHODS",
     "ORACLE_MODES",
     "ORACLE_SESSION_HUBS",
+    "WARM_RELABEL_MAX_STRETCH",
     "WAVE_AUTO_MIN_ARCS",
+    "BatchedNetwork",
+    "BlockTemplate",
     "DenseSelection",
     "ExactOracle",
     "FlowError",
     "FlowMidSolveError",
     "FlowNetwork",
     "FlowNotFrozenError",
+    "FlowStats",
+    "MultiHubSession",
     "ParametricDensest",
+    "compile_grouped",
     "densest_selection",
     "use_exact",
     "validate_oracle_mode",

@@ -33,6 +33,8 @@ peel call at every measured size.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -45,9 +47,14 @@ from repro.core.densest import (
 )
 from repro.core.hubgraph import X_SIDE, HubGraph
 from repro.core.schedule import RequestSchedule
-from repro.core.tolerances import OPT_BOUND_MARGIN
+from repro.core.tolerances import BATCH_MIN_BLOCKS, OPT_BOUND_MARGIN
 from repro.errors import ReproError
-from repro.flow.parametric import ParametricDensest
+from repro.flow.batched_solve import BatchedNetwork, FlowStats
+from repro.flow.parametric import (
+    MAX_DINKELBACH_ITERATIONS,
+    ParametricDensest,
+    _Prepared,
+)
 from repro.graph.digraph import Edge, Node
 from repro.workload.rates import Workload
 
@@ -76,6 +83,30 @@ EXACT_AUTO_MAX_ELEMENTS = 4096
 #: hubs are evicted first; an evicted hub simply rebuilds cold on its
 #: next call.
 ORACLE_SESSION_HUBS = 8192
+
+
+@dataclass
+class _PricedHub:
+    """One hub-graph priced for an oracle solve (shared peel pricing).
+
+    Produced by :meth:`ExactOracle._price` and consumed by
+    :meth:`ExactOracle._package`, on both the sequential
+    :meth:`ExactOracle.__call__` path and the batched
+    :class:`MultiHubSession` — pricing and packaging are byte-identical
+    by construction because both paths run the same code.
+    """
+
+    hub_graph: HubGraph
+    index: Sequence
+    peel: object
+    verts: Sequence
+    element_ids: np.ndarray | None
+    weight: list[float]
+    weight_arr: np.ndarray | None
+    alive_element: list[bool]
+    alive_arr: np.ndarray | None
+    num_verts: int
+    num_elems: int
 
 
 def validate_oracle_mode(oracle: str) -> str:
@@ -140,6 +171,10 @@ class ExactOracle:
         self.preflow_repairs = 0
         self.flow_passes = 0
         self.evictions = 0
+        #: Kernel profile of this session: solver entries (sequential
+        #: and arena), batched dispatch counts, and the batched tier's
+        #: freeze/discharge/relabel time split.
+        self.flow_stats = FlowStats()
         # hub -> (peel index the network was compiled from, compiled
         # problem); the peel reference backs an O(1) identity check that
         # the hub-graph is still the one the session knows
@@ -209,7 +244,53 @@ class ExactOracle:
         upper_bound: float | None = None,
     ) -> DensestResult | OracleCutoff | None:
         """Exact counterpart of :func:`~repro.core.densest.densest_subgraph`."""
-        hub = hub_graph.hub
+        priced = self._price(
+            hub_graph, workload, schedule, uncovered, uncovered_mask, arrays
+        )
+        if priced is None:
+            return None
+
+        # --- Bounded probe: identical certificate to the peel's, so the
+        # schedulers' per-state probe memoization stays oracle-agnostic.
+        if upper_bound is not None:
+            mediant_bound = probe_optimum_bound(
+                priced.peel,
+                priced.weight,
+                priced.weight_arr,
+                priced.alive_element,
+                priced.alive_arr,
+                priced.num_verts,
+                priced.num_elems,
+            )
+            if mediant_bound > upper_bound:
+                return OracleCutoff(hub=hub_graph.hub, lower_bound=mediant_bound)
+
+        problem = self._problem(hub_graph)
+        net = problem.net
+        passes_before, repairs_before = net.passes, net.repairs
+        warm_before, solves_before = problem.warm_solves, net.solves
+        selection = problem.solve(priced.weight, priced.alive_element)
+        self.flow_passes += net.passes - passes_before
+        self.preflow_repairs += net.repairs - repairs_before
+        self.warm_solves += problem.warm_solves - warm_before
+        self.flow_stats.kernel_invocations += net.solves - solves_before
+        return self._package(priced, selection)
+
+    def _price(
+        self,
+        hub_graph: HubGraph,
+        workload: Workload,
+        schedule: RequestSchedule,
+        uncovered: set[Edge],
+        uncovered_mask: np.ndarray | None,
+        arrays: OracleArrays | None,
+    ) -> _PricedHub | None:
+        """Alive elements and vertex weights, priced exactly as the peel.
+
+        Shared by the sequential :meth:`__call__` and the batched
+        :class:`MultiHubSession` (vectorized helpers on the CSR path).
+        ``None`` when no element of the hub-graph is still uncovered.
+        """
         index = hub_graph.element_index()
         peel = hub_graph.peel_index()
         verts = peel.verts
@@ -218,8 +299,6 @@ class ExactOracle:
         element_ids = hub_graph.element_ids
         use_vectorized = element_ids is not None and uncovered_mask is not None
 
-        # --- Alive elements and vertex weights, priced exactly as the
-        # peel prices them (shared helpers on the vectorized path).
         if use_vectorized:
             alive_arr = uncovered_mask[element_ids]
             alive_element = alive_arr.tolist()
@@ -242,27 +321,27 @@ class ExactOracle:
                 else 0.0
                 for i in range(num_verts)
             ]
+        return _PricedHub(
+            hub_graph=hub_graph,
+            index=index,
+            peel=peel,
+            verts=verts,
+            element_ids=element_ids,
+            weight=weight,
+            weight_arr=weight_arr,
+            alive_element=alive_element,
+            alive_arr=alive_arr,
+            num_verts=num_verts,
+            num_elems=num_elems,
+        )
 
-        # --- Bounded probe: identical certificate to the peel's, so the
-        # schedulers' per-state probe memoization stays oracle-agnostic.
-        if upper_bound is not None:
-            mediant_bound = probe_optimum_bound(
-                peel, weight, weight_arr, alive_element, alive_arr, num_verts, num_elems
-            )
-            if mediant_bound > upper_bound:
-                return OracleCutoff(hub=hub, lower_bound=mediant_bound)
-
-        problem = self._problem(hub_graph)
-        net = problem.net
-        passes_before, repairs_before = net.passes, net.repairs
-        warm_before = problem.warm_solves
-        selection = problem.solve(weight, alive_element)
-        self.flow_passes += net.passes - passes_before
-        self.preflow_repairs += net.repairs - repairs_before
-        self.warm_solves += problem.warm_solves - warm_before
+    def _package(self, priced: _PricedHub, selection) -> DensestResult | None:
+        """Package a parametric selection as the oracle's ``DensestResult``."""
         if selection is None or not selection.covered:
             return None
-
+        index = priced.index
+        verts = priced.verts
+        element_ids = priced.element_ids
         covered_pos = list(selection.covered)
         covered = {index[ei][0] for ei in covered_pos}
         xs = tuple(
@@ -278,7 +357,7 @@ class ExactOracle:
         )
         cost_per_element = selection.weight / len(covered)
         return DensestResult(
-            hub=hub,
+            hub=priced.hub_graph.hub,
             x_selected=xs,
             y_selected=ys,
             covered=frozenset(covered),
@@ -287,3 +366,270 @@ class ExactOracle:
             opt_lower_bound=cost_per_element * OPT_BOUND_MARGIN,
             exact=True,
         )
+
+
+class MultiHubSession:
+    """Batched Dinkelbach driver: many hub solves, one arena per round.
+
+    Wraps an :class:`ExactOracle` session.  A call takes ``k`` hub-graphs
+    at the *same* scheduler state, prices each one exactly as the
+    sequential oracle would, runs each problem's
+    :meth:`~repro.flow.parametric.ParametricDensest.begin` (warm repair
+    or reset on the hub's own network), and then advances every prepared
+    Dinkelbach search in lockstep on one block-diagonal
+    :class:`~repro.flow.batched_solve.BatchedNetwork`: each arena pass
+    discharges all still-searching blocks in shared wave sweeps, each
+    block takes its own
+    :meth:`~repro.flow.parametric.ParametricDensest._dinkelbach_step`
+    decision (the same code the sequential path runs), blocks that
+    converge write their solved state back to their hub's network — so
+    cross-call warm starts keep working — and are masked out of the
+    arena.  Rare per-block exits (the maximality repair cut, the
+    iteration-cap fallback) drop to the hub's own network, which just
+    adopted the block state, and finish sequentially.
+
+    Results are byte-identical to ``k`` sequential oracle calls
+    (differential-tested in ``tests/test_batched_solve.py``); only the
+    kernel-invocation count and the wall-clock change.  Fewer than
+    :data:`~repro.core.tolerances.BATCH_MIN_BLOCKS` flow-bound hubs —
+    free-shortcut and fully-covered hubs never reach the flow — fall
+    back to the sequential path outright.
+
+    ``upper_bounds`` gives each hub the sequential path's bounded-probe
+    early exit: a hub whose O(m) mediant bound exceeds its bound gets an
+    :class:`~repro.core.densest.OracleCutoff` result slot and never
+    reaches the flow — so speculative batch evaluation pays the same
+    probe the lazy schedulers would have paid, not a full solve.
+    """
+
+    def __init__(self, oracle: ExactOracle) -> None:
+        self.oracle = oracle
+
+    def __call__(
+        self,
+        hub_graphs: Sequence[HubGraph],
+        workload: Workload,
+        schedule: RequestSchedule,
+        uncovered: set[Edge],
+        uncovered_mask: np.ndarray | None = None,
+        arrays: OracleArrays | None = None,
+        upper_bounds: Sequence[float | None] | None = None,
+    ) -> list[DensestResult | OracleCutoff | None]:
+        """Solve every hub-graph exactly; one result slot per input."""
+        oracle = self.oracle
+        results: list[DensestResult | OracleCutoff | None] = [None] * len(
+            hub_graphs
+        )
+        pending: list[tuple[int, _PricedHub, ParametricDensest, _Prepared]] = []
+        marks: list[tuple[ParametricDensest, int, int, int, int]] = []
+        seen: set[Node] = set()
+        repeats: list[tuple[int, HubGraph]] = []
+        for i, hub_graph in enumerate(hub_graphs):
+            if hub_graph.hub in seen:
+                # a repeated hub shares one flow problem; interleaving two
+                # begin()s on it would corrupt the warm state, so replay
+                # the repeat sequentially after the batch completes
+                repeats.append((i, hub_graph))
+                continue
+            seen.add(hub_graph.hub)
+            priced = oracle._price(
+                hub_graph, workload, schedule, uncovered, uncovered_mask, arrays
+            )
+            if priced is None:
+                continue
+            bound = upper_bounds[i] if upper_bounds is not None else None
+            if bound is not None:
+                mediant_bound = probe_optimum_bound(
+                    priced.peel,
+                    priced.weight,
+                    priced.weight_arr,
+                    priced.alive_element,
+                    priced.alive_arr,
+                    priced.num_verts,
+                    priced.num_elems,
+                )
+                if mediant_bound > bound:
+                    results[i] = OracleCutoff(
+                        hub=hub_graph.hub, lower_bound=mediant_bound
+                    )
+                    continue
+            problem = oracle._problem(hub_graph)
+            net = problem.net
+            marks.append(
+                (
+                    problem,
+                    net.passes,
+                    net.repairs,
+                    problem.warm_solves,
+                    net.solves,
+                )
+            )
+            prepared = problem.begin(priced.weight, priced.alive_element)
+            if not isinstance(prepared, _Prepared):
+                # free shortcut (or nothing alive): never reaches the flow
+                results[i] = oracle._package(priced, prepared)
+                continue
+            pending.append((i, priced, problem, prepared))
+
+        if len(pending) >= BATCH_MIN_BLOCKS:
+            self._solve_batched(pending, results)
+        else:
+            for i, priced, problem, prepared in pending:
+                results[i] = oracle._package(priced, problem._iterate(prepared))
+
+        for problem, passes0, repairs0, warm0, solves0 in marks:
+            net = problem.net
+            oracle.flow_passes += net.passes - passes0
+            oracle.preflow_repairs += net.repairs - repairs0
+            oracle.warm_solves += problem.warm_solves - warm0
+            oracle.flow_stats.kernel_invocations += net.solves - solves0
+        for i, hub_graph in repeats:
+            results[i] = oracle(
+                hub_graph,
+                workload,
+                schedule,
+                uncovered,
+                uncovered_mask,
+                arrays,
+                upper_bound=(
+                    upper_bounds[i] if upper_bounds is not None else None
+                ),
+            )
+        return results
+
+    def _solve_batched(
+        self,
+        pending: list[tuple[int, _PricedHub, ParametricDensest, _Prepared]],
+        results: list[DensestResult | None],
+    ) -> None:
+        """Advance all prepared searches in lockstep on one arena."""
+        oracle = self.oracle
+        blocks = [
+            (problem.template(), *problem.export_flow_state())
+            for _i, _priced, problem, _prep in pending
+        ]
+        arena = BatchedNetwork(blocks, stats=oracle.flow_stats)
+        # per-block raise-path arrays: incident verts' sink arcs, their
+        # grouped positions, and weights — fixed for the whole batch, so
+        # each "raise" round is three vectorized ops instead of a
+        # per-vertex Python loop
+        raise_arcs: list[np.ndarray] = []
+        raise_pos: list[np.ndarray] = []
+        raise_w: list[np.ndarray] = []
+        for _i, _priced, problem, p in pending:
+            arcs = np.asarray(
+                [problem._sink_arcs[v] for v in p.incident_verts],
+                dtype=np.int64,
+            )
+            raise_arcs.append(arcs)
+            raise_pos.append(problem.template().pos[arcs])
+            raise_w.append(
+                np.maximum(
+                    np.asarray(
+                        [p.weight[v] for v in p.incident_verts],
+                        dtype=np.float64,
+                    ),
+                    0.0,
+                )
+            )
+
+        def writeback(j: int) -> None:
+            _i, _priced, problem, _prep = pending[j]
+            cap, excess = arena.export_block(slot[j])
+            problem.import_flow_state(cap, excess)
+            arena.mark_done(slot[j])
+
+        live = list(range(len(pending)))
+        slot = {j: j for j in live}
+        arena_passes = 0
+        while live:
+            still = []
+            for j in live:
+                i, priced, problem, p = pending[j]
+                if (
+                    p.iterations >= MAX_DINKELBACH_ITERATIONS
+                ):  # pragma: no cover - defensive, mirrors _iterate's cap
+                    writeback(j)
+                    sel, cov, _w = p.best
+                    results[i] = oracle._package(
+                        priced,
+                        problem._finish(
+                            list(sel), list(cov), p.weight, p.iterations
+                        ),
+                    )
+                else:
+                    p.iterations += 1
+                    still.append(j)
+            if not still:
+                break
+            if len(still) == 1:
+                # lone straggler: an arena sweep costs O(arena) no matter
+                # how few blocks are live — finish the search on the
+                # hub's own (warm) network, which adopts the block state
+                j = still[0]
+                i, priced, problem, p = pending[j]
+                p.iterations -= 1  # _iterate re-increments per round
+                writeback(j)
+                results[i] = oracle._package(priced, problem._iterate(p))
+                break
+            if len(still) * 2 <= arena.num_blocks:
+                # stragglers: compact the arena down to the live blocks so
+                # the shared sweeps scale with the work left, not the
+                # batch's original width (freeze is ~an arena pass)
+                arena_passes += arena.passes
+                compacted = []
+                new_slot: dict[int, int] = {}
+                for b, j in enumerate(still):
+                    cap, excess = arena.export_block(slot[j])
+                    compacted.append((pending[j][2].template(), cap, excess))
+                    new_slot[j] = b
+                arena = BatchedNetwork(
+                    compacted, stats=oracle.flow_stats, count_dispatch=False
+                )
+                slot = new_slot
+            arena.solve()
+            sides = arena.source_sides()
+            live = []
+            for j in still:
+                i, priced, problem, p = pending[j]
+                kind, selected, covered = problem._dinkelbach_step(
+                    p,
+                    arena.block_value(slot[j]),
+                    arena.block_side(sides, slot[j]),
+                )
+                if kind == "done":
+                    writeback(j)
+                    results[i] = oracle._package(
+                        priced,
+                        problem._finish(
+                            selected, covered, p.weight, p.iterations
+                        ),
+                    )
+                elif kind == "repair":
+                    # maximality repair cut: lowers capacities, which the
+                    # arena cannot do — finish on the hub's own network,
+                    # which just adopted the block's solved preflow
+                    writeback(j)
+                    results[i] = oracle._package(
+                        priced, problem._repair_cut_finish(p)
+                    )
+                else:  # "raise": grow this block's sink capacities in place
+                    net = problem.net
+                    arcs = raise_arcs[j]
+                    target = p.lam * raise_w[j]
+                    base = net.base_cap
+                    if isinstance(base, np.ndarray):
+                        deltas = target - base[arcs]
+                        base[arcs] = target
+                    else:
+                        deltas = target - np.asarray(
+                            [base[a] for a in arcs], dtype=np.float64
+                        )
+                        # keep the hub network's base capacities in sync,
+                        # exactly as raise_capacity would: the eventual
+                        # writeback must land on matching bases
+                        for a, t in zip(arcs.tolist(), target.tolist()):
+                            base[a] = t
+                    arena.add_capacity(slot[j], raise_pos[j], deltas)
+                    live.append(j)
+        self.oracle.flow_passes += arena_passes + arena.passes

@@ -95,6 +95,53 @@ WAVE_AUTO_MIN_ARCS = 1024
 #: where a vectorized reverse BFS costs only a handful of array passes.
 _GLOBAL_RELABEL_INTERVAL = 4
 
+#: Warm-aware global-relabel cadence (E15's before/after knob).  The
+#: cold-tuned interval above re-derives exact labels aggressively, which
+#: PR 5 measured to *narrow* the warm-start win: a warm re-entry whose
+#: preflow suffered few repairs since the last completed solve is nearly
+#: converged, and the entry relabel alone restores exact labels — the
+#: periodic re-relabels mostly re-prove what the entry already knew.  On
+#: warm entries the interval is therefore stretched by how intact the
+#: previous solve's state is (its pass count over the repairs since, see
+#: :meth:`FlowNetwork._relabel_interval`), capped at
+#: :data:`WARM_RELABEL_MAX_STRETCH`.  Results are cadence-independent
+#: (the relabel schedule changes the preflow trajectory, never the value
+#: or the maximal cut), so the flag is purely a perf toggle.
+ADAPTIVE_WARM_RELABEL = True
+
+#: Ceiling on the warm-entry stretch factor of the relabel interval.
+WARM_RELABEL_MAX_STRETCH = 8
+
+
+def compile_grouped(adj, head, num_nodes: int):
+    """Compile tail-sorted grouped arc arrays from paired-arc adjacency.
+
+    Shared by :meth:`FlowNetwork._freeze_wave` and the block templates of
+    :mod:`repro.flow.batched_solve`, so the two tiers can never disagree
+    on the grouped layout (the batched arena round-trips per-network
+    capacity state through it).  Grouped position ``p`` holds arc
+    ``perm[p]``; ``rev[p]`` is the grouped position of its paired reverse
+    arc (``perm`` is a bijection, hence so is ``rev``).
+
+    Returns ``(perm, pos, rev, g_head, g_tail, ptr, counts)``.
+    """
+    perm = np.fromiter(
+        (a for node_arcs in adj for a in node_arcs),
+        dtype=np.int64,
+        count=len(head),
+    )
+    pos = np.empty(len(head), dtype=np.int64)
+    pos[perm] = np.arange(len(head), dtype=np.int64)
+    counts = np.fromiter(
+        (len(node_arcs) for node_arcs in adj), dtype=np.int64, count=num_nodes
+    )
+    ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    rev = pos[perm ^ 1]
+    g_head = np.asarray(head, dtype=np.int64)[perm]
+    g_tail = np.repeat(np.arange(num_nodes, dtype=np.int64), counts)
+    return perm, pos, rev, g_head, g_tail, ptr, counts
+
 
 class FlowError(ReproError):
     """Invalid flow-network construction or capacity update."""
@@ -163,8 +210,12 @@ class FlowNetwork:
         "label",
         "passes",
         "repairs",
+        "solves",
         "_frozen",
         "_in_solve",
+        "_has_solved",
+        "_passes_last",
+        "_repairs_mark",
         "_adj_build",
         "_g_perm",
         "_g_pos",
@@ -204,12 +255,21 @@ class FlowNetwork:
         #: solver progress units (node discharges under ``"loop"``, wave
         #: iterations under ``"wave"`` — comparable across runs of the
         #: same network, not across methods); ``repairs`` counts capacity
-        #: decreases that had to cancel routed flow.  Both are cumulative;
-        #: callers diff them around a solve.
+        #: decreases that had to cancel routed flow; ``solves`` counts
+        #: :meth:`solve` entries (the per-network share of the oracle
+        #: stack's kernel-invocation metric).  All cumulative; callers
+        #: diff them around a solve.
         self.passes = 0
         self.repairs = 0
+        self.solves = 0
         self._frozen = False
         self._in_solve = False
+        # warm-cadence bookkeeping: whether the current residuals descend
+        # from a completed solve (vs a reset), how many passes that solve
+        # took, and the repair count recorded when it finished
+        self._has_solved = False
+        self._passes_last = 0
+        self._repairs_mark = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -257,24 +317,14 @@ class FlowNetwork:
         ``_g_rev`` — no scatter conflicts).
         """
         n = self.num_nodes
-        adj = self._adj_build
-        perm = np.fromiter(
-            (a for node_arcs in adj for a in node_arcs),
-            dtype=np.int64,
-            count=len(self.head),
+        perm, pos, rev, g_head, g_tail, ptr, counts = compile_grouped(
+            self._adj_build, self.head, n
         )
-        pos = np.empty(len(self.head), dtype=np.int64)
-        pos[perm] = np.arange(len(self.head), dtype=np.int64)
-        counts = np.fromiter(
-            (len(node_arcs) for node_arcs in adj), dtype=np.int64, count=n
-        )
-        ptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=ptr[1:])
         self._g_perm = perm
         self._g_pos = pos
-        self._g_rev = pos[perm ^ 1]
-        self._g_head = np.asarray(self.head, dtype=np.int64)[perm]
-        self._g_tail = np.repeat(np.arange(n, dtype=np.int64), counts)
+        self._g_rev = rev
+        self._g_head = g_head
+        self._g_tail = g_tail
         self._g_src = np.nonzero(
             (self._g_tail == self.source) & (perm % 2 == 0)
         )[0]
@@ -315,12 +365,39 @@ class FlowNetwork:
     def reset(self) -> None:
         """Zero the flow: residuals back to base capacities, excesses cleared."""
         self._check_mutable("reset()")
+        self._has_solved = False
         if self.method == "wave":
             self.cap = np.asarray(self.base_cap, dtype=np.float64)[self._g_perm]
             self.excess = np.zeros(self.num_nodes, dtype=np.float64)
         else:
             self.cap = list(self.base_cap)
             self.excess = [0.0] * self.num_nodes
+
+    def adopt_state(self, cap, excess) -> None:
+        """Install externally solved flow state (batched-arena writeback).
+
+        ``cap``/``excess`` must be a feasible preflow of the *current*
+        base capacities in this network's own layout (grouped arrays
+        under ``"wave"``, arc-ordered lists under ``"loop"`` — the
+        caller, :meth:`repro.flow.parametric.ParametricDensest.import_flow_state`,
+        handles the permutation).  The network is marked as holding a
+        completed solve, so subsequent capacity repairs and warm solves
+        resume from the adopted preflow exactly as if :meth:`solve` had
+        produced it.
+        """
+        self._check_mutable("adopt_state()")
+        if self.method == "wave":
+            self.cap = np.asarray(cap, dtype=np.float64)
+            self.excess = np.asarray(excess, dtype=np.float64)
+        else:
+            self.cap = list(cap)
+            self.excess = list(excess)
+        # a conservative warm mark: pass history of the arena solve is
+        # not meaningful per block, so the next warm entry keeps the
+        # cold relabel cadence (stretch 1)
+        self._has_solved = True
+        self._passes_last = 0
+        self._repairs_mark = self.repairs
 
     def raise_capacity(self, arc: int, capacity: float) -> None:
         """Grow a forward arc's capacity *without* discarding the preflow.
@@ -559,12 +636,19 @@ class FlowNetwork:
         """
         self._check_mutable("solve()")
         self._in_solve = True
+        self.solves += 1
+        passes_at_entry = self.passes
         try:
             if self.method == "wave":
-                return self._solve_wave()
-            return self._solve_loop()
+                value = self._solve_wave()
+            else:
+                value = self._solve_loop()
         finally:
             self._in_solve = False
+        self._passes_last = self.passes - passes_at_entry
+        self._repairs_mark = self.repairs
+        self._has_solved = True
+        return value
 
     @property
     def flow_value(self) -> float:
@@ -614,6 +698,33 @@ class FlowNetwork:
         idx += np.arange(int(seg_end[-1]), dtype=np.int64)
         return idx, seg_start, lens
 
+    def _relabel_interval(self) -> int:
+        """Relabel ops between global relabels, stretched on warm entries.
+
+        Cold solves keep :data:`_GLOBAL_RELABEL_INTERVAL`.  A warm entry
+        — residuals descending from a completed solve, mutated only by
+        in-place capacity updates since — stretches the interval by how
+        intact that state is: the previous solve's pass count divided by
+        one plus the repairs applied since it finished, capped at
+        :data:`WARM_RELABEL_MAX_STRETCH`.  Raise-only re-entries (the
+        in-call Dinkelbach iterations: zero repairs) get the full
+        stretch; heavily repaired preflows fall back toward the cold
+        cadence, since each repair strands excess the exact labels must
+        re-park.  Disabled by :data:`ADAPTIVE_WARM_RELABEL` for the E15
+        before/after measurement.
+        """
+        if not (ADAPTIVE_WARM_RELABEL and self._has_solved):
+            return _GLOBAL_RELABEL_INTERVAL
+        repairs_since = self.repairs - self._repairs_mark
+        stretch = max(
+            1,
+            min(
+                WARM_RELABEL_MAX_STRETCH,
+                self._passes_last // (1 + repairs_since),
+            ),
+        )
+        return _GLOBAL_RELABEL_INTERVAL * stretch
+
     def _solve_wave(self) -> float:
         """Wave-based discharge: top-down level sweeps over the frontier.
 
@@ -651,6 +762,7 @@ class FlowNetwork:
         g_rev = self._g_rev
         excess = self.excess
         source, sink = self.source, self.sink
+        relabel_interval = self._relabel_interval()
 
         label = self._wave_global_relabel()
         # saturate (re-saturate on warm runs) every forward source arc
@@ -674,7 +786,7 @@ class FlowNetwork:
             if not act.size:
                 break
             self.passes += 1
-            if since_gr >= _GLOBAL_RELABEL_INTERVAL:
+            if since_gr >= relabel_interval:
                 label = self._wave_global_relabel()
                 since_gr = 0
                 continue
@@ -704,6 +816,16 @@ class FlowNetwork:
                 # overflow-and-bounce rounds than saturating in arc order
                 res = np.where(adm, a_cap, 0.0)
                 seg_sum = np.add.reduceat(res, seg_start)
+                if not np.all(np.isfinite(seg_sum)):
+                    # λ·g sink caps overflow to inf when a weight is
+                    # near-denormal; a push can never exceed its tail's
+                    # excess, so clamping the split residuals there keeps
+                    # the arithmetic finite (inf·0 → NaN otherwise)
+                    # without changing which pushes are legal — the loop
+                    # kernel's min(excess, res) push is naturally immune,
+                    # and the two kernels must agree on every cut
+                    res = np.minimum(res, np.repeat(excess[nodes], lens))
+                    seg_sum = np.add.reduceat(res, seg_start)
                 ratio = np.minimum(
                     1.0, excess[nodes] / np.maximum(seg_sum, 1e-300)
                 )

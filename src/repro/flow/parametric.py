@@ -76,6 +76,29 @@ from repro.flow.maxflow import FlowNetwork
 MAX_DINKELBACH_ITERATIONS = 100
 
 
+@dataclass
+class _Prepared:
+    """Mutable state of one in-flight Dinkelbach search.
+
+    Produced by :meth:`ParametricDensest.begin` once the capacities are
+    programmed; consumed either by the sequential
+    :meth:`ParametricDensest._iterate` loop or by the batched multi-hub
+    driver (:class:`repro.flow.exact_oracle.MultiHubSession`), which
+    advances many of these in lockstep — one per arena block — through
+    the same :meth:`ParametricDensest._dinkelbach_step` decisions.
+    """
+
+    weight: Sequence[float]
+    alive: Sequence[bool]
+    alive_idx: list[int]
+    alive_count: float
+    incident_verts: list[int]
+    lam: float
+    best: tuple[tuple[int, ...], tuple[int, ...], float]
+    best_is_seed: bool
+    iterations: int = 0
+
+
 @dataclass(frozen=True)
 class DenseSelection:
     """Optimal sub-hypergraph found by the parametric search.
@@ -182,6 +205,8 @@ class ParametricDensest:
             dtype=np.int64,
             count=num_elems,
         )
+        # lazily compiled grouped-layout view for the batched arena
+        self._template = None
 
     # ------------------------------------------------------------------
     def solve(
@@ -195,6 +220,31 @@ class ParametricDensest:
         resolve to the unique *maximal* optimal subgraph (the union of
         all optimal ones), matching the peel's more-coverage preference
         and making the result deterministic and backend-independent.
+
+        Internally :meth:`begin` + :meth:`_iterate`; the batched
+        multi-hub driver calls :meth:`begin` itself and replays the
+        iteration on the shared arena — both paths take every density
+        decision through :meth:`_dinkelbach_step`, so they cannot drift.
+        """
+        prepared = self.begin(weight, alive)
+        if not isinstance(prepared, _Prepared):
+            return prepared
+        return self._iterate(prepared)
+
+    def begin(
+        self,
+        weight: Sequence[float],
+        alive: Sequence[bool] | None = None,
+    ) -> DenseSelection | None | _Prepared:
+        """Price, seed, and program one solve; stop short of the flow.
+
+        Returns the finished :class:`DenseSelection` when the free
+        shortcut fires, ``None`` when no element is alive, and otherwise
+        a :class:`_Prepared` search state with the network's capacities
+        programmed (warm-repaired or reset, exactly as a full
+        :meth:`solve` would) and the Dinkelbach λ seeded.  The caller
+        owns the iteration: :meth:`_iterate` here, or the batched arena
+        in :class:`repro.flow.exact_oracle.MultiHubSession`.
         """
         endpoints = self.endpoints
         num_elems = len(endpoints)
@@ -293,75 +343,114 @@ class ParametricDensest:
             + self._sink_targets(lam, weight),
             repair=use_warm,
         )
+        return _Prepared(
+            weight=weight,
+            alive=alive,
+            alive_idx=alive_idx,
+            alive_count=float(len(alive_idx)),
+            incident_verts=incident_verts,
+            lam=lam,
+            best=best,
+            best_is_seed=best_is_seed,
+        )
 
-        iterations = 0
-        alive_count = float(len(alive_idx))
-        while iterations < MAX_DINKELBACH_ITERATIONS:
-            iterations += 1
+    def _iterate(self, p: _Prepared) -> DenseSelection:
+        """Run the Dinkelbach density search on this problem's own network."""
+        net = self.net
+        while p.iterations < MAX_DINKELBACH_ITERATIONS:
+            p.iterations += 1
             value = net.solve()
-            excess = alive_count - value
             side = net.source_side()
-            selected = [
-                v
-                for v in incident_verts
-                if side[self._vert_base + v]
-            ]
-            covered = [e for e in alive_idx if side[self._elem_base + e]]
-            if excess <= alive_count * DINKELBACH_RTOL:
-                # converged: the maximal source side is the largest
-                # subgraph of optimal density (empty only on float
-                # overshoot, where the incumbent is the optimum)
-                if covered:
-                    return self._finish(selected, covered, weight, iterations)
-                if best_is_seed:
-                    # the incumbent is the raw λ-seed, optimal in value
-                    # but possibly not maximal on exact density ties —
-                    # one repair cut a margin below its density always
-                    # extracts the *maximal* optimum (every optimal
-                    # subgraph is strictly positive there)
-                    sel, cov, wgt = best
-                    lam = (len(cov) / wgt) * OPT_BOUND_MARGIN
-                    # warm: the residuals encode the preflow just solved
-                    # at the higher λ and the repair cut only lowers sink
-                    # capacities, so repair in place instead of
-                    # rebuilding the flow from zero
-                    self._program_capacities(
-                        self._sink_targets(lam, weight), repair=self.warm
-                    )
-                    iterations += 1
-                    net.solve()
-                    side = net.source_side()
-                    repaired = [
-                        e for e in alive_idx if side[self._elem_base + e]
-                    ]
-                    if repaired:
-                        return self._finish(
-                            [
-                                v
-                                for v in incident_verts
-                                if side[self._vert_base + v]
-                            ],
-                            repaired,
-                            weight,
-                            iterations,
-                        )
-                sel, cov, _w = best
-                return self._finish(list(sel), list(cov), weight, iterations)
-            sel_weight = sum(weight[v] for v in selected)
-            if not covered or sel_weight <= 0.0:  # pragma: no cover - defensive
-                break
-            new_lam = len(covered) / sel_weight
-            if new_lam <= lam:  # float stagnation: cannot improve further
-                return self._finish(selected, covered, weight, iterations)
-            best = (tuple(selected), tuple(covered), sel_weight)
-            best_is_seed = False
-            lam = new_lam
-            for v in incident_verts:
+            kind, selected, covered = self._dinkelbach_step(p, value, side)
+            if kind == "done":
+                return self._finish(selected, covered, p.weight, p.iterations)
+            if kind == "repair":
+                return self._repair_cut_finish(p)
+            # kind == "raise": p.lam advanced, grow the sink capacities
+            # in place and resume the preflow warm
+            for v in p.incident_verts:
                 net.raise_capacity(
-                    self._sink_arcs[v], lam * max(weight[v], 0.0)
+                    self._sink_arcs[v], p.lam * max(p.weight[v], 0.0)
                 )
-        sel, cov, _w = best  # pragma: no cover - defensive fallback
-        return self._finish(list(sel), list(cov), weight, iterations)
+        sel, cov, _w = p.best  # pragma: no cover - defensive fallback
+        return self._finish(list(sel), list(cov), p.weight, p.iterations)
+
+    def _dinkelbach_step(
+        self, p: _Prepared, value: float, side: Sequence[bool]
+    ) -> tuple[str, list[int], list[int]]:
+        """One Dinkelbach decision from a solved cut; mutates ``p``.
+
+        ``side`` is the maximal min-cut source side over this problem's
+        *local* node ids (a block slice under the batched driver).
+        Returns ``("done", selected, covered)`` when the search ends
+        here (converged, stagnated, or falling back to the incumbent),
+        ``("repair", [], [])`` when the raw λ-seed incumbent needs the
+        maximality repair cut (:meth:`_repair_cut_finish` — the batched
+        driver drops the block out of the arena for it), or
+        ``("raise", [], [])`` after advancing ``p.lam``/``p.best`` — the
+        caller grows the sink capacities to ``p.lam·g(v)`` and re-solves.
+        Shared verbatim by the sequential and batched paths, which is
+        what keeps their selections byte-identical.
+        """
+        selected = [
+            v for v in p.incident_verts if side[self._vert_base + v]
+        ]
+        covered = [e for e in p.alive_idx if side[self._elem_base + e]]
+        excess = p.alive_count - value
+        if excess <= p.alive_count * DINKELBACH_RTOL:
+            # converged: the maximal source side is the largest
+            # subgraph of optimal density (empty only on float
+            # overshoot, where the incumbent is the optimum)
+            if covered:
+                return "done", selected, covered
+            if p.best_is_seed:
+                # the incumbent is the raw λ-seed, optimal in value
+                # but possibly not maximal on exact density ties —
+                # one repair cut a margin below its density always
+                # extracts the *maximal* optimum (every optimal
+                # subgraph is strictly positive there)
+                return "repair", [], []
+            sel, cov, _w = p.best
+            return "done", list(sel), list(cov)
+        sel_weight = sum(p.weight[v] for v in selected)
+        if not covered or sel_weight <= 0.0:  # pragma: no cover - defensive
+            sel, cov, _w = p.best
+            return "done", list(sel), list(cov)
+        new_lam = len(covered) / sel_weight
+        if new_lam <= p.lam:  # float stagnation: cannot improve further
+            return "done", selected, covered
+        p.best = (tuple(selected), tuple(covered), sel_weight)
+        p.best_is_seed = False
+        p.lam = new_lam
+        return "raise", [], []
+
+    def _repair_cut_finish(self, p: _Prepared) -> DenseSelection:
+        """Maximality repair cut for a converged raw λ-seed incumbent.
+
+        One cut a float margin below the incumbent's density extracts
+        the *maximal* optimal subgraph (every optimal subgraph is
+        strictly positive there); runs on this problem's own network —
+        warm when enabled, since the residuals encode the preflow just
+        solved at the higher λ and the cut only lowers sink capacities.
+        """
+        net = self.net
+        sel, cov, wgt = p.best
+        lam = (len(cov) / wgt) * OPT_BOUND_MARGIN
+        self._program_capacities(
+            self._sink_targets(lam, p.weight), repair=self.warm
+        )
+        p.iterations += 1
+        net.solve()
+        side = net.source_side()
+        repaired = [e for e in p.alive_idx if side[self._elem_base + e]]
+        if repaired:
+            return self._finish(
+                [v for v in p.incident_verts if side[self._vert_base + v]],
+                repaired,
+                p.weight,
+                p.iterations,
+            )
+        return self._finish(list(sel), list(cov), p.weight, p.iterations)
 
     def _sink_targets(
         self, lam: float, weight: Sequence[float]
@@ -411,6 +500,58 @@ class ParametricDensest:
                 lower_caps.append(capacity)
         if lower_arcs:
             net.lower_capacities(lower_arcs, lower_caps)
+
+    # ------------------------------------------------------------------
+    # Batched-arena interface
+    # ------------------------------------------------------------------
+    def template(self):
+        """Grouped-layout :class:`~repro.flow.batched_solve.BlockTemplate`.
+
+        Compiled lazily (the sequential path never needs it) and cached —
+        the grouping is the same tail-sorted layout the wave kernel
+        freezes, so a wave-method network's state arrays *are* the block
+        layout and round-trip without permutation.
+        """
+        if self._template is None:
+            from repro.flow.batched_solve import BlockTemplate
+
+            self._template = BlockTemplate.from_network(self.net)
+        return self._template
+
+    def export_flow_state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of ``(grouped residual caps, node excess)`` for the arena."""
+        net = self.net
+        if net.method == "wave":
+            return (
+                np.array(net.cap, dtype=np.float64),
+                np.array(net.excess, dtype=np.float64),
+            )
+        tmpl = self.template()
+        cap = np.asarray(net.cap, dtype=np.float64)[tmpl.perm]
+        return cap, np.array(net.excess, dtype=np.float64)
+
+    def import_flow_state(
+        self, cap_grouped: np.ndarray, excess: np.ndarray
+    ) -> None:
+        """Adopt an arena block's solved state as this network's preflow.
+
+        The inverse of :meth:`export_flow_state`; afterwards the network
+        holds a completed solve of its current base capacities, so the
+        next warm call repairs it exactly as if the sequential path had
+        produced it.
+        """
+        net = self.net
+        if net.method == "wave":
+            net.adopt_state(cap_grouped, excess)
+            return
+        tmpl = self.template()
+        arc_cap = np.empty_like(cap_grouped)
+        arc_cap[tmpl.perm] = cap_grouped
+        net.adopt_state(arc_cap.tolist(), excess.tolist())
+
+    def sink_position(self, vert: int) -> int:
+        """Grouped position of vertex ``vert``'s sink arc (arena raises)."""
+        return int(self.template().pos[self._sink_arcs[vert]])
 
     def invalidate(self) -> None:
         """Drop the cross-call warm state; the next :meth:`solve` is cold.

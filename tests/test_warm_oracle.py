@@ -344,6 +344,38 @@ def assert_same_result(a, b):
     assert a.exact and b.exact
 
 
+class TestDenormalWeightOverflow:
+    """A near-denormal vertex weight makes the single-vertex density —
+    and with it the Dinkelbach λ and the λ·g sink capacities — overflow
+    to inf.  The loop kernel's min(excess, residual) push is naturally
+    immune, but the wave kernel's proportional split used to compute
+    inf·0 → NaN deltas and corrupt the preflow, so cold wave solves
+    disagreed with loop and warm solves (found by the hypothesis
+    differential suite; pinned here deterministically)."""
+
+    DENORMAL = 2.225073858507e-311
+
+    def test_wave_equals_loop_equals_warm_under_inf_lambda(self):
+        endpoints = [(1,), (0, 1)]
+        weight = [1.0, self.DENORMAL, 1.0, 1.0]
+        alive = [True, True]
+        warm = ParametricDensest(endpoints, 4, method="wave", warm=True)
+        warm.solve([1.0] * 4, alive)  # park a preflow at the old weights
+        selections = {
+            "warm-wave": warm.solve(list(weight), alive),
+            "cold-wave": ParametricDensest(
+                endpoints, 4, method="wave"
+            ).solve(list(weight), alive),
+            "cold-loop": ParametricDensest(
+                endpoints, 4, method="loop"
+            ).solve(list(weight), alive),
+        }
+        for name, sel in selections.items():
+            # {1} covers its singleton element at near-zero weight: the
+            # unique (infinite-density) optimum
+            assert sel.selected == (1,), name
+
+
 class TestWarmExactOracleSession:
     @pytest.mark.parametrize("seed", range(12))
     def test_dict_path_warm_equals_cold_across_covering(self, seed):
