@@ -516,6 +516,94 @@ def e18_batched_solve(scale: float) -> dict:
     }
 
 
+def e19_jit_kernel(scale: float) -> dict:
+    """E19 — the compiled (Numba) flow-kernel tier vs wave (ISSUE 7).
+
+    Runs lazy exact-oracle CHITCHAT on the E13 instance (CSR backend,
+    default ``batch_k``) three times, forcing each flow kernel in turn:
+    ``loop`` (pure-Python reference; its arena tier still runs wave),
+    ``wave`` (vectorized numpy), and ``jit`` (the Numba-compiled fused
+    discharge loops — both the per-hub kernel and the multi-block arena
+    kernel).  :func:`~repro.flow.jit_kernel.ensure_compiled` is called
+    up front so the one-off compilation is excluded from every wall
+    below; it is reported separately as ``jit_compile_s``.
+
+    Headlines: ``jit_wall_speedup`` — wave solve-tier wall (sequential
+    ``flow_solve_seconds`` + arena discharge + relabel) over the jit
+    run's (the ISSUE 7 acceptance metric, floor 1.5× at n>=3000) — and
+    ``equal``, certifying byte-identical schedules across all three
+    kernels (the compiled tier is a pure performance change).
+
+    Without numba the experiment cannot run; the returned document
+    carries a ``skipped`` reason instead of rows, and the pytest gate
+    skips (every other suite must pass without the ``[jit]`` extra).
+    """
+    from repro.flow.jit_kernel import (
+        compile_seconds,
+        ensure_compiled,
+        jit_available,
+        missing_reason,
+    )
+
+    if not jit_available():
+        return {"nodes": 0, "rows": [], "equal": True, "skipped": missing_reason()}
+    ensure_compiled()  # one-off kernel compilation, excluded from walls
+    n = max(600, int(E13_BASE_NODES * scale))
+    graph = social_copying_graph(
+        num_nodes=n,
+        out_degree=E13_OUT_DEGREE,
+        copy_fraction=0.7,
+        reciprocity=0.2,
+        seed=7,
+    )
+    workload = log_degree_workload(graph, read_write_ratio=E13_READ_WRITE_RATIO)
+    rows = []
+    runs = {}
+    for method in ("loop", "wave", "jit"):
+        started = time.perf_counter()
+        scheduler = ChitchatScheduler(
+            graph,
+            workload,
+            backend="csr",
+            lazy=True,
+            oracle="exact",
+            method=method,
+        )
+        schedule = scheduler.run()
+        elapsed = time.perf_counter() - started
+        stats = scheduler.stats
+        solve_wall = (
+            stats.flow_solve_seconds
+            + stats.batch_discharge_seconds
+            + stats.batch_relabel_seconds
+        )
+        runs[method] = (schedule, solve_wall)
+        rows.append(
+            {
+                "method": method,
+                "nodes": n,
+                "edges": graph.num_edges,
+                "kernel_invocations": stats.kernel_invocations,
+                "solve_wall_s": round(solve_wall, 3),
+                "sequential_s": round(stats.flow_solve_seconds, 3),
+                "discharge_s": round(stats.batch_discharge_seconds, 3),
+                "relabel_s": round(stats.batch_relabel_seconds, 3),
+                "cost": round(stats.final_cost, 1),
+                "seconds": round(elapsed, 2),
+            }
+        )
+    equal = _schedules_equal(runs["loop"][0], runs["wave"][0]) and _schedules_equal(
+        runs["wave"][0], runs["jit"][0]
+    )
+    return {
+        "nodes": n,
+        "rows": rows,
+        "equal": equal,
+        "jit_wall_speedup": runs["wave"][1] / max(runs["jit"][1], 1e-9),
+        "jit_compile_s": round(compile_seconds(), 3),
+    }
+
+
 COLLECTORS = {
     "E10": e10_scaling,
     "E11": e11_backends,
@@ -524,4 +612,5 @@ COLLECTORS = {
     "E14": e14_flow_kernel,
     "E15": e15_warm_oracle,
     "E18": e18_batched_solve,
+    "E19": e19_jit_kernel,
 }

@@ -55,6 +55,7 @@ RATIO_HEADLINES = (
     "cadence_pass_ratio",
     "invocation_ratio",
     "kernel_speedup",
+    "jit_wall_speedup",
     "reeval_ratio",
 )
 

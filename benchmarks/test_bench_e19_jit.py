@@ -1,0 +1,61 @@
+"""E19 — the compiled (Numba) flow-kernel tier (ISSUE 7).
+
+ISSUE 7 added ``method="jit"``: Numba-compiled fused discharge loops for
+both the per-hub :class:`~repro.flow.maxflow.FlowNetwork` solver and the
+multi-block :class:`~repro.flow.batched_solve.BatchedNetwork` arena,
+operating on the same grouped arrays as the wave kernel so warm starts
+and capacity repairs carry over unchanged.  This bench runs lazy
+exact-oracle CHITCHAT on the E13 instance under each kernel and compares
+solve-tier wall clocks, with the one-off kernel compilation excluded
+(``ensure_compiled`` runs before any timer; the compile cost is reported
+separately).
+
+Acceptance (ISSUE 7, at the n>=3000 default-scale CSR instance): the jit
+run's solve-tier wall (sequential per-hub solves + arena discharge +
+relabel) beats the wave run's by >=1.5x, with all three schedules
+byte-identical — the compiled tier is a pure performance change.  The
+whole suite must pass without numba: this module skips cleanly when the
+``[jit]`` extra is absent (the collector then emits a ``skipped`` row
+into ``BENCH_chitchat.json`` instead of measurements).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.chitchat_perf import e19_jit_kernel
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.flow.jit_kernel import jit_available, missing_reason
+
+#: Acceptance thresholds at the n>=3000 instance (ISSUE 7); smaller
+#: quick tiers spend proportionally more wall in the non-kernel stages
+#: (pricing, hub-graph builds), so the speedup floor is slacker there.
+ACCEPTANCE_NODES = 3000
+ACCEPTANCE_JIT_SPEEDUP = 1.5
+QUICK_TIER_JIT_SPEEDUP = 1.1
+
+
+@pytest.mark.skipif(
+    not jit_available(), reason=f"[jit] extra absent: {missing_reason()}"
+)
+def test_bench_jit_kernel_speedup(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: e19_jit_kernel(bench_scale))
+    print()
+    print(
+        format_table(
+            result["rows"], title="E19: flow kernels, loop vs wave vs jit"
+        )
+    )
+    print(
+        f"jit wall speedup {result['jit_wall_speedup']:.2f}x over wave "
+        f"(compile {result['jit_compile_s']:.2f}s, excluded)"
+    )
+    # the compiled tier is a pure performance change: identical schedules
+    assert result["equal"]
+    bar = (
+        ACCEPTANCE_JIT_SPEEDUP
+        if result["nodes"] >= ACCEPTANCE_NODES
+        else QUICK_TIER_JIT_SPEEDUP
+    )
+    assert result["jit_wall_speedup"] >= bar

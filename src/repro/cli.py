@@ -37,6 +37,7 @@ from repro.core.parallelnosy import parallel_nosy_schedule
 from repro.core.serialize import load_schedule, load_workload, save_schedule
 from repro.errors import ReproError
 from repro.flow.exact_oracle import ORACLE_MODES
+from repro.flow.maxflow import FLOW_METHODS
 from repro.graph.io import read_edge_list
 from repro.graph.stats import summarize
 from repro.workload.rates import log_degree_workload
@@ -52,6 +53,7 @@ def _run_chitchat(graph, workload, args):
         epsilon=getattr(args, "epsilon", 0.0),
         warm=getattr(args, "warm", True),
         batch_k=getattr(args, "batch_k", None),
+        method=getattr(args, "flow_method", "auto"),
     )
     return scheduler.run(), scheduler.stats
 
@@ -79,8 +81,11 @@ def _oracle_stats_line(oracle: str, stats: ChitchatStats) -> str:
             f"blocks_per_batch={stats.blocks_per_batch:.2f} "
             f"freeze={stats.batch_freeze_seconds:.3f}s "
             f"discharge={stats.batch_discharge_seconds:.3f}s "
-            f"relabel={stats.batch_relabel_seconds:.3f}s"
+            f"relabel={stats.batch_relabel_seconds:.3f}s "
+            f"solve={stats.flow_solve_seconds:.3f}s"
         )
+        if stats.jit_compile_seconds:
+            line += f" jit_compile={stats.jit_compile_seconds:.3f}s"
     return line
 
 
@@ -181,6 +186,18 @@ def build_parser() -> argparse.ArgumentParser:
         "schedules are identical at every width)",
     )
     opt.add_argument(
+        "--flow-method",
+        choices=FLOW_METHODS,
+        default="auto",
+        dest="flow_method",
+        help="CHITCHAT exact-oracle flow kernel: auto (default; picks "
+        "the Numba jit tier when the [jit] extra is installed and the "
+        "network is large enough), wave (vectorized numpy), loop "
+        "(pure-Python reference), or jit (force the compiled tier; "
+        "errors without the extra).  A pure perf knob: schedules are "
+        "identical across kernels",
+    )
+    opt.add_argument(
         "--stats",
         action="store_true",
         help="print oracle diagnostics (CHITCHAT only): full evaluations, "
@@ -230,6 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="CHITCHAT batched flow tier width (see optimize --batch-k)",
     )
     cmp_.add_argument(
+        "--flow-method",
+        choices=FLOW_METHODS,
+        default="auto",
+        dest="flow_method",
+        help="CHITCHAT exact-oracle flow kernel (see optimize --flow-method)",
+    )
+    cmp_.add_argument(
         "--stats",
         action="store_true",
         help="append a CHITCHAT oracle-diagnostics line below the table",
@@ -267,6 +291,8 @@ def cmd_optimize(args) -> int:
         metadata["warm"] = args.warm
         if args.batch_k is not None:
             metadata["batch_k"] = args.batch_k
+        if args.flow_method != "auto":
+            metadata["flow_method"] = args.flow_method
     records = save_schedule(schedule, args.output, metadata=metadata)
     print(
         f"{args.algorithm}: cost={schedule_cost(schedule, workload):.1f} "

@@ -177,6 +177,11 @@ class BatchedChitchat:
         probe/eval counters differ).  ``None`` (default) uses
         :data:`~repro.core.tolerances.BATCH_K`; ``0`` or ``1`` disables
         batching; irrelevant under ``oracle="peel"``.
+    method:
+        Flow kernel of the exact oracle's networks and arenas, exactly
+        as on :class:`~repro.core.chitchat.ChitchatScheduler`
+        (``"auto"``/``"wave"``/``"loop"``/``"jit"``; a pure perf knob,
+        irrelevant under ``oracle="peel"``).
     """
 
     def __init__(
@@ -191,6 +196,7 @@ class BatchedChitchat:
         epsilon: float = 0.0,
         warm: bool = True,
         batch_k: int | None = None,
+        method: str = "auto",
     ) -> None:
         if acceptance_slack < 1.0:
             raise ValueError("acceptance_slack must be >= 1.0")
@@ -207,7 +213,9 @@ class BatchedChitchat:
         self._lazy = lazy
         self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
-        self._exact = ExactOracle(warm=warm) if oracle != "peel" else None
+        self._exact = (
+            ExactOracle(warm=warm, method=method) if oracle != "peel" else None
+        )
         self._batch_k = BATCH_K if batch_k is None else int(batch_k)
         self._multi = (
             MultiHubSession(self._exact)
@@ -604,6 +612,7 @@ def batched_chitchat_schedule(
     epsilon: float = 0.0,
     warm: bool = True,
     batch_k: int | None = None,
+    method: str = "auto",
 ) -> RequestSchedule:
     """One-shot BATCHEDCHITCHAT run returning a feasible schedule."""
     runner = BatchedChitchat(
@@ -617,6 +626,7 @@ def batched_chitchat_schedule(
         epsilon=epsilon,
         warm=warm,
         batch_k=batch_k,
+        method=method,
     )
     return runner.run(max_rounds)
 
@@ -633,6 +643,7 @@ def batched_chitchat_with_stats(
     epsilon: float = 0.0,
     warm: bool = True,
     batch_k: int | None = None,
+    method: str = "auto",
 ) -> tuple[RequestSchedule, BatchedStats]:
     """Like :func:`batched_chitchat_schedule`, returning diagnostics too."""
     runner = BatchedChitchat(
@@ -646,6 +657,7 @@ def batched_chitchat_with_stats(
         epsilon=epsilon,
         warm=warm,
         batch_k=batch_k,
+        method=method,
     )
     schedule = runner.run(max_rounds)
     return schedule, runner.stats

@@ -167,7 +167,10 @@ class ChitchatStats:
     and the hub problems they carried (``blocks_per_batch`` is their
     ratio); ``batch_freeze_seconds`` / ``batch_discharge_seconds`` /
     ``batch_relabel_seconds`` — the batched tier's kernel time split
-    (arena assembly / wave sweeps / exact-label BFS share).
+    (arena assembly / wave sweeps / exact-label BFS share);
+    ``flow_solve_seconds`` — the sequential tier's solve wall;
+    ``jit_compile_seconds`` — the process-wide one-off Numba warm-up
+    when the jit kernel ran (excluded from every other timer).
     """
 
     hub_selections: int = 0
@@ -188,6 +191,8 @@ class ChitchatStats:
     batch_freeze_seconds: float = 0.0
     batch_discharge_seconds: float = 0.0
     batch_relabel_seconds: float = 0.0
+    flow_solve_seconds: float = 0.0
+    jit_compile_seconds: float = 0.0
     edges_covered_by_hubs: int = 0
     final_cost: float = 0.0
     selection_log: list[tuple[str, float, int]] = field(default_factory=list)
@@ -265,6 +270,14 @@ class ChitchatScheduler:
         tie-breaks, so the schedule is byte-identical at ``epsilon=0``
         at every width (property-tested), and with ``epsilon > 0`` the
         relaxation can accept clean champions straight from the batch.
+    method:
+        Flow kernel of the exact oracle's networks and arenas
+        (irrelevant under ``oracle="peel"``): ``"auto"`` (default),
+        ``"wave"``, ``"loop"``, or ``"jit"`` — the Numba-compiled tier,
+        which requires the optional ``[jit]`` extra and raises
+        :class:`~repro.flow.maxflow.FlowConfigError` without it.
+        Kernel choice is a pure perf knob: schedules are byte-identical
+        across methods (property-tested).
     """
 
     def __init__(
@@ -279,6 +292,7 @@ class ChitchatScheduler:
         epsilon: float = 0.0,
         warm: bool = True,
         batch_k: int | None = None,
+        method: str = "auto",
     ) -> None:
         if epsilon < 0.0:
             raise ReproError(f"epsilon must be >= 0, got {epsilon!r}")
@@ -292,7 +306,9 @@ class ChitchatScheduler:
         self._lazy = lazy
         self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
-        self._exact = ExactOracle(warm=warm) if oracle != "peel" else None
+        self._exact = (
+            ExactOracle(warm=warm, method=method) if oracle != "peel" else None
+        )
         self._batch_k = BATCH_K if batch_k is None else int(batch_k)
         self._multi = (
             MultiHubSession(self._exact)
@@ -408,6 +424,8 @@ class ChitchatScheduler:
             self.stats.batch_freeze_seconds = flow_stats.freeze_seconds
             self.stats.batch_discharge_seconds = flow_stats.discharge_seconds
             self.stats.batch_relabel_seconds = flow_stats.relabel_seconds
+            self.stats.flow_solve_seconds = flow_stats.solve_seconds
+            self.stats.jit_compile_seconds = flow_stats.jit_compile_seconds
         self.stats.final_cost = schedule_cost(self.schedule, self.workload)
         return self.schedule
 
@@ -971,6 +989,7 @@ def chitchat_schedule(
     epsilon: float = 0.0,
     warm: bool = True,
     batch_k: int | None = None,
+    method: str = "auto",
 ) -> RequestSchedule:
     """Run CHITCHAT on a DISSEMINATION instance and return the schedule."""
     return ChitchatScheduler(
@@ -983,6 +1002,7 @@ def chitchat_schedule(
         epsilon=epsilon,
         warm=warm,
         batch_k=batch_k,
+        method=method,
     ).run()
 
 
@@ -996,6 +1016,7 @@ def chitchat_with_stats(
     epsilon: float = 0.0,
     warm: bool = True,
     batch_k: int | None = None,
+    method: str = "auto",
 ) -> tuple[RequestSchedule, ChitchatStats]:
     """Like :func:`chitchat_schedule` but also returns run diagnostics."""
     scheduler = ChitchatScheduler(
@@ -1009,6 +1030,7 @@ def chitchat_with_stats(
         epsilon=epsilon,
         warm=warm,
         batch_k=batch_k,
+        method=method,
     )
     schedule = scheduler.run()
     return schedule, scheduler.stats

@@ -5,12 +5,17 @@ Three layers, bottom up:
 * :mod:`repro.flow.maxflow` — push-relabel on flat paired-arc arrays,
   with warm restarts after capacity raises *and* capacity decreases
   (the preflow is repaired in place: overflowing flow is cancelled and
-  the deficit drained out of the downstream paths).  Two interchangeable
-  solvers: the numpy-vectorized *wave* kernel (batched pushes over the
-  active frontier in descending level sweeps, segment-minima relabels,
-  vectorized reverse-BFS global relabeling) and the pure-Python FIFO
-  discharge *loop* kept from PR 3 as the reference; ``method="auto"``
-  picks by network size (:data:`WAVE_AUTO_MIN_ARCS`).
+  the deficit drained out of the downstream paths).  Three
+  interchangeable solvers: the numpy-vectorized *wave* kernel (batched
+  pushes over the active frontier in descending level sweeps,
+  segment-minima relabels, vectorized reverse-BFS global relabeling),
+  the pure-Python FIFO discharge *loop* kept from PR 3 as the
+  reference, and the optional Numba-compiled *jit* tier
+  (:mod:`repro.flow.jit_kernel`, the ``[jit]`` extra — fused
+  single-loop discharge over the same grouped arrays; forcing it
+  without numba raises :class:`FlowConfigError`); ``method="auto"``
+  picks by network size and numba availability
+  (:data:`JIT_AUTO_MIN_ARCS` / :data:`WAVE_AUTO_MIN_ARCS`).
 * :mod:`repro.flow.parametric` — Goldberg's fractional-programming
   construction for the weighted hypergraph densest-subgraph problem,
   solved by a Dinkelbach density search that seeds ``λ`` at the best
@@ -50,11 +55,14 @@ from repro.flow.exact_oracle import (
     use_exact,
     validate_oracle_mode,
 )
+from repro.flow.jit_kernel import jit_available
 from repro.flow.maxflow import (
     ADAPTIVE_WARM_RELABEL,
     FLOW_METHODS,
+    JIT_AUTO_MIN_ARCS,
     WAVE_AUTO_MIN_ARCS,
     WARM_RELABEL_MAX_STRETCH,
+    FlowConfigError,
     FlowError,
     FlowMidSolveError,
     FlowNetwork,
@@ -71,6 +79,7 @@ __all__ = [
     "ADAPTIVE_WARM_RELABEL",
     "EXACT_AUTO_MAX_ELEMENTS",
     "FLOW_METHODS",
+    "JIT_AUTO_MIN_ARCS",
     "ORACLE_MODES",
     "ORACLE_SESSION_HUBS",
     "WARM_RELABEL_MAX_STRETCH",
@@ -79,6 +88,7 @@ __all__ = [
     "BlockTemplate",
     "DenseSelection",
     "ExactOracle",
+    "FlowConfigError",
     "FlowError",
     "FlowMidSolveError",
     "FlowNetwork",
@@ -88,6 +98,7 @@ __all__ = [
     "ParametricDensest",
     "compile_grouped",
     "densest_selection",
+    "jit_available",
     "use_exact",
     "validate_oracle_mode",
 ]

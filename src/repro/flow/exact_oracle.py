@@ -49,6 +49,7 @@ from repro.core.hubgraph import X_SIDE, HubGraph
 from repro.core.schedule import RequestSchedule
 from repro.core.tolerances import BATCH_MIN_BLOCKS, OPT_BOUND_MARGIN
 from repro.errors import ReproError
+from repro.flow import jit_kernel, maxflow
 from repro.flow.batched_solve import BatchedNetwork, FlowStats
 from repro.flow.parametric import (
     MAX_DINKELBACH_ITERATIONS,
@@ -160,13 +161,25 @@ class ExactOracle:
         self,
         warm: bool = True,
         max_cached: int | None = ORACLE_SESSION_HUBS,
+        method: str = "auto",
     ) -> None:
         if max_cached is not None and max_cached < 1:
             raise ReproError(
                 f"max_cached must be >= 1 or None, got {max_cached!r}"
             )
+        if method not in maxflow.FLOW_METHODS:
+            raise ReproError(
+                f"unknown flow method {method!r}; options: "
+                f"{maxflow.FLOW_METHODS}"
+            )
         self.warm = warm
         self.max_cached = max_cached
+        #: Flow kernel selection threaded into every per-hub network and
+        #: batched arena of this session (``"auto"``/``"wave"``/
+        #: ``"loop"``/``"jit"``, see
+        #: :data:`repro.flow.maxflow.FLOW_METHODS`).  Kernel choice is a
+        #: pure perf knob: results are byte-identical across methods.
+        self.method = method
         self.warm_solves = 0
         self.preflow_repairs = 0
         self.flow_passes = 0
@@ -204,7 +217,10 @@ class ExactOracle:
                 problem = None
         if problem is None:
             problem = ParametricDensest(
-                peel.endpoint_idx, len(peel.verts), warm=self.warm
+                peel.endpoint_idx,
+                len(peel.verts),
+                method=self.method,
+                warm=self.warm,
             )
         self._problems[hub_graph.hub] = (peel, problem)
         self._problems.move_to_end(hub_graph.hub)
@@ -269,11 +285,14 @@ class ExactOracle:
         net = problem.net
         passes_before, repairs_before = net.passes, net.repairs
         warm_before, solves_before = problem.warm_solves, net.solves
+        seconds_before = net.solve_seconds
         selection = problem.solve(priced.weight, priced.alive_element)
         self.flow_passes += net.passes - passes_before
         self.preflow_repairs += net.repairs - repairs_before
         self.warm_solves += problem.warm_solves - warm_before
         self.flow_stats.kernel_invocations += net.solves - solves_before
+        self.flow_stats.solve_seconds += net.solve_seconds - seconds_before
+        self.flow_stats.jit_compile_seconds = jit_kernel.compile_seconds()
         return self._package(priced, selection)
 
     def _price(
@@ -421,7 +440,7 @@ class MultiHubSession:
             hub_graphs
         )
         pending: list[tuple[int, _PricedHub, ParametricDensest, _Prepared]] = []
-        marks: list[tuple[ParametricDensest, int, int, int, int]] = []
+        marks: list[tuple[ParametricDensest, int, int, int, int, float]] = []
         seen: set[Node] = set()
         repeats: list[tuple[int, HubGraph]] = []
         for i, hub_graph in enumerate(hub_graphs):
@@ -462,6 +481,7 @@ class MultiHubSession:
                     net.repairs,
                     problem.warm_solves,
                     net.solves,
+                    net.solve_seconds,
                 )
             )
             prepared = problem.begin(priced.weight, priced.alive_element)
@@ -477,12 +497,14 @@ class MultiHubSession:
             for i, priced, problem, prepared in pending:
                 results[i] = oracle._package(priced, problem._iterate(prepared))
 
-        for problem, passes0, repairs0, warm0, solves0 in marks:
+        for problem, passes0, repairs0, warm0, solves0, seconds0 in marks:
             net = problem.net
             oracle.flow_passes += net.passes - passes0
             oracle.preflow_repairs += net.repairs - repairs0
             oracle.warm_solves += problem.warm_solves - warm0
             oracle.flow_stats.kernel_invocations += net.solves - solves0
+            oracle.flow_stats.solve_seconds += net.solve_seconds - seconds0
+        oracle.flow_stats.jit_compile_seconds = jit_kernel.compile_seconds()
         for i, hub_graph in repeats:
             results[i] = oracle(
                 hub_graph,
@@ -508,7 +530,15 @@ class MultiHubSession:
             (problem.template(), *problem.export_flow_state())
             for _i, _priced, problem, _prep in pending
         ]
-        arena = BatchedNetwork(blocks, stats=oracle.flow_stats)
+        # the arena has no per-block loop tier; a session forced to a
+        # sequential-only method batches on the wave kernel (jit and
+        # auto thread straight through)
+        arena_method = (
+            oracle.method if oracle.method in ("auto", "jit") else "wave"
+        )
+        arena = BatchedNetwork(
+            blocks, stats=oracle.flow_stats, method=arena_method
+        )
         # per-block raise-path arrays: incident verts' sink arcs, their
         # grouped positions, and weights — fixed for the whole batch, so
         # each "raise" round is three vectorized ops instead of a
@@ -584,7 +614,10 @@ class MultiHubSession:
                     compacted.append((pending[j][2].template(), cap, excess))
                     new_slot[j] = b
                 arena = BatchedNetwork(
-                    compacted, stats=oracle.flow_stats, count_dispatch=False
+                    compacted,
+                    stats=oracle.flow_stats,
+                    count_dispatch=False,
+                    method=arena_method,
                 )
                 slot = new_slot
             arena.solve()

@@ -1,0 +1,395 @@
+"""Optional Numba-compiled discharge kernels for the flow tier.
+
+PR 6's block-diagonal arena cut kernel *dispatches* ~3.2x but landed at
+wall parity: a pure-numpy wave pass costs about as much as the per-block
+passes it replaces, because the wave kernel pays numpy dispatch per
+wave, per level and per relabel.  This module is the compiled tier that
+converts the dispatch win into wall time: fused FIFO push-relabel
+discharge loops (gap heuristic + periodic reverse-BFS global relabel)
+over the *same* flat grouped paired-arc arrays the wave kernel freezes,
+compiled to machine code with Numba's nopython mode.
+
+Two kernels:
+
+* :func:`discharge_block` — one network (the ``method="jit"`` backend
+  of :class:`~repro.flow.maxflow.FlowNetwork`); operates in place on
+  the grouped ``cap``/``excess``/``label`` arrays, so warm starts,
+  ``lower_capacity`` repair and preflow writeback work unchanged.
+* :func:`discharge_multi` — every live block of a
+  :class:`~repro.flow.batched_solve.BatchedNetwork` in one compiled
+  call, amortizing the Python->native boundary across all ``BATCH_K``
+  problems and the whole Dinkelbach search.
+
+Numba is an *optional* dependency (the ``[jit]`` extra): this module
+must import cleanly without it.  The kernels are therefore written in
+the numba-nopython subset that is *also* plain Python — scalar loops
+over preallocated int64/float64 arrays, no closures, no dicts, all
+constants passed as arguments — and are wrapped with ``numba.njit``
+only when a new-enough numba imports.  Without numba the module-level
+names bind the uncompiled functions, so the exact algorithm stays
+runnable (and differential-testable) in pure Python; only the *speed*
+needs the compiler.
+
+Compile time is tracked separately (:func:`ensure_compiled` /
+:func:`compile_seconds`) so benchmarks can exclude the one-off warm-up
+from solve-tier wall measurements (``FlowStats.jit_compile_seconds``).
+"""
+
+from __future__ import annotations
+
+import logging
+from time import perf_counter
+
+import numpy as np
+
+_logger = logging.getLogger(__name__)
+
+#: Oldest numba release the kernels are known to compile under (numpy
+#: 2.x typed-array support landed in the 0.60 line); older installs are
+#: treated exactly like a missing numba.
+MIN_NUMBA_VERSION = (0, 60)
+
+_NUMBA_OK = False
+_MISSING_REASON = "numba is not installed"
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+
+    _version = tuple(
+        int(part) for part in _numba.__version__.split(".")[:2] if part.isdigit()
+    )
+    if _version >= MIN_NUMBA_VERSION:
+        _NUMBA_OK = True
+    else:
+        _MISSING_REASON = (
+            f"numba {_numba.__version__} is older than the required "
+            f"{'.'.join(map(str, MIN_NUMBA_VERSION))}"
+        )
+except Exception as exc:  # ImportError, or a broken install
+    _MISSING_REASON = f"numba failed to import ({exc.__class__.__name__})"
+    _numba = None
+
+#: One debug-level notice per process when ``method="auto"`` would have
+#: picked the jit tier but numba is unavailable (satellite: the
+#: degradation is silent at warning level, visible at debug level).
+_fallback_noted = False
+
+_compiled = False
+_compile_seconds = 0.0
+
+
+def jit_available() -> bool:
+    """Whether the compiled tier can run (numba importable and new enough)."""
+    return _NUMBA_OK
+
+
+def missing_reason() -> str:
+    """Why :func:`jit_available` is false (empty string when it is true)."""
+    return "" if _NUMBA_OK else _MISSING_REASON
+
+
+def note_auto_fallback() -> None:
+    """Log the one-per-process debug notice for the auto->wave degradation."""
+    global _fallback_noted
+    if _fallback_noted:
+        return
+    _fallback_noted = True
+    _logger.debug(
+        "flow method 'auto': %s; falling back to the wave kernel "
+        "(pip install .[jit] enables the compiled tier)",
+        missing_reason() or "jit tier disabled",
+    )
+
+
+def compile_seconds() -> float:
+    """Wall seconds spent compiling the kernels (0.0 until warmed up)."""
+    return _compile_seconds
+
+
+# ----------------------------------------------------------------------
+# Kernels (numba-nopython subset that is also plain Python)
+# ----------------------------------------------------------------------
+def _block_global_relabel_py(
+    cap, head, rev, ptr, label, bfs, source, sink, flow_eps
+):
+    """Exact distance-to-sink labels via reverse BFS over the residuals.
+
+    The scalar mirror of :meth:`FlowNetwork._global_relabel`: node ``u``
+    joins the frontier through position ``p`` of frontier node ``v``
+    when ``rev[p]`` — the arc ``u -> v`` — still has residual capacity.
+    Unreachable nodes (and the source) keep the parking label ``n``.
+    ``bfs`` is an int64 scratch array of length >= n.
+    """
+    n = ptr.shape[0] - 1
+    for v in range(n):
+        label[v] = n
+    label[sink] = 0
+    bfs[0] = sink
+    qhead = 0
+    qtail = 1
+    while qhead != qtail:
+        v = bfs[qhead]
+        qhead += 1
+        nxt = label[v] + 1
+        for p in range(ptr[v], ptr[v + 1]):
+            u = head[p]
+            if label[u] == n and u != source and cap[rev[p]] > flow_eps:
+                label[u] = nxt
+                bfs[qtail] = u
+                qtail += 1
+    label[source] = n
+
+
+def _discharge_block_py(
+    cap, excess, head, rev, forward, ptr, label, source, sink, flow_eps,
+    gr_interval,
+):
+    """FIFO push-relabel discharge of one network, fused into one loop.
+
+    The compiled mirror of :meth:`FlowNetwork._solve_loop` — FIFO
+    discharge order, ``min(excess, residual)`` pushes (naturally immune
+    to the inf lambda*g sink capacities that force the wave kernel's
+    denormal clamp), relabel to one past the lowest residual neighbor,
+    the O(n)-scan gap heuristic — plus the wave kernel's *periodic*
+    reverse-BFS global relabel every ``gr_interval`` relabel operations
+    (the pure-Python loop only relabels globally on entry; a compiled
+    BFS is cheap enough to reuse mid-run).  All arrays are the grouped
+    (tail-sorted CSR) layout of :func:`~repro.flow.maxflow.compile_grouped`,
+    mutated in place; ``label`` is rewritten with the final labels.
+
+    Returns ``(sink_excess, passes)`` where ``passes`` counts node
+    discharges (the loop kernel's progress unit).
+    """
+    n = ptr.shape[0] - 1
+    bfs = np.empty(n, np.int64)
+    count = np.zeros(2 * n, np.int64)
+    current = np.zeros(n, np.int64)
+    queue = np.empty(n + 1, np.int64)
+    in_queue = np.zeros(n, np.bool_)
+
+    _block_global_relabel(cap, head, rev, ptr, label, bfs, source, sink, flow_eps)
+
+    # saturate (re-saturate on warm runs) every forward source arc
+    for p in range(ptr[source], ptr[source + 1]):
+        if forward[p]:
+            residual = cap[p]
+            if residual > flow_eps:
+                v = head[p]
+                cap[p] = 0.0
+                cap[rev[p]] += residual
+                excess[v] += residual
+
+    qhead = 0
+    qtail = 0
+    for v in range(n):
+        count[label[v]] += 1
+        if v != source and v != sink and excess[v] > flow_eps and label[v] < n:
+            queue[qtail] = v
+            qtail += 1
+            in_queue[v] = True
+
+    passes = 0
+    since_gr = 0
+    qsize = n + 1
+    while qhead != qtail:
+        if since_gr >= gr_interval:
+            # periodic exact labels: recompute, then rebuild the
+            # histogram, arc cursors and FIFO (parked nodes drop out)
+            _block_global_relabel(
+                cap, head, rev, ptr, label, bfs, source, sink, flow_eps
+            )
+            since_gr = 0
+            for i in range(2 * n):
+                count[i] = 0
+            qhead = 0
+            qtail = 0
+            for v in range(n):
+                count[label[v]] += 1
+                current[v] = 0
+                in_queue[v] = False
+            for v in range(n):
+                if (
+                    v != source
+                    and v != sink
+                    and excess[v] > flow_eps
+                    and label[v] < n
+                ):
+                    queue[qtail] = v
+                    qtail += 1
+                    in_queue[v] = True
+            if qhead == qtail:
+                break
+        u = queue[qhead]
+        qhead += 1
+        if qhead == qsize:
+            qhead = 0
+        in_queue[u] = False
+        if label[u] >= n:
+            continue  # gap-lifted while queued: can never reach the sink
+        passes += 1
+        lo = ptr[u]
+        degree = ptr[u + 1] - lo
+        while excess[u] > flow_eps:
+            if current[u] == degree:
+                # relabel: one past the lowest admissible neighbor
+                old = label[u]
+                lowest = 2 * n
+                for p in range(lo, lo + degree):
+                    if cap[p] > flow_eps:
+                        lv = label[head[p]]
+                        if lv < lowest:
+                            lowest = lv
+                new = lowest + 1
+                if lowest >= 2 * n:
+                    new = 2 * n
+                if new > 2 * n - 1:
+                    new = 2 * n - 1
+                count[old] -= 1
+                if count[old] == 0 and old < n:
+                    # gap heuristic: labels above an empty level can
+                    # never reach the sink again
+                    for v in range(n):
+                        if old < label[v] < n and v != source:
+                            count[label[v]] -= 1
+                            label[v] = n
+                            count[n] += 1
+                label[u] = new
+                count[new] += 1
+                current[u] = 0
+                since_gr += 1
+                if label[u] >= n:
+                    break  # cannot reach the sink; excess stays parked
+                continue
+            p = lo + current[u]
+            v = head[p]
+            if cap[p] > flow_eps and label[u] == label[v] + 1:
+                delta = excess[u]
+                if cap[p] < delta:
+                    delta = cap[p]
+                cap[p] -= delta
+                cap[rev[p]] += delta
+                excess[u] -= delta
+                excess[v] += delta
+                if (
+                    v != sink
+                    and v != source
+                    and not in_queue[v]
+                    and label[v] < n
+                ):
+                    queue[qtail] = v
+                    qtail += 1
+                    if qtail == qsize:
+                        qtail = 0
+                    in_queue[v] = True
+            else:
+                current[u] += 1
+    return excess[sink], passes
+
+
+def _discharge_multi_py(
+    cap, excess, head, rev, forward, ptr, label, node_off, arc_off,
+    sources, sinks, live, flow_eps, gr_base,
+):
+    """Discharge every live block of a block-diagonal arena, one call.
+
+    ``head``/``rev`` are the *block-local* grouped arrays (node and arc
+    ids relative to the block), so each block's slice of the arena is
+    exactly a single-network problem: :func:`discharge_block` runs on
+    array views and mutates the arena state in place.  Per-block labels
+    land in ``label``'s block slice with the arena's own convention
+    (local distances, parked at the block's node count).  The per-block
+    global-relabel cadence is ``gr_base`` relabel ops per node.
+
+    Returns the summed discharge passes across live blocks.
+    """
+    num_blocks = sources.shape[0]
+    total_passes = 0
+    for b in range(num_blocks):
+        if not live[b]:
+            continue
+        n0 = node_off[b]
+        n1 = node_off[b + 1]
+        a0 = arc_off[b]
+        a1 = arc_off[b + 1]
+        nb = n1 - n0
+        ptr_local = np.empty(nb + 1, np.int64)
+        for i in range(nb + 1):
+            ptr_local[i] = ptr[n0 + i] - a0
+        _value, passes = _discharge_block(
+            cap[a0:a1],
+            excess[n0:n1],
+            head[a0:a1],
+            rev[a0:a1],
+            forward[a0:a1],
+            ptr_local,
+            label[n0:n1],
+            sources[b],
+            sinks[b],
+            flow_eps,
+            gr_base * nb,
+        )
+        total_passes += passes
+    return total_passes
+
+
+if _NUMBA_OK:  # pragma: no cover - exercised only where numba is installed
+    _block_global_relabel = _numba.njit(cache=True)(_block_global_relabel_py)
+    _discharge_block = _numba.njit(cache=True)(_discharge_block_py)
+    _discharge_multi = _numba.njit(cache=True)(_discharge_multi_py)
+else:
+    _block_global_relabel = _block_global_relabel_py
+    _discharge_block = _discharge_block_py
+    _discharge_multi = _discharge_multi_py
+
+#: Public kernel entry points (compiled when numba is available, the
+#: plain-Python functions otherwise — same algorithm either way).
+discharge_block = _discharge_block
+discharge_multi = _discharge_multi
+
+
+def ensure_compiled() -> None:
+    """Warm up the kernels on a toy problem; idempotent.
+
+    The first call to an ``njit`` dispatcher pays nopython compilation
+    (hundreds of milliseconds), which must not pollute solve-tier wall
+    measurements — callers invoke this *before* starting their timers
+    and report the accumulated :func:`compile_seconds` separately
+    (``FlowStats.jit_compile_seconds``).  Without numba the warm-up
+    still runs (microseconds, keeps the path covered) but compiles
+    nothing.
+    """
+    global _compiled, _compile_seconds
+    if _compiled:
+        return
+    t0 = perf_counter()
+    # a 3-node path source -> 1 -> sink in grouped layout: node 0 owns
+    # forward arc 0->1, node 1 owns the reverse plus forward 1->2, node
+    # 2 owns the last reverse; rev pairs (0,1) and (2,3)
+    head = np.array([1, 0, 2, 1], dtype=np.int64)
+    rev = np.array([1, 0, 3, 2], dtype=np.int64)
+    forward = np.array([True, False, True, False])
+    ptr = np.array([0, 1, 3, 4], dtype=np.int64)
+    cap = np.array([1.0, 0.0, 1.0, 0.0])
+    excess = np.zeros(3)
+    label = np.zeros(3, dtype=np.int64)
+    discharge_block(cap, excess, head, rev, forward, ptr, label, 0, 2, 1e-12, 12)
+    cap = np.array([1.0, 0.0, 1.0, 0.0])
+    excess = np.zeros(3)
+    label = np.zeros(3, dtype=np.int64)
+    discharge_multi(
+        cap,
+        excess,
+        head,
+        rev,
+        forward,
+        ptr,
+        label,
+        np.array([0, 3], dtype=np.int64),
+        np.array([0, 4], dtype=np.int64),
+        np.array([0], dtype=np.int64),
+        np.array([2], dtype=np.int64),
+        np.array([True]),
+        1e-12,
+        4,
+    )
+    _compiled = True
+    _compile_seconds += perf_counter() - t0

@@ -521,7 +521,7 @@ class ParametricDensest:
     def export_flow_state(self) -> tuple[np.ndarray, np.ndarray]:
         """Copies of ``(grouped residual caps, node excess)`` for the arena."""
         net = self.net
-        if net.method == "wave":
+        if net.grouped_layout:
             return (
                 np.array(net.cap, dtype=np.float64),
                 np.array(net.excess, dtype=np.float64),
@@ -541,7 +541,7 @@ class ParametricDensest:
         produced it.
         """
         net = self.net
-        if net.method == "wave":
+        if net.grouped_layout:
             net.adopt_state(cap_grouped, excess)
             return
         tmpl = self.template()

@@ -5,10 +5,13 @@ ISSUE 6's contract, bottom layer up:
 * ``BatchedNetwork`` — an arena solve of ``k`` stacked blocks must
   reproduce, per block, the flow value and the *maximal* min-cut source
   side of ``k`` isolated ``FlowNetwork.solve()`` calls, on random block
-  mixes (mixed sizes, mixed ``loop``/``wave`` per-block kernels, since
-  the grouped layout round-trips both), cold and warm (resumed
-  preflows, capacity raises between passes), including blocks masked
-  out mid-run via ``mark_done``;
+  mixes (mixed sizes, mixed ``loop``/``wave``/``jit`` per-block
+  kernels, since the grouped layout round-trips all three), under both
+  arena kernels (the shared wave sweeps and the compiled ``jit``
+  multi-block discharge — run un-jitted when numba is absent, see the
+  ``_python_jit`` fixture), cold and warm (resumed preflows, capacity
+  raises between passes), including blocks masked out mid-run via
+  ``mark_done``;
 * ``MultiHubSession`` — a batched oracle call over ``k`` hub-graphs
   must return results byte-identical to ``k`` sequential
   ``ExactOracle`` calls at the same state, across covering sequences
@@ -31,14 +34,34 @@ import pytest
 from repro.core.densest import ScheduleMirror
 from repro.core.hubgraph import build_hub_graph
 from repro.core.schedule import RequestSchedule
+from repro.flow import jit_kernel
 from repro.flow.batched_solve import BatchedNetwork, BlockTemplate, FlowStats
 from repro.flow.exact_oracle import ExactOracle, MultiHubSession
-from repro.flow.maxflow import FlowError, FlowNetwork
+from repro.flow.jit_kernel import jit_available
+from repro.flow.maxflow import FlowConfigError, FlowError, FlowNetwork
 from repro.graph.digraph import SocialGraph
 from repro.graph.view import as_graph_view, edge_list
 from repro.workload.rates import Workload
 
-METHODS = ("loop", "wave")
+METHODS = ("loop", "wave", "jit")
+ARENA_METHODS = ("wave", "jit")
+
+
+@pytest.fixture(autouse=True)
+def _python_jit(monkeypatch):
+    """Run the jit tier un-jitted when numba is absent.
+
+    Its kernels are plain functions until numba wraps them at import,
+    so flipping the availability flag exercises the identical algorithm
+    interpreted (same trick as ``tests/test_flow.py``).
+    """
+    if not jit_available():
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", True)
+
+
+@pytest.fixture(params=ARENA_METHODS)
+def arena_method(request):
+    return request.param
 
 
 # ----------------------------------------------------------------------
@@ -91,7 +114,7 @@ def random_block(rng):
 def export_state(net):
     """(template, grouped caps, excess) of a network's current preflow."""
     tmpl = BlockTemplate.from_network(net)
-    if net.method == "wave":
+    if net.grouped_layout:
         cap = np.array(net.cap, dtype=np.float64)
     else:
         cap = np.asarray(net.cap, dtype=np.float64)[tmpl.perm]
@@ -108,16 +131,18 @@ def assert_blocks_match(arena, nets):
 
 class TestBatchedNetworkDifferential:
     @pytest.mark.parametrize("seed", range(10))
-    def test_cold_mixed_blocks_match_isolated_solves(self, seed):
+    def test_cold_mixed_blocks_match_isolated_solves(self, seed, arena_method):
         """Random mixed-size mixed-kernel block sets, zero preflow."""
         rng = random.Random(seed)
         nets = [random_block(rng) for _ in range(rng.randint(1, 6))]
-        arena = BatchedNetwork([export_state(net) for net in nets])
+        arena = BatchedNetwork(
+            [export_state(net) for net in nets], method=arena_method
+        )
         arena.solve()
         assert_blocks_match(arena, nets)
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_warm_resume_matches_isolated_warm_solves(self, seed):
+    def test_warm_resume_matches_isolated_warm_solves(self, seed, arena_method):
         """Blocks loaded with solved preflows + capacity raises."""
         rng = random.Random(100 + seed)
         nets = [random_block(rng) for _ in range(rng.randint(2, 5))]
@@ -129,16 +154,20 @@ class TestBatchedNetworkDifferential:
                     net.raise_capacity(
                         arc, net.base_cap[arc] + rng.uniform(0.1, 2.0)
                     )
-        arena = BatchedNetwork([export_state(net) for net in nets])
+        arena = BatchedNetwork(
+            [export_state(net) for net in nets], method=arena_method
+        )
         arena.solve()
         assert_blocks_match(arena, nets)
 
     @pytest.mark.parametrize("seed", range(6))
-    def test_arena_raise_then_resolve_matches(self, seed):
+    def test_arena_raise_then_resolve_matches(self, seed, arena_method):
         """add_capacity + a second arena pass == raises on the originals."""
         rng = random.Random(200 + seed)
         nets = [random_block(rng) for _ in range(rng.randint(2, 4))]
-        arena = BatchedNetwork([export_state(net) for net in nets])
+        arena = BatchedNetwork(
+            [export_state(net) for net in nets], method=arena_method
+        )
         arena.solve()
         for j, net in enumerate(nets):
             tmpl = BlockTemplate.from_network(net)
@@ -153,10 +182,12 @@ class TestBatchedNetworkDifferential:
         arena.solve()
         assert_blocks_match(arena, nets)
 
-    def test_mark_done_freezes_block_and_masks_its_cut(self):
+    def test_mark_done_freezes_block_and_masks_its_cut(self, arena_method):
         rng = random.Random(7)
         nets = [random_block(rng) for _ in range(3)]
-        arena = BatchedNetwork([export_state(net) for net in nets])
+        arena = BatchedNetwork(
+            [export_state(net) for net in nets], method=arena_method
+        )
         arena.solve()
         done_value = arena.block_value(1)
         done_cap, done_excess = arena.export_block(1)
@@ -178,16 +209,18 @@ class TestBatchedNetworkDifferential:
             nets[j].solve()
             assert arena.block_side(sides, j).tolist() == nets[j].source_side()
 
-    def test_writeback_roundtrip_resumes_warm_on_own_network(self):
+    def test_writeback_roundtrip_resumes_warm_on_own_network(
+        self, arena_method
+    ):
         """An exported block adopted by its network keeps solving warm."""
         rng = random.Random(11)
         num_nodes, source, sink, arcs = layered_network(rng)
         for method in METHODS:
             net = build_net(num_nodes, source, sink, arcs, method)
-            arena = BatchedNetwork([export_state(net)])
+            arena = BatchedNetwork([export_state(net)], method=arena_method)
             arena.solve()
             cap, excess = arena.export_block(0)
-            if net.method == "wave":
+            if net.grouped_layout:
                 net.adopt_state(cap, excess)
             else:
                 tmpl = BlockTemplate.from_network(net)
@@ -198,12 +231,14 @@ class TestBatchedNetworkDifferential:
             assert net.solve() == pytest.approx(reference.solve(), abs=1e-8)
             assert net.source_side() == reference.source_side()
 
-    def test_stats_record_freeze_solves_and_blocks(self):
+    def test_stats_record_freeze_solves_and_blocks(self, arena_method):
         rng = random.Random(13)
         nets = [random_block(rng) for _ in range(3)]
         stats = FlowStats()
         arena = BatchedNetwork(
-            [export_state(net) for net in nets], stats=stats
+            [export_state(net) for net in nets],
+            stats=stats,
+            method=arena_method,
         )
         arena.solve()
         assert stats.batched_solves == 1
@@ -212,6 +247,8 @@ class TestBatchedNetworkDifferential:
         assert stats.kernel_invocations == 1
         assert stats.freeze_seconds > 0.0
         assert stats.discharge_seconds > 0.0
+        if arena_method == "jit":
+            assert stats.jit_compile_seconds >= 0.0
         assert FlowStats().blocks_per_batch == 0.0
 
     def test_rejects_empty_arena_unfrozen_template_and_negative_delta(self):
@@ -226,6 +263,20 @@ class TestBatchedNetworkDifferential:
         arena = BatchedNetwork([export_state(net)])
         with pytest.raises(FlowError):
             arena.add_capacity(0, [0], [-1.0])
+
+    def test_rejects_loop_method_and_forced_jit_without_numba(
+        self, monkeypatch
+    ):
+        net = FlowNetwork(2, 0, 1)
+        net.add_arc(0, 1, 1.0)
+        net.freeze()
+        net.reset()
+        with pytest.raises(FlowError):
+            BatchedNetwork([export_state(net)], method="loop")
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", False)
+        with pytest.raises(FlowConfigError) as excinfo:
+            BatchedNetwork([export_state(net)], method="jit")
+        assert "[jit]" in str(excinfo.value)
 
 
 # ----------------------------------------------------------------------
@@ -413,6 +464,31 @@ class TestMultiHubSessionDifferential:
         assert_same_result(results[0], reference)
         assert oracle.flow_stats.batched_solves == 0
         assert oracle.flow_stats.kernel_invocations > 0
+
+    def test_jit_oracle_matches_wave_oracle_across_covering(self):
+        """oracle method='jit' is a pure perf knob: identical results."""
+        rng = random.Random(17)
+        graph, workload, hubs = merged_instances(7000, 3)
+        hub_graphs = [build_hub_graph(graph, hub) for hub in hubs]
+        jit_session = MultiHubSession(ExactOracle(warm=True, method="jit"))
+        wave_session = MultiHubSession(ExactOracle(warm=True, method="wave"))
+        uncovered = set(graph.edges())
+        schedule = RequestSchedule()
+        for _round in range(4):
+            if not uncovered:
+                break
+            a = jit_session(hub_graphs, workload, schedule, uncovered)
+            b = wave_session(hub_graphs, workload, schedule, uncovered)
+            for x, y in zip(a, b):
+                assert_same_result(x, y)
+            covered_any = [r for r in a if r is not None and r.covered]
+            if not covered_any:
+                break
+            victims = rng.sample(
+                sorted(covered_any[0].covered),
+                rng.randint(1, len(covered_any[0].covered)),
+            )
+            uncovered -= set(victims)
 
     def test_fully_covered_hubs_yield_none_slots(self):
         graph, workload, hubs = merged_instances(6000, 3)

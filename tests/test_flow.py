@@ -1,33 +1,58 @@
 """Unit tests for the push-relabel max-flow kernel (``repro.flow.maxflow``).
 
-Both solvers — the numpy-vectorized wave kernel and the pure-Python FIFO
-discharge loop kept as the reference — are validated against exhaustive
-min-cut enumeration on small random networks (≤ 12 nodes, every
-source-containing subset priced), and their warm-restart path — the
-capacity raises the parametric densest search relies on — is checked to
-agree with from-scratch solves.  The two solvers must also agree with
-each other on the flow value *and* on the maximal min-cut source side,
-which is a property of the instance, not of the particular preflow a
-solver finds.
+All three solvers — the numpy-vectorized wave kernel, the pure-Python
+FIFO discharge loop kept as the reference, and the optional Numba jit
+tier — are validated against exhaustive min-cut enumeration on small
+random networks (≤ 12 nodes, every source-containing subset priced),
+and their warm-restart path — the capacity raises the parametric
+densest search relies on — is checked to agree with from-scratch
+solves.  The solvers must also agree with each other on the flow value
+*and* on the maximal min-cut source side, which is a property of the
+instance, not of the particular preflow a solver finds.
+
+The jit tier's kernels are written in the numba-nopython subset that is
+also valid plain Python, so when numba is absent the suite still runs
+the exact jit algorithm un-jitted (``_force_python_jit``) — only true
+compilation needs the ``[jit]`` extra.  Hypothesis agreement suites
+live in :class:`TestJitHypothesisAgreement`.
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.flow import jit_kernel
+from repro.flow.jit_kernel import jit_available
 from repro.flow.maxflow import (
     FLOW_METHODS,
+    JIT_AUTO_MIN_ARCS,
     WAVE_AUTO_MIN_ARCS,
+    FlowConfigError,
     FlowError,
     FlowMidSolveError,
     FlowNetwork,
     FlowNotFrozenError,
 )
 
-METHODS = ("loop", "wave")
+METHODS = ("loop", "wave", "jit")
+
+
+def _force_python_jit(monkeypatch):
+    """Let ``method="jit"`` run un-jitted when numba is absent.
+
+    The kernels in :mod:`repro.flow.jit_kernel` are plain functions
+    until numba wraps them at import, so flipping the availability flag
+    runs the identical algorithm interpreted — full differential
+    coverage of the jit tier without the optional dependency.
+    """
+    if not jit_available():
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", True)
 
 
 def brute_force_min_cut(num_nodes, source, sink, arcs):
@@ -61,7 +86,9 @@ def build(num_nodes, source, sink, arcs, method="auto"):
 
 
 @pytest.fixture(params=METHODS)
-def method(request):
+def method(request, monkeypatch):
+    if request.param == "jit":
+        _force_python_jit(monkeypatch)
     return request.param
 
 
@@ -122,15 +149,21 @@ class TestMaxFlow:
                     assert all(side[v] for v in candidate)
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_wave_and_loop_agree(self, seed):
-        """Same value and same maximal cut from both solvers."""
+    def test_all_solvers_agree(self, seed, monkeypatch):
+        """Same value and same maximal cut from all three solvers."""
+        _force_python_jit(monkeypatch)
         rng = random.Random(400 + seed)
         for num_nodes in (4, 7, 10):
             arcs = random_network(rng, num_nodes)
-            wave = build(num_nodes, 0, num_nodes - 1, arcs, "wave")
-            loop = build(num_nodes, 0, num_nodes - 1, arcs, "loop")
-            assert wave.solve() == pytest.approx(loop.solve(), abs=1e-8)
-            assert wave.source_side() == loop.source_side()
+            nets = {
+                m: build(num_nodes, 0, num_nodes - 1, arcs, m)
+                for m in METHODS
+            }
+            reference = nets["loop"].solve()
+            side = nets["loop"].source_side()
+            for m in ("wave", "jit"):
+                assert nets[m].solve() == pytest.approx(reference, abs=1e-8)
+                assert nets[m].source_side() == side
 
 
 class TestWarmRestart:
@@ -176,21 +209,37 @@ class TestWarmRestart:
         assert net.solve() == pytest.approx(4.0)
 
 
+def star_network(num_arcs):
+    """num_arcs forward arcs out of the source (auto-resolution sizing)."""
+    net = FlowNetwork(num_arcs + 2, 0, 1)
+    for i in range(num_arcs):
+        net.add_arc(0, 2 + i, 1.0)
+    return net
+
+
 class TestMethodResolution:
-    def test_auto_resolves_by_size(self):
+    def test_auto_resolves_by_size(self, monkeypatch):
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", False)
         small = FlowNetwork(3, 0, 2)
         small.add_arc(0, 1, 1.0)
         small.freeze()
         assert small.method == "loop"
-        num_arcs = WAVE_AUTO_MIN_ARCS
-        big = FlowNetwork(num_arcs + 2, 0, 1)
-        for i in range(num_arcs):
-            big.add_arc(0, 2 + i, 1.0)
+        big = star_network(WAVE_AUTO_MIN_ARCS)
         big.freeze()
         assert big.method == "wave"
 
-    def test_forced_methods_survive_freeze(self):
-        for method in ("loop", "wave"):
+    def test_auto_picks_jit_when_available_and_big_enough(self, monkeypatch):
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", True)
+        big = star_network(JIT_AUTO_MIN_ARCS)
+        big.freeze()
+        assert big.method == "jit"
+        small = star_network(JIT_AUTO_MIN_ARCS - 1)
+        small.freeze()
+        assert small.method != "jit"
+
+    def test_forced_methods_survive_freeze(self, monkeypatch):
+        _force_python_jit(monkeypatch)
+        for method in METHODS:
             net = FlowNetwork(3, 0, 2, method=method)
             net.add_arc(0, 1, 1.0)
             net.add_arc(1, 2, 1.0)
@@ -198,7 +247,161 @@ class TestMethodResolution:
             assert net.method == method
 
     def test_methods_tuple_is_exported(self):
-        assert set(FLOW_METHODS) == {"auto", "wave", "loop"}
+        assert set(FLOW_METHODS) == {"auto", "wave", "loop", "jit"}
+
+
+class TestJitDegradation:
+    """Importing works without numba; forcing jit fails loud, auto falls
+    back quiet (one debug notice per process)."""
+
+    def test_config_error_is_a_flow_error(self):
+        assert issubclass(FlowConfigError, FlowError)
+
+    def test_forced_jit_without_numba_raises_config_error(self, monkeypatch):
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", False)
+        monkeypatch.setattr(
+            jit_kernel, "_MISSING_REASON", "numba is not installed"
+        )
+        with pytest.raises(FlowConfigError) as excinfo:
+            FlowNetwork(3, 0, 2, method="jit")
+        message = str(excinfo.value)
+        assert "[jit]" in message
+        assert "numba is not installed" in message
+        assert "auto" in message  # points at the silent-fallback escape
+
+    def test_auto_fallback_logs_one_debug_notice(self, monkeypatch, caplog):
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", False)
+        monkeypatch.setattr(jit_kernel, "_fallback_noted", False)
+        num_arcs = max(JIT_AUTO_MIN_ARCS, WAVE_AUTO_MIN_ARCS)
+        with caplog.at_level(logging.DEBUG, logger="repro.flow.jit_kernel"):
+            first = star_network(num_arcs)
+            first.freeze()
+            second = star_network(num_arcs)
+            second.freeze()
+        assert first.method == "wave" and second.method == "wave"
+        records = [
+            r for r in caplog.records if r.name == "repro.flow.jit_kernel"
+        ]
+        assert len(records) == 1  # once per process, not per network
+        assert records[0].levelno == logging.DEBUG
+        assert "[jit]" in records[0].getMessage()
+
+    def test_small_auto_network_logs_nothing(self, monkeypatch, caplog):
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", False)
+        monkeypatch.setattr(jit_kernel, "_fallback_noted", False)
+        with caplog.at_level(logging.DEBUG, logger="repro.flow.jit_kernel"):
+            net = star_network(4)
+            net.freeze()
+        assert net.method == "loop"
+        assert not [
+            r for r in caplog.records if r.name == "repro.flow.jit_kernel"
+        ]
+
+    def test_ensure_compiled_is_idempotent_and_timed(self, monkeypatch):
+        _force_python_jit(monkeypatch)
+        jit_kernel.ensure_compiled()
+        before = jit_kernel.compile_seconds()
+        assert before >= 0.0
+        jit_kernel.ensure_compiled()  # second call must not re-warm
+        assert jit_kernel.compile_seconds() == before
+
+    def test_solve_seconds_accumulates_and_excludes_compile(self, monkeypatch):
+        _force_python_jit(monkeypatch)
+        net = build(3, 0, 2, [(0, 1, 2.0), (1, 2, 1.5)], "jit")
+        assert net.solve_seconds == 0.0
+        net.solve()
+        after_one = net.solve_seconds
+        assert after_one > 0.0
+        net.reset()
+        net.solve()
+        assert net.solve_seconds > after_one
+
+
+SMALL = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+
+@st.composite
+def flow_instances(draw, max_nodes=9):
+    """A random small network plus per-arc shrink factors (for repairs)."""
+    num_nodes = draw(st.integers(min_value=3, max_value=max_nodes))
+    possible = [
+        (u, v)
+        for u in range(num_nodes)
+        for v in range(num_nodes)
+        if u != v
+    ]
+    pairs = draw(
+        st.lists(
+            st.sampled_from(possible), min_size=1, max_size=20, unique=True
+        )
+    )
+    cap = st.floats(
+        min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False
+    )
+    arcs = [(u, v, draw(cap)) for u, v in pairs]
+    shrink = st.floats(
+        min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+    )
+    factors = [draw(shrink) for _ in pairs]
+    return num_nodes, arcs, factors
+
+
+class TestJitHypothesisAgreement:
+    """Property suites: the jit tier is byte-identical to the reference
+    loop solver on value, maximal cut, and the warm repair paths."""
+
+    @pytest.fixture(autouse=True)
+    def _python_jit(self, monkeypatch):
+        _force_python_jit(monkeypatch)
+
+    @SMALL
+    @given(flow_instances())
+    def test_value_and_maximal_cut_agree(self, instance):
+        num_nodes, arcs, _ = instance
+        jit = build(num_nodes, 0, num_nodes - 1, arcs, "jit")
+        loop = build(num_nodes, 0, num_nodes - 1, arcs, "loop")
+        assert jit.solve() == pytest.approx(loop.solve(), abs=1e-8)
+        assert jit.source_side() == loop.source_side()
+
+    @SMALL
+    @given(flow_instances())
+    def test_warm_raise_repair_matches_cold(self, instance):
+        num_nodes, arcs, factors = instance
+        warm = build(num_nodes, 0, num_nodes - 1, arcs, "jit")
+        warm.solve()
+        grown = [
+            (u, v, c + 4.0 * f)
+            for (u, v, c), f in zip(arcs, factors)
+        ]
+        for i, (_, _, c) in enumerate(grown):
+            if c != arcs[i][2]:
+                warm.raise_capacity(2 * i, c)
+        cold = build(num_nodes, 0, num_nodes - 1, grown, "loop")
+        assert warm.solve() == pytest.approx(cold.solve(), abs=1e-8)
+        assert warm.source_side() == cold.source_side()
+
+    @SMALL
+    @given(flow_instances())
+    def test_warm_lower_repair_matches_cold(self, instance):
+        num_nodes, arcs, factors = instance
+        warm = build(num_nodes, 0, num_nodes - 1, arcs, "jit")
+        warm.solve()
+        shrunk = [
+            (u, v, c * f) for (u, v, c), f in zip(arcs, factors)
+        ]
+        for i, (_, _, c) in enumerate(shrunk):
+            if c != arcs[i][2]:
+                warm.lower_capacity(2 * i, c)
+        cold = build(num_nodes, 0, num_nodes - 1, shrunk, "loop")
+        assert warm.solve() == pytest.approx(cold.solve(), abs=1e-8)
+        assert warm.source_side() == cold.source_side()
 
 
 class TestValidation:

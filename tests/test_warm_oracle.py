@@ -35,7 +35,9 @@ from hypothesis import HealthCheck, given, settings
 from repro.core.densest import ScheduleMirror
 from repro.core.hubgraph import build_hub_graph
 from repro.core.schedule import RequestSchedule
+from repro.flow import jit_kernel
 from repro.flow.exact_oracle import ExactOracle
+from repro.flow.jit_kernel import jit_available
 from repro.flow.maxflow import FlowNetwork
 from repro.flow.parametric import ParametricDensest
 from repro.graph.digraph import SocialGraph
@@ -347,27 +349,37 @@ def assert_same_result(a, b):
 class TestDenormalWeightOverflow:
     """A near-denormal vertex weight makes the single-vertex density —
     and with it the Dinkelbach λ and the λ·g sink capacities — overflow
-    to inf.  The loop kernel's min(excess, residual) push is naturally
-    immune, but the wave kernel's proportional split used to compute
-    inf·0 → NaN deltas and corrupt the preflow, so cold wave solves
-    disagreed with loop and warm solves (found by the hypothesis
+    to inf.  The loop and jit kernels' min(excess, residual) pushes are
+    naturally immune, but the wave kernel's proportional split used to
+    compute inf·0 → NaN deltas and corrupt the preflow, so cold wave
+    solves disagreed with loop and warm solves (found by the hypothesis
     differential suite; pinned here deterministically)."""
 
     DENORMAL = 2.225073858507e-311
 
-    def test_wave_equals_loop_equals_warm_under_inf_lambda(self):
+    def test_all_kernels_agree_under_inf_lambda(self, monkeypatch):
+        if not jit_available():
+            # the jit kernels are plain functions without numba; run
+            # the identical algorithm un-jitted (see tests/test_flow.py)
+            monkeypatch.setattr(jit_kernel, "_NUMBA_OK", True)
         endpoints = [(1,), (0, 1)]
         weight = [1.0, self.DENORMAL, 1.0, 1.0]
         alive = [True, True]
         warm = ParametricDensest(endpoints, 4, method="wave", warm=True)
         warm.solve([1.0] * 4, alive)  # park a preflow at the old weights
+        warm_jit = ParametricDensest(endpoints, 4, method="jit", warm=True)
+        warm_jit.solve([1.0] * 4, alive)
         selections = {
             "warm-wave": warm.solve(list(weight), alive),
+            "warm-jit": warm_jit.solve(list(weight), alive),
             "cold-wave": ParametricDensest(
                 endpoints, 4, method="wave"
             ).solve(list(weight), alive),
             "cold-loop": ParametricDensest(
                 endpoints, 4, method="loop"
+            ).solve(list(weight), alive),
+            "cold-jit": ParametricDensest(
+                endpoints, 4, method="jit"
             ).solve(list(weight), alive),
         }
         for name, sel in selections.items():
