@@ -13,6 +13,11 @@ read the emitted rows::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --json BENCH_chitchat.json
     python benchmarks/run_benchmarks.py --scale 0.1 --experiments E12
     python benchmarks/run_benchmarks.py --baseline BENCH_chitchat.json
+    python benchmarks/run_benchmarks.py --experiments E20 --trace TRACE_e20.json
+
+``--trace PATH`` records obs spans across every collector and writes a
+Chrome trace-event document; ``--profile`` prints the per-phase wall
+table instead of (or in addition to) saving it.
 
 ``--scale`` defaults to the ``REPRO_BENCH_SCALE`` environment variable
 (0.25 if unset), matching the pytest benchmark suite.
@@ -32,7 +37,6 @@ import json
 import os
 import platform
 import sys
-import time
 from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parent.parent
@@ -43,6 +47,12 @@ for entry in (str(_ROOT), str(_ROOT / "src")):
 import numpy as np  # noqa: E402  (after sys.path setup)
 
 from benchmarks.chitchat_perf import COLLECTORS  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Stopwatch,
+    get_tracer,
+    profile_table,
+    write_chrome_trace,
+)
 
 SCHEMA_VERSION = 1
 
@@ -125,6 +135,19 @@ def main(argv: list[str] | None = None) -> int:
         help="committed BENCH JSON to diff headline ratios against "
         "(warn-only: regressions print WARNING lines, exit code stays 0)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record spans across every collector and write a Chrome "
+        "trace-event JSON (load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall/self-time table after the run",
+    )
     args = parser.parse_args(argv)
 
     wanted = [name.strip().upper() for name in args.experiments.split(",") if name.strip()]
@@ -132,13 +155,26 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments {unknown}; options: {sorted(COLLECTORS)}")
 
+    tracer = get_tracer()
+    if args.trace is not None or args.profile:
+        tracer.clear()
+        tracer.start()
+
     experiments = {}
     for name in wanted:
-        started = time.perf_counter()
-        result = COLLECTORS[name](args.scale)
-        result["total_seconds"] = round(time.perf_counter() - started, 2)
+        with Stopwatch() as watch:
+            result = COLLECTORS[name](args.scale)
+        result["total_seconds"] = round(watch.seconds, 2)
         experiments[name] = result
         print(f"{name}: done in {result['total_seconds']}s")
+
+    if args.trace is not None or args.profile:
+        tracer.stop()
+        if args.trace is not None:
+            write_chrome_trace(args.trace, tracer)
+            print(f"wrote Chrome trace to {args.trace}")
+        if args.profile:
+            print(profile_table(tracer))
 
     document = {
         "schema": SCHEMA_VERSION,

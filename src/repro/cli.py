@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.analysis.reporting import format_table
 from repro.core.baselines import hybrid_schedule, pull_all_schedule, push_all_schedule
@@ -40,6 +39,7 @@ from repro.flow.exact_oracle import ORACLE_MODES
 from repro.flow.maxflow import FLOW_METHODS
 from repro.graph.io import read_edge_list
 from repro.graph.stats import summarize
+from repro.obs import Stopwatch, get_tracer, profile_table, write_chrome_trace
 from repro.workload.rates import log_degree_workload
 
 
@@ -124,6 +124,42 @@ def _load_workload(graph, args):
     return log_degree_workload(graph, read_write_ratio=args.read_write_ratio)
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a span trace of the run and write it as Chrome "
+        "trace-event JSON (load in Perfetto or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-clock profile table after the run",
+    )
+
+
+def _start_tracing(args) -> bool:
+    """Enable the global span tracer when ``--trace``/``--profile`` ask."""
+    if getattr(args, "trace", None) or getattr(args, "profile", False):
+        get_tracer().start()
+        return True
+    return False
+
+
+def _finish_tracing(args, active: bool) -> None:
+    """Stop tracing and emit the requested exports."""
+    if not active:
+        return
+    tracer = get_tracer()
+    tracer.stop()
+    if getattr(args, "trace", None):
+        path = write_chrome_trace(args.trace, tracer)
+        print(f"wrote Chrome trace to {path}")
+    if getattr(args, "profile", False):
+        print(profile_table(tracer))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the repro-schedule argument parser."""
     parser = argparse.ArgumentParser(
@@ -205,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         "warm solves and preflow repairs, plus a flow line with batched-"
         "solve counts and the kernel time split when the exact oracle ran",
     )
+    _add_obs_options(opt)
     _add_workload_options(opt)
 
     val = sub.add_parser("validate", help="check Theorem 1 coverage of a schedule")
@@ -263,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip CHITCHAT (slow on large graphs)",
     )
+    _add_obs_options(cmp_)
     _add_workload_options(cmp_)
 
     stats = sub.add_parser("stats", help="structural statistics of a graph")
@@ -274,9 +312,11 @@ def cmd_optimize(args) -> int:
     """Run an optimizer on an edge-list graph and save the schedule."""
     graph = read_edge_list(args.graph)
     workload = _load_workload(graph, args)
-    started = time.perf_counter()
-    schedule, stats = ALGORITHMS[args.algorithm](graph, workload, args)
-    elapsed = time.perf_counter() - started
+    tracing = _start_tracing(args)
+    with Stopwatch() as watch:
+        schedule, stats = ALGORITHMS[args.algorithm](graph, workload, args)
+    elapsed = watch.seconds
+    _finish_tracing(args, tracing)
     validate_schedule(graph, schedule)
     metadata = {
         "algorithm": args.algorithm,
@@ -343,14 +383,14 @@ def cmd_compare(args) -> int:
     rows = []
     chitchat_stats = None
     baseline = schedule_cost(hybrid_schedule(graph, workload), workload)
+    tracing = _start_tracing(args)
     for name, factory in ALGORITHMS.items():
         if args.skip_chitchat and name == "chitchat":
             continue
-        started = time.perf_counter()
-        schedule, stats = factory(graph, workload, args)
+        with Stopwatch() as watch:
+            schedule, stats = factory(graph, workload, args)
         if stats is not None:
             chitchat_stats = stats
-        elapsed = time.perf_counter() - started
         validate_schedule(graph, schedule)
         cost = schedule_cost(schedule, workload)
         rows.append(
@@ -359,9 +399,10 @@ def cmd_compare(args) -> int:
                 "cost": round(cost, 1),
                 "vs hybrid": round(baseline / cost, 3),
                 "piggybacked": len(schedule.hub_cover),
-                "seconds": round(elapsed, 2),
+                "seconds": round(watch.seconds, 2),
             }
         )
+    _finish_tracing(args, tracing)
     print(format_table(rows, title=f"{args.graph}: schedule comparison"))
     if args.stats and chitchat_stats is not None:
         print(_oracle_stats_line(args.oracle, chitchat_stats))

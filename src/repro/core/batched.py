@@ -38,7 +38,6 @@ champion sets (property-tested).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
 from repro.core.baselines import hybrid_schedule
 from repro.core.cost import hybrid_edge_cost, schedule_cost
@@ -68,11 +67,12 @@ from repro.graph.view import (
     edge_list,
     node_ranks,
 )
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.workload.rates import Workload
 
 
-@dataclass
-class BatchedStats:
+class BatchedStats(StatsView):
     """Run diagnostics: rounds, oracle calls, acceptance behavior.
 
     ``oracle_calls`` counts full densest-subgraph evaluations (peels and
@@ -97,25 +97,43 @@ class BatchedStats:
     / ``batched_blocks`` mirror the oracle's
     :class:`~repro.flow.batched_solve.FlowStats` profile of the batched
     block-diagonal flow tier (``batch_k=``).
+
+    Since ISSUE 8 this is a :class:`~repro.obs.metrics.StatsView`: the
+    round counters live at the view's node, the warm-session counters
+    under its ``oracle`` child, and the flow counters under
+    ``oracle/flow`` (shared with the session's ``FlowStats`` cells when
+    the run's registry is wired through).  Field names, defaults, and
+    arithmetic are unchanged.
     """
 
-    rounds: int = 0
-    oracle_calls: int = 0
-    exact_oracle_calls: int = 0
-    oracle_early_exits: int = 0
-    oracle_calls_saved: int = 0
-    champions_retained: int = 0
-    epsilon_deferred: int = 0
-    warm_solves: int = 0
-    preflow_repairs: int = 0
-    flow_passes: int = 0
-    kernel_invocations: int = 0
-    batched_solves: int = 0
-    batched_blocks: int = 0
-    champions_accepted: int = 0
-    champions_rejected: int = 0
-    singleton_fallbacks: int = 0
-    round_coverage: list[int] = field(default_factory=list)
+    _FIELDS = {
+        "rounds": (("rounds",), "counter"),
+        "oracle_calls": (("oracle_calls",), "counter"),
+        "exact_oracle_calls": (("exact_oracle_calls",), "counter"),
+        "oracle_early_exits": (("oracle_early_exits",), "counter"),
+        "oracle_calls_saved": (("oracle_calls_saved",), "counter"),
+        "champions_retained": (("champions_retained",), "counter"),
+        "epsilon_deferred": (("epsilon_deferred",), "counter"),
+        "warm_solves": (("oracle", "warm_solves"), "counter"),
+        "preflow_repairs": (("oracle", "preflow_repairs"), "counter"),
+        "flow_passes": (("oracle", "flow_passes"), "counter"),
+        "kernel_invocations": (
+            ("oracle", "flow", "kernel_invocations"),
+            "counter",
+        ),
+        "batched_solves": (
+            ("oracle", "flow", "arena", "batched_solves"),
+            "counter",
+        ),
+        "batched_blocks": (
+            ("oracle", "flow", "arena", "batched_blocks"),
+            "counter",
+        ),
+        "champions_accepted": (("champions_accepted",), "counter"),
+        "champions_rejected": (("champions_rejected",), "counter"),
+        "singleton_fallbacks": (("singleton_fallbacks",), "counter"),
+    }
+    _LIST_FIELDS = ("round_coverage",)
 
 
 class BatchedChitchat:
@@ -209,12 +227,21 @@ class BatchedChitchat:
         self.max_cross_edges = max_cross_edges
         self.acceptance_slack = acceptance_slack
         self.schedule = RequestSchedule()
-        self.stats = BatchedStats()
+        #: Per-run metrics registry; ``stats`` and the oracle session's
+        #: ``flow_stats`` are views over its ``scheduler`` subtree.
+        self.metrics = MetricsRegistry()
+        self.stats = BatchedStats(node=self.metrics.node("scheduler"))
         self._lazy = lazy
         self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
         self._exact = (
-            ExactOracle(warm=warm, method=method) if oracle != "peel" else None
+            ExactOracle(
+                warm=warm,
+                method=method,
+                metrics=self.metrics.node("scheduler", "oracle"),
+            )
+            if oracle != "peel"
+            else None
         )
         self._batch_k = BATCH_K if batch_k is None else int(batch_k)
         self._multi = (
@@ -534,6 +561,7 @@ class BatchedChitchat:
             self.stats.batched_solves = flow_stats.batched_solves
             self.stats.batched_blocks = flow_stats.batched_blocks
 
+    @trace.traced("scheduler.round")
     def run_round(self) -> int:
         """One bulk round; returns the number of edges covered."""
         champions = self._champions()
@@ -582,9 +610,11 @@ class BatchedChitchat:
         per-edge cost ``c*``, direct service is the greedy-optimal move
         for every leftover edge anyway.
         """
-        for _ in range(max_rounds):
-            if self.run_round() == 0:
-                break
+        with trace.span("scheduler.run") as span:
+            for _ in range(max_rounds):
+                if self.run_round() == 0:
+                    break
+            span.set(rounds=self.stats.rounds)
         rank = self._rank
         for edge in sorted(self._uncovered, key=lambda e: (rank[e[0]], rank[e[1]])):
             u, v = edge

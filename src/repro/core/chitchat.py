@@ -85,7 +85,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -118,6 +117,8 @@ from repro.graph.view import (
     edge_ranks,
     node_ranks,
 )
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.workload.rates import Workload
 
 #: Heap entry: (cost key, node rank tiebreak, hub, version, champion).
@@ -131,8 +132,7 @@ HubEntry = tuple[float, int, Node, int, "DensestResult | None"]
 _SINGLETON_WINS = object()
 
 
-@dataclass
-class ChitchatStats:
+class ChitchatStats(StatsView):
     """Diagnostics accumulated during a CHITCHAT run.
 
     ``oracle_calls`` counts full densest-subgraph evaluations — peels and
@@ -171,31 +171,62 @@ class ChitchatStats:
     ``flow_solve_seconds`` — the sequential tier's solve wall;
     ``jit_compile_seconds`` — the process-wide one-off Numba warm-up
     when the jit kernel ran (excluded from every other timer).
+
+    Since ISSUE 8 this is a :class:`~repro.obs.metrics.StatsView` over
+    the scheduler's metrics registry: scheduler-phase counters live at
+    the view's node, the warm-session counters under its ``oracle``
+    child, and the flow/arena counters under ``oracle/flow`` — the same
+    cells the session's :class:`~repro.flow.batched_solve.FlowStats`
+    binds, so ``registry.snapshot()`` and these fields always agree.
+    The field names, defaults, and arithmetic are unchanged.
     """
 
-    hub_selections: int = 0
-    singleton_selections: int = 0
-    oracle_calls: int = 0
-    exact_oracle_calls: int = 0
-    oracle_early_exits: int = 0
-    oracle_calls_saved: int = 0
-    hubs_pruned: int = 0
-    champions_retained: int = 0
-    epsilon_accepts: int = 0
-    warm_solves: int = 0
-    preflow_repairs: int = 0
-    flow_passes: int = 0
-    kernel_invocations: int = 0
-    batched_solves: int = 0
-    batched_blocks: int = 0
-    batch_freeze_seconds: float = 0.0
-    batch_discharge_seconds: float = 0.0
-    batch_relabel_seconds: float = 0.0
-    flow_solve_seconds: float = 0.0
-    jit_compile_seconds: float = 0.0
-    edges_covered_by_hubs: int = 0
-    final_cost: float = 0.0
-    selection_log: list[tuple[str, float, int]] = field(default_factory=list)
+    _FIELDS = {
+        "hub_selections": (("hub_selections",), "counter"),
+        "singleton_selections": (("singleton_selections",), "counter"),
+        "oracle_calls": (("oracle_calls",), "counter"),
+        "exact_oracle_calls": (("exact_oracle_calls",), "counter"),
+        "oracle_early_exits": (("oracle_early_exits",), "counter"),
+        "oracle_calls_saved": (("oracle_calls_saved",), "counter"),
+        "hubs_pruned": (("hubs_pruned",), "counter"),
+        "champions_retained": (("champions_retained",), "counter"),
+        "epsilon_accepts": (("epsilon_accepts",), "counter"),
+        "warm_solves": (("oracle", "warm_solves"), "counter"),
+        "preflow_repairs": (("oracle", "preflow_repairs"), "counter"),
+        "flow_passes": (("oracle", "flow_passes"), "counter"),
+        "kernel_invocations": (
+            ("oracle", "flow", "kernel_invocations"),
+            "counter",
+        ),
+        "batched_solves": (
+            ("oracle", "flow", "arena", "batched_solves"),
+            "counter",
+        ),
+        "batched_blocks": (
+            ("oracle", "flow", "arena", "batched_blocks"),
+            "counter",
+        ),
+        "batch_freeze_seconds": (
+            ("oracle", "flow", "arena", "freeze_seconds"),
+            "timer",
+        ),
+        "batch_discharge_seconds": (
+            ("oracle", "flow", "arena", "discharge_seconds"),
+            "timer",
+        ),
+        "batch_relabel_seconds": (
+            ("oracle", "flow", "arena", "relabel_seconds"),
+            "timer",
+        ),
+        "flow_solve_seconds": (("oracle", "flow", "solve_seconds"), "timer"),
+        "jit_compile_seconds": (
+            ("oracle", "flow", "jit_compile_seconds"),
+            "timer",
+        ),
+        "edges_covered_by_hubs": (("edges_covered_by_hubs",), "counter"),
+        "final_cost": (("final_cost",), "gauge"),
+    }
+    _LIST_FIELDS = ("selection_log",)
 
     @property
     def blocks_per_batch(self) -> float:
@@ -301,13 +332,23 @@ class ChitchatScheduler:
         self.graph = as_graph_view(graph, backend)
         self.workload = workload
         self.max_cross_edges = max_cross_edges
-        self.stats = ChitchatStats()
+        #: Per-run metrics registry; ``stats`` and the oracle session's
+        #: ``flow_stats`` are views over its ``scheduler`` subtree, so
+        #: ``self.metrics.snapshot()`` exports everything at once.
+        self.metrics = MetricsRegistry()
+        self.stats = ChitchatStats(node=self.metrics.node("scheduler"))
         self._record_log = record_log
         self._lazy = lazy
         self._epsilon = float(epsilon)
         self._oracle_mode = validate_oracle_mode(oracle)
         self._exact = (
-            ExactOracle(warm=warm, method=method) if oracle != "peel" else None
+            ExactOracle(
+                warm=warm,
+                method=method,
+                metrics=self.metrics.node("scheduler", "oracle"),
+            )
+            if oracle != "peel"
+            else None
         )
         self._batch_k = BATCH_K if batch_k is None else int(batch_k)
         self._multi = (
@@ -390,25 +431,34 @@ class ChitchatScheduler:
     # ------------------------------------------------------------------
     def run(self) -> RequestSchedule:
         """Execute the greedy loop until every edge is covered."""
-        if not self._bootstrapped:
-            self._bootstrapped = True
-            if self._lazy:
-                self._seed_lazy_heap()
-            else:
-                for node in self.graph.nodes():
-                    if node in self._eligible:
-                        self._refresh_hub(node)
-        while self._uncovered:
-            singleton = self._best_singleton()
-            limit = singleton[0] if singleton is not None else math.inf
-            hub_entry = self._pop_best_hub_entry(limit)
-            if hub_entry is not None:
-                self._apply_hub(hub_entry[4])
-            elif singleton is not None:
-                heapq.heappop(self._singleton_heap)
-                self._apply_singleton(singleton[2])
-            else:  # pragma: no cover - defensive; singletons always exist
-                raise RuntimeError("no candidate available but edges remain uncovered")
+        with trace.span("scheduler.run") as run_span:
+            if not self._bootstrapped:
+                self._bootstrapped = True
+                with trace.span("scheduler.bootstrap"):
+                    if self._lazy:
+                        self._seed_lazy_heap()
+                    else:
+                        for node in self.graph.nodes():
+                            if node in self._eligible:
+                                self._refresh_hub(node)
+            while self._uncovered:
+                singleton = self._best_singleton()
+                limit = singleton[0] if singleton is not None else math.inf
+                hub_entry = self._pop_best_hub_entry(limit)
+                if hub_entry is not None:
+                    self._apply_hub(hub_entry[4])
+                elif singleton is not None:
+                    heapq.heappop(self._singleton_heap)
+                    self._apply_singleton(singleton[2])
+                else:  # pragma: no cover - defensive; singletons always exist
+                    raise RuntimeError(
+                        "no candidate available but edges remain uncovered"
+                    )
+            run_span.set(
+                hub_selections=self.stats.hub_selections,
+                singleton_selections=self.stats.singleton_selections,
+                oracle_calls=self.stats.oracle_calls,
+            )
         if self._lazy:
             self.stats.oracle_calls_saved = (
                 self._eager_equivalent - self.stats.oracle_calls
@@ -575,6 +625,7 @@ class ChitchatScheduler:
             self._opt_lb[hub] = _key
         heapq.heapify(self._hub_heap)
 
+    @trace.traced("scheduler.refresh")
     def _refresh_hub(self, hub: Node, upper_bound: float | None = None) -> None:
         """Recompute hub ``w``'s champion sub-hub-graph and (re)queue it.
 
@@ -675,6 +726,7 @@ class ChitchatScheduler:
             gathered.append((key, hub))
         return gathered
 
+    @trace.traced("scheduler.batched_refresh")
     def _refresh_hubs_batched(
         self, gathered: list[tuple[float, Node]], limit: float
     ) -> None:
@@ -744,6 +796,7 @@ class ChitchatScheduler:
         for (hub, _hub_graph, version, _bar), result in zip(jobs, results):
             self._install_result(hub, version, result, exact=True)
 
+    @trace.traced("scheduler.heap_pop")
     def _pop_best_hub_entry(self, limit: float = math.inf) -> HubEntry | None:
         """Pop and return the winning clean hub entry, or ``None``.
 
@@ -840,9 +893,11 @@ class ChitchatScheduler:
             heapq.heappush(heap, entry)
         if found is not None:
             self.stats.epsilon_accepts += 1
+            trace.instant("scheduler.epsilon_accept", kind="hub")
             return found
         if limit <= threshold:
             self.stats.epsilon_accepts += 1
+            trace.instant("scheduler.epsilon_accept", kind="singleton")
             return _SINGLETON_WINS
         return None
 

@@ -20,9 +20,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-import time
 
 from repro.analysis.reporting import format_table
+from repro.obs import Stopwatch
 from repro.experiments import (
     fig4_iterations,
     fig5_incremental,
@@ -46,10 +46,9 @@ _FIGURES = {
 def _run_figure(name: str, scale: float) -> str:
     module, config_cls = _FIGURES[name]
     config = config_cls(scale=scale)
-    started = time.perf_counter()
-    result = module.run(config)
-    elapsed = time.perf_counter() - started
-    return f"{result.to_text()}\n[{name} completed in {elapsed:.1f}s]"
+    with Stopwatch() as watch:
+        result = module.run(config)
+    return f"{result.to_text()}\n[{name} completed in {watch.seconds:.1f}s]"
 
 
 def _config_help(name: str) -> str:

@@ -48,7 +48,6 @@ it batches is in :class:`~repro.core.chitchat.ChitchatScheduler`
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from time import perf_counter
 
 import numpy as np
@@ -62,10 +61,11 @@ from repro.flow.maxflow import (
     FlowNetwork,
     compile_grouped,
 )
+from repro.obs import trace
+from repro.obs.metrics import StatsView
 
 
-@dataclass
-class FlowStats:
+class FlowStats(StatsView):
     """Profile of the flow tier under one oracle session.
 
     ``kernel_invocations`` counts solver entries — one per sequential
@@ -86,16 +86,25 @@ class FlowStats:
     Numba warm-up cost (:func:`repro.flow.jit_kernel.compile_seconds`)
     — excluded from every other timer, so benchmark headlines are never
     polluted by first-call compilation.
+
+    Since ISSUE 8 this is a :class:`~repro.obs.metrics.StatsView`: each
+    field is a live view over a cell of a metrics-registry node (the
+    oracle's ``flow`` subtree when the scheduler wires one through, a
+    private tree otherwise), so ``registry.snapshot()`` and these
+    attributes always agree.  The field set, defaults, and arithmetic
+    (``stats.kernel_invocations += 1``) are unchanged.
     """
 
-    kernel_invocations: int = 0
-    batched_solves: int = 0
-    batched_blocks: int = 0
-    freeze_seconds: float = 0.0
-    discharge_seconds: float = 0.0
-    relabel_seconds: float = 0.0
-    solve_seconds: float = 0.0
-    jit_compile_seconds: float = 0.0
+    _FIELDS = {
+        "kernel_invocations": (("kernel_invocations",), "counter"),
+        "batched_solves": (("arena", "batched_solves"), "counter"),
+        "batched_blocks": (("arena", "batched_blocks"), "counter"),
+        "freeze_seconds": (("arena", "freeze_seconds"), "timer"),
+        "discharge_seconds": (("arena", "discharge_seconds"), "timer"),
+        "relabel_seconds": (("arena", "relabel_seconds"), "timer"),
+        "solve_seconds": (("solve_seconds",), "timer"),
+        "jit_compile_seconds": (("jit_compile_seconds",), "timer"),
+    }
 
     @property
     def blocks_per_batch(self) -> float:
@@ -318,8 +327,12 @@ class BatchedNetwork:
         #: :meth:`solve` entries (the arena's share of
         #: :attr:`FlowStats.kernel_invocations`).
         self.solves = 0
+        elapsed = perf_counter() - t0
+        trace.complete(
+            "flow.arena.freeze", t0, elapsed, blocks=self.num_blocks
+        )
         if stats is not None:
-            stats.freeze_seconds += perf_counter() - t0
+            stats.freeze_seconds += elapsed
             if count_dispatch:
                 # compaction arenas (count_dispatch=False) continue the
                 # same logical dispatch: their time accrues, but they are
@@ -396,8 +409,10 @@ class BatchedNetwork:
             label[g_tail[into]] = level + 1
             level += 1
         self.label = label
+        elapsed = perf_counter() - t0
+        trace.complete("flow.arena.relabel", t0, elapsed)
         if self.stats is not None:
-            self.stats.relabel_seconds += perf_counter() - t0
+            self.stats.relabel_seconds += elapsed
         return label
 
     def _block_done_mask(self) -> np.ndarray:
@@ -424,8 +439,13 @@ class BatchedNetwork:
         :meth:`block_value`.  Under ``method="jit"`` the whole dispatch
         is one compiled :meth:`_solve_jit` call instead.
         """
-        if self.method == "jit":
-            return self._solve_jit()
+        with trace.span("flow.arena.solve") as span:
+            span.set(method=self.method, blocks=self.num_blocks)
+            if self.method == "jit":
+                return self._solve_jit()
+            return self._solve_wave()
+
+    def _solve_wave(self) -> None:
         t0 = perf_counter()
         self.solves += 1
         if self.stats is not None:
@@ -659,8 +679,10 @@ class BatchedNetwork:
             if not into.any():
                 break
             reaches[g_tail[into]] = True
+        elapsed = perf_counter() - t0
+        trace.complete("flow.arena.cut", t0, elapsed)
         if self.stats is not None:
-            self.stats.relabel_seconds += perf_counter() - t0
+            self.stats.relabel_seconds += elapsed
         return ~reaches
 
 

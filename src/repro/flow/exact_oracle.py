@@ -57,6 +57,8 @@ from repro.flow.parametric import (
     _Prepared,
 )
 from repro.graph.digraph import Edge, Node
+from repro.obs import trace
+from repro.obs.metrics import MetricNode
 from repro.workload.rates import Workload
 
 #: Valid ``oracle=`` arguments of the scheduling entry points.
@@ -162,6 +164,7 @@ class ExactOracle:
         warm: bool = True,
         max_cached: int | None = ORACLE_SESSION_HUBS,
         method: str = "auto",
+        metrics: MetricNode | None = None,
     ) -> None:
         if max_cached is not None and max_cached < 1:
             raise ReproError(
@@ -186,8 +189,13 @@ class ExactOracle:
         self.evictions = 0
         #: Kernel profile of this session: solver entries (sequential
         #: and arena), batched dispatch counts, and the batched tier's
-        #: freeze/discharge/relabel time split.
-        self.flow_stats = FlowStats()
+        #: freeze/discharge/relabel time split.  When a scheduler passes
+        #: its registry's ``oracle`` node via ``metrics``, these cells
+        #: live in the run's tree (under ``oracle/flow``) and the
+        #: scheduler-level stats views share them.
+        self.flow_stats = FlowStats(
+            node=metrics.node("flow") if metrics is not None else None
+        )
         # hub -> (peel index the network was compiled from, compiled
         # problem); the peel reference backs an O(1) identity check that
         # the hub-graph is still the one the session knows
@@ -286,7 +294,13 @@ class ExactOracle:
         passes_before, repairs_before = net.passes, net.repairs
         warm_before, solves_before = problem.warm_solves, net.solves
         seconds_before = net.solve_seconds
-        selection = problem.solve(priced.weight, priced.alive_element)
+        with trace.span("oracle.solve") as span:
+            selection = problem.solve(priced.weight, priced.alive_element)
+            span.set(
+                hub=hub_graph.hub,
+                warm=problem.warm_solves > warm_before,
+                passes=net.passes - passes_before,
+            )
         self.flow_passes += net.passes - passes_before
         self.preflow_repairs += net.repairs - repairs_before
         self.warm_solves += problem.warm_solves - warm_before
@@ -435,6 +449,28 @@ class MultiHubSession:
         upper_bounds: Sequence[float | None] | None = None,
     ) -> list[DensestResult | OracleCutoff | None]:
         """Solve every hub-graph exactly; one result slot per input."""
+        with trace.span("oracle.batch") as span:
+            span.set(hubs=len(hub_graphs))
+            return self._call_impl(
+                hub_graphs,
+                workload,
+                schedule,
+                uncovered,
+                uncovered_mask,
+                arrays,
+                upper_bounds,
+            )
+
+    def _call_impl(
+        self,
+        hub_graphs: Sequence[HubGraph],
+        workload: Workload,
+        schedule: RequestSchedule,
+        uncovered: set[Edge],
+        uncovered_mask: np.ndarray | None,
+        arrays: OracleArrays | None,
+        upper_bounds: Sequence[float | None] | None,
+    ) -> list[DensestResult | OracleCutoff | None]:
         oracle = self.oracle
         results: list[DensestResult | OracleCutoff | None] = [None] * len(
             hub_graphs

@@ -42,6 +42,9 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.obs import trace
+from repro.obs.metrics import global_registry
+
 _logger = logging.getLogger(__name__)
 
 #: Oldest numba release the kernels are known to compile under (numpy
@@ -88,7 +91,18 @@ def missing_reason() -> str:
 
 
 def note_auto_fallback() -> None:
-    """Log the one-per-process debug notice for the auto->wave degradation."""
+    """Record an auto->wave degradation: countable, not just greppable.
+
+    Every call bumps the process-global registry counter
+    ``flow.jit.auto_fallbacks`` and (when tracing is on) emits a
+    structured ``flow.jit.auto_fallback`` instant event carrying the
+    reason, so silent degradation shows up in ``snapshot()`` exports
+    and Chrome traces.  The human-readable debug log stays
+    once-per-process (asserted by the degradation tests).
+    """
+    reason = missing_reason() or "jit tier disabled"
+    global_registry().node("flow", "jit").counter("auto_fallbacks").inc()
+    trace.instant("flow.jit.auto_fallback", reason=reason)
     global _fallback_noted
     if _fallback_noted:
         return
@@ -96,7 +110,7 @@ def note_auto_fallback() -> None:
     _logger.debug(
         "flow method 'auto': %s; falling back to the wave kernel "
         "(pip install .[jit] enables the compiled tier)",
-        missing_reason() or "jit tier disabled",
+        reason,
     )
 
 
@@ -392,4 +406,7 @@ def ensure_compiled() -> None:
         4,
     )
     _compiled = True
-    _compile_seconds += perf_counter() - t0
+    elapsed = perf_counter() - t0
+    _compile_seconds += elapsed
+    trace.complete("flow.jit.compile", t0, elapsed, compiled=_NUMBA_OK)
+    global_registry().node("flow", "jit").timer("compile_seconds").add(elapsed)

@@ -76,6 +76,8 @@ import numpy as np
 from repro.core.tolerances import FLOW_EPS
 from repro.errors import ReproError
 from repro.flow import jit_kernel
+from repro.obs import trace
+from repro.obs.metrics import Stopwatch
 
 #: Valid ``method=`` arguments of :class:`FlowNetwork`.
 FLOW_METHODS = ("auto", "wave", "loop", "jit")
@@ -709,17 +711,20 @@ class FlowNetwork:
         self._in_solve = True
         self.solves += 1
         passes_at_entry = self.passes
-        t0 = perf_counter()
-        try:
-            if self.method == "wave":
-                value = self._solve_wave()
-            elif self.method == "jit":
-                value = self._solve_jit()
-            else:
-                value = self._solve_loop()
-        finally:
-            self._in_solve = False
-        self.solve_seconds += perf_counter() - t0
+        with trace.span("flow.solve") as span:
+            watch = Stopwatch().start()
+            try:
+                if self.method == "wave":
+                    value = self._solve_wave()
+                elif self.method == "jit":
+                    value = self._solve_jit()
+                else:
+                    value = self._solve_loop()
+            finally:
+                self._in_solve = False
+            # accrues only on success: an exception skips the stop below
+            self.solve_seconds += watch.stop()
+            span.set(method=self.method, passes=self.passes - passes_at_entry)
         self._passes_last = self.passes - passes_at_entry
         self._repairs_mark = self.repairs
         self._has_solved = True

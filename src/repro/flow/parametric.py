@@ -69,6 +69,7 @@ import numpy as np
 
 from repro.core.tolerances import DINKELBACH_RTOL, OPT_BOUND_MARGIN
 from repro.flow.maxflow import FlowNetwork
+from repro.obs import trace
 
 #: Hard cap on Dinkelbach iterations; the search is provably finite and
 #: empirically needs single digits, so hitting this means float trouble —
@@ -357,23 +358,28 @@ class ParametricDensest:
     def _iterate(self, p: _Prepared) -> DenseSelection:
         """Run the Dinkelbach density search on this problem's own network."""
         net = self.net
-        while p.iterations < MAX_DINKELBACH_ITERATIONS:
-            p.iterations += 1
-            value = net.solve()
-            side = net.source_side()
-            kind, selected, covered = self._dinkelbach_step(p, value, side)
-            if kind == "done":
-                return self._finish(selected, covered, p.weight, p.iterations)
-            if kind == "repair":
-                return self._repair_cut_finish(p)
-            # kind == "raise": p.lam advanced, grow the sink capacities
-            # in place and resume the preflow warm
-            for v in p.incident_verts:
-                net.raise_capacity(
-                    self._sink_arcs[v], p.lam * max(p.weight[v], 0.0)
-                )
-        sel, cov, _w = p.best  # pragma: no cover - defensive fallback
-        return self._finish(list(sel), list(cov), p.weight, p.iterations)
+        with trace.span("oracle.dinkelbach") as span:
+            while p.iterations < MAX_DINKELBACH_ITERATIONS:
+                p.iterations += 1
+                value = net.solve()
+                side = net.source_side()
+                kind, selected, covered = self._dinkelbach_step(p, value, side)
+                if kind == "done":
+                    span.set(iterations=p.iterations)
+                    return self._finish(
+                        selected, covered, p.weight, p.iterations
+                    )
+                if kind == "repair":
+                    span.set(iterations=p.iterations, repair=True)
+                    return self._repair_cut_finish(p)
+                # kind == "raise": p.lam advanced, grow the sink capacities
+                # in place and resume the preflow warm
+                for v in p.incident_verts:
+                    net.raise_capacity(
+                        self._sink_arcs[v], p.lam * max(p.weight[v], 0.0)
+                    )
+            sel, cov, _w = p.best  # pragma: no cover - defensive fallback
+            return self._finish(list(sel), list(cov), p.weight, p.iterations)
 
     def _dinkelbach_step(
         self, p: _Prepared, value: float, side: Sequence[bool]

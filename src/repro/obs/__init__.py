@@ -1,0 +1,61 @@
+"""Observability for the scheduler–oracle–flow stack (ISSUE 8).
+
+Three parts:
+
+* :mod:`repro.obs.trace` — nested, thread-safe span tracing that
+  compiles to a no-op (one attribute check, no allocation) when
+  disabled, so instrumented hot loops stay hot.
+* :mod:`repro.obs.metrics` — a hierarchical counter/timer/gauge
+  registry (scheduler → oracle → flow → arena) with ``snapshot()``
+  export; the historical flat stats dataclasses survive as
+  :class:`~repro.obs.metrics.StatsView` subclasses bound to its cells.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``), a plain-text per-phase profile table, and a
+  combined JSON summary, plus a structural validator.
+
+See ``docs/OBSERVABILITY.md`` for the span model, the registry tree,
+and measured overhead numbers (gated by the E20 bench).
+"""
+
+from .export import (
+    chrome_trace,
+    json_summary,
+    profile_rows,
+    profile_table,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricNode,
+    MetricsRegistry,
+    StatsView,
+    Stopwatch,
+    Timer,
+    global_registry,
+)
+from .trace import Tracer, complete, get_tracer, instant, span, traced
+
+__all__ = [
+    "Tracer",
+    "get_tracer",
+    "span",
+    "instant",
+    "complete",
+    "traced",
+    "Counter",
+    "Timer",
+    "Gauge",
+    "Stopwatch",
+    "MetricNode",
+    "MetricsRegistry",
+    "StatsView",
+    "global_registry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "profile_rows",
+    "profile_table",
+    "json_summary",
+    "validate_chrome_trace",
+]

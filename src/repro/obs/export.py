@@ -1,0 +1,192 @@
+"""Exporters for the span tracer and metrics registry.
+
+Three output formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON format (``{"traceEvents": [...]}``), loadable in
+  Perfetto or ``chrome://tracing``.  Spans become ``"X"`` complete
+  events with microsecond timestamps normalized to the earliest event,
+  instants become ``"i"`` events, and each event's category is the
+  name's first dotted component (``scheduler`` / ``oracle`` / ``flow``
+  / ``serve``), so the UI groups phases by subsystem.
+* :func:`profile_rows` / :func:`profile_table` — a per-phase aggregate
+  (count, total wall, self wall = total minus child-span wall) as rows
+  or an aligned plain-text table, for ``--profile``.
+* :func:`json_summary` — one dict combining a registry
+  ``snapshot()`` with the profile rows, for machine-readable summaries.
+
+:func:`validate_chrome_trace` structurally checks an emitted document
+(the E20 bench and the CLI tests gate on it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import MetricsRegistry, global_registry
+from .trace import Tracer, get_tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "profile_rows",
+    "profile_table",
+    "json_summary",
+    "validate_chrome_trace",
+]
+
+
+def _category(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def chrome_trace(tracer: Tracer | None = None) -> dict:
+    """The tracer's events as a Chrome trace-event document (a dict)."""
+    tracer = tracer if tracer is not None else get_tracer()
+    events = tracer.events()
+    origin = min((event[2] for event in events), default=0.0)
+    tids: dict[int, int] = {}
+    trace_events = []
+    for phase, name, ts, dur, tid, parent, attrs in events:
+        entry = {
+            "name": name,
+            "cat": _category(name),
+            "ph": phase,
+            "ts": round((ts - origin) * 1e6, 1),
+            "pid": 0,
+            "tid": tids.setdefault(tid, len(tids)),
+        }
+        if phase == "X":
+            entry["dur"] = round(dur * 1e6, 1)
+        else:
+            entry["s"] = "t"  # instant scoped to its thread
+        args = {}
+        if parent is not None:
+            args["parent"] = parent
+        if attrs:
+            args.update(attrs)
+        if args:
+            entry["args"] = args
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, tracer: Tracer | None = None) -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    document = chrome_trace(tracer)
+    path.write_text(json.dumps(document, indent=1, default=str) + "\n")
+    return path
+
+
+def profile_rows(tracer: Tracer | None = None) -> list[dict]:
+    """Per-phase aggregate rows, sorted by total wall descending.
+
+    ``self_s`` is the phase's wall minus the wall of its direct child
+    spans — the time actually spent *in* the phase rather than in
+    instrumented sub-phases.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    child_wall: dict[str, float] = {}
+    for phase, name, _ts, dur, _tid, parent, _attrs in tracer.events():
+        if phase != "X":
+            continue
+        totals[name] = totals.get(name, 0.0) + dur
+        counts[name] = counts.get(name, 0) + 1
+        if parent is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + dur
+    rows = [
+        {
+            "phase": name,
+            "count": counts[name],
+            "total_s": round(total, 6),
+            "self_s": round(max(total - child_wall.get(name, 0.0), 0.0), 6),
+        }
+        for name, total in totals.items()
+    ]
+    rows.sort(key=lambda row: row["total_s"], reverse=True)
+    return rows
+
+
+def profile_table(tracer: Tracer | None = None) -> str:
+    """:func:`profile_rows` rendered as an aligned plain-text table."""
+    rows = profile_rows(tracer)
+    if not rows:
+        return "(no spans recorded)"
+    headers = ("phase", "count", "total_s", "self_s")
+    cells = [headers] + [
+        (
+            row["phase"],
+            str(row["count"]),
+            f"{row['total_s']:.4f}",
+            f"{row['self_s']:.4f}",
+        )
+        for row in rows
+    ]
+    widths = [max(len(line[i]) for line in cells) for i in range(len(headers))]
+    lines = []
+    for index, line in enumerate(cells):
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(line)
+            )
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def json_summary(
+    registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> dict:
+    """Registry snapshot plus profile rows as one JSON-ready dict."""
+    registry = registry if registry is not None else global_registry()
+    return {
+        "metrics": registry.snapshot(),
+        "profile": profile_rows(tracer),
+    }
+
+
+def validate_chrome_trace(
+    document: object, require_categories: tuple[str, ...] = ()
+) -> list[str]:
+    """Structural problems with a Chrome trace document (empty = valid).
+
+    Checks the container shape, per-event required keys, non-negative
+    timestamps/durations, and — when ``require_categories`` is given —
+    that at least one complete span exists in each named category (the
+    E20 gate requires ``scheduler``, ``oracle`` and ``flow`` coverage).
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, not a dict"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    seen_categories: set[str] = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not a dict")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {index} missing {key!r}")
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            problems.append(f"event {index} has unexpected ph {phase!r}")
+        if isinstance(event.get("ts"), (int, float)) and event["ts"] < 0:
+            problems.append(f"event {index} has negative ts")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"event {index} has missing/negative dur")
+            if isinstance(event.get("cat"), str):
+                seen_categories.add(event["cat"])
+    for category in require_categories:
+        if category not in seen_categories:
+            problems.append(f"no complete span in category {category!r}")
+    return problems

@@ -1,0 +1,258 @@
+"""Nested, thread-safe span tracing with a zero-cost disabled path.
+
+The tracer answers "where did the wall clock go?" for a scheduler run:
+every instrumented phase (``scheduler.bootstrap``, ``oracle.solve``,
+``flow.arena.solve``, ...) opens a :class:`_Span` via
+:meth:`Tracer.span`, spans nest per thread, and the recorded events
+export to Chrome trace-event JSON (:mod:`repro.obs.export`) or a
+per-phase profile table.
+
+Hot loops stay hot when tracing is off: :meth:`Tracer.span` performs a
+single attribute check and returns the shared :data:`_NULL_SPAN`
+singleton — no allocation, no timestamps, no lock.  The E20 bench
+(``benchmarks/test_bench_e20_obs.py``) gates this: disabled overhead
+must stay within 2% of an uninstrumented run on the E13 instance.
+
+Timestamps are absolute ``perf_counter()`` readings, normalized only at
+export time, so :meth:`Tracer.start`/:meth:`Tracer.stop` merely toggle
+collection and never clear the buffer — a bench can flip tracing on and
+off inside an outer ``--trace`` session without losing the outer spans.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.span("oracle.solve") as sp:
+        value = solve()
+        sp.set(passes=net.passes)
+
+    @trace.traced("scheduler.refresh")
+    def _refresh_hub(...): ...
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from time import perf_counter
+
+__all__ = [
+    "Tracer",
+    "get_tracer",
+    "span",
+    "instant",
+    "complete",
+    "traced",
+]
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled.
+
+    Every method is a no-op and ``span()`` hands out one module-level
+    instance, so the disabled hot path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> None:
+        """Discard attributes (tracing disabled)."""
+
+    def add(self, key: str, amount: float = 1) -> None:
+        """Discard a counter bump (tracing disabled)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ThreadState:
+    """Per-thread span stack and event buffer (no cross-thread locking)."""
+
+    __slots__ = ("tid", "stack", "events")
+
+    def __init__(self) -> None:
+        self.tid = threading.get_ident()
+        self.stack: list[_Span] = []
+        self.events: list[tuple] = []
+
+
+class _Span:
+    """A live span: records ``(start, duration, parent, attrs)`` on exit.
+
+    Event tuples are ``(phase, name, ts, dur, tid, parent, attrs)`` with
+    ``phase`` ``"X"`` (complete span) or ``"i"`` (instant), ``ts``/``dur``
+    in absolute ``perf_counter()`` seconds, and ``parent`` the enclosing
+    span's name (or ``None`` at the root of the thread's stack).
+    """
+
+    __slots__ = ("name", "_state", "_start", "_parent", "_attrs")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self.name = name
+        self._state = tracer._thread_state()
+        self._attrs: dict | None = None
+
+    def set(self, **attrs: object) -> None:
+        """Attach key/value attributes, exported into the event's args."""
+        if self._attrs is None:
+            self._attrs = {}
+        self._attrs.update(attrs)
+
+    def add(self, key: str, amount: float = 1) -> None:
+        """Bump a numeric counter attribute attached to this span."""
+        if self._attrs is None:
+            self._attrs = {}
+        self._attrs[key] = self._attrs.get(key, 0) + amount
+
+    def __enter__(self) -> "_Span":
+        stack = self._state.stack
+        self._parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = perf_counter()
+        state = self._state
+        if state.stack and state.stack[-1] is self:
+            state.stack.pop()
+        state.events.append(
+            (
+                "X",
+                self.name,
+                self._start,
+                end - self._start,
+                state.tid,
+                self._parent,
+                self._attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects span events across threads behind one ``enabled`` flag.
+
+    Each thread owns a private event buffer registered under a lock on
+    first use; recording itself is lock-free.  :meth:`events` merges and
+    time-sorts all buffers.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._states: list[_ThreadState] = []
+        self._local = threading.local()
+
+    # -- recording ---------------------------------------------------
+
+    def _thread_state(self) -> _ThreadState:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = _ThreadState()
+            self._local.state = state
+            with self._lock:
+                self._states.append(state)
+        return state
+
+    def span(self, name: str):
+        """Open a span; returns the no-op singleton while disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def instant(self, name: str, **attrs: object) -> None:
+        """Record a zero-duration marker event (Chrome ``ph: "i"``)."""
+        if not self.enabled:
+            return
+        state = self._thread_state()
+        parent = state.stack[-1].name if state.stack else None
+        state.events.append(
+            ("i", name, perf_counter(), 0.0, state.tid, parent, attrs or None)
+        )
+
+    def complete(
+        self, name: str, start: float, duration: float, **attrs: object
+    ) -> None:
+        """Record an already-measured region as a complete span.
+
+        For sites that time themselves with a raw ``perf_counter()``
+        pair or a :class:`~repro.obs.metrics.Stopwatch` and only know
+        the duration after the fact; ``start`` is the absolute
+        ``perf_counter()`` reading at region entry.  The parent is the
+        span enclosing the *record point*, which for a region recorded
+        where it ran is the correct enclosing phase.
+        """
+        if not self.enabled:
+            return
+        state = self._thread_state()
+        parent = state.stack[-1].name if state.stack else None
+        state.events.append(
+            ("X", name, start, duration, state.tid, parent, attrs or None)
+        )
+
+    def traced(self, name: str | None = None):
+        """Decorator wrapping a function in a span (zero-cost disabled)."""
+
+        def decorate(fn):
+            label = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.span(label):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        if callable(name):  # bare @traced usage
+            fn, name = name, None
+            return decorate(fn)
+        return decorate
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> None:
+        """Enable collection.  Existing events are kept (timestamps are
+        absolute, so interleaved sessions compose at export time)."""
+        self.enabled = True
+
+    def stop(self) -> None:
+        """Disable collection without discarding recorded events."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all recorded events (buffers stay registered)."""
+        with self._lock:
+            for state in self._states:
+                del state.events[:]
+
+    def events(self) -> list[tuple]:
+        """All recorded events across threads, sorted by start time."""
+        with self._lock:
+            merged = [event for state in self._states for event in state.events]
+        merged.sort(key=lambda event: event[2])
+        return merged
+
+
+#: Process-global tracer used by all instrumentation sites.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global :class:`Tracer` behind ``trace.span`` et al."""
+    return _TRACER
+
+
+# Bound-method conveniences so call sites read ``trace.span("...")``.
+span = _TRACER.span
+instant = _TRACER.instant
+complete = _TRACER.complete
+traced = _TRACER.traced

@@ -12,6 +12,13 @@ translates each user request into batched data-store messages:
 
 The own view is always touched, matching the paper's convention that its
 cost is implicit — with one server, every request is exactly one message.
+
+Observability (ISSUE 8): :class:`ClientCounters` is a
+:class:`~repro.obs.metrics.StatsView`, so a server constructed with a
+``metrics`` node publishes its request/message counts into that registry
+subtree (plus a ``request_seconds`` latency timer), and each handled
+request opens a ``serve.update`` / ``serve.query`` span when tracing is
+enabled.
 """
 
 from __future__ import annotations
@@ -20,19 +27,28 @@ from dataclasses import dataclass, field
 
 from repro.core.schedule import RequestSchedule
 from repro.graph.digraph import Node, SocialGraph
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricNode, StatsView, Stopwatch
 from repro.prototype.cluster import StoreCluster
 from repro.store.views import DEFAULT_FEED_SIZE, EventTuple
 from repro.workload.requests import Request, RequestKind
 
 
-@dataclass
-class ClientCounters:
-    """Per-application-server request/message accounting."""
+class ClientCounters(StatsView):
+    """Per-application-server request/message accounting.
 
-    updates: int = 0
-    queries: int = 0
-    update_messages: int = 0
-    query_messages: int = 0
+    A stats view: the four counters live on a metrics node (the server's
+    ``serve`` subtree when one is wired through, a private tree
+    otherwise), so throughput math (:mod:`repro.prototype.metrics`) and
+    registry ``snapshot()`` exports read the same cells.
+    """
+
+    _FIELDS = {
+        "updates": (("updates",), "counter"),
+        "queries": (("queries",), "counter"),
+        "update_messages": (("update_messages",), "counter"),
+        "query_messages": (("query_messages",), "counter"),
+    }
 
     @property
     def requests(self) -> int:
@@ -64,6 +80,11 @@ class ApplicationServer:
         The data-store tier to talk to.
     feed_size:
         ``k`` of the top-k feed queries (paper: 10).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricNode` to publish the
+        request counters and the ``request_seconds`` latency timer under
+        (e.g. ``registry.node("serve")``); omitted, the counters live on
+        a private tree exactly as the plain dataclass did.
     """
 
     def __init__(
@@ -72,27 +93,38 @@ class ApplicationServer:
         schedule: RequestSchedule,
         cluster: StoreCluster,
         feed_size: int = DEFAULT_FEED_SIZE,
+        metrics: MetricNode | None = None,
     ) -> None:
         self.cluster = cluster
         self.feed_size = feed_size
-        self.counters = ClientCounters()
+        self.counters = ClientCounters(node=metrics)
+        #: Accumulated request-handling wall clock (entries = requests).
+        self.request_seconds = self.counters.metrics_node.timer(
+            "request_seconds"
+        )
         self.push_map, self.pull_map = schedule.build_user_maps(graph.nodes())
 
     # ------------------------------------------------------------------
     def handle_update(self, user: Node, event: EventTuple) -> int:
         """Process a share: write own view + push set.  Returns messages."""
-        targets = set(self.push_map.get(user, ())) | {user}
-        messages = self.cluster.update(targets, event)
-        self.counters.updates += 1
-        self.counters.update_messages += messages
+        with obs_trace.span("serve.update") as span, Stopwatch() as watch:
+            targets = set(self.push_map.get(user, ())) | {user}
+            messages = self.cluster.update(targets, event)
+            self.counters.updates += 1
+            self.counters.update_messages += messages
+            span.set(user=user, messages=messages)
+        self.request_seconds.add(watch.seconds)
         return messages
 
     def handle_query(self, user: Node) -> tuple[list[EventTuple], int]:
         """Process a feed request: read own view + pull set, merge top-k."""
-        targets = set(self.pull_map.get(user, ())) | {user}
-        events, messages = self.cluster.query(targets, self.feed_size)
-        self.counters.queries += 1
-        self.counters.query_messages += messages
+        with obs_trace.span("serve.query") as span, Stopwatch() as watch:
+            targets = set(self.pull_map.get(user, ())) | {user}
+            events, messages = self.cluster.query(targets, self.feed_size)
+            self.counters.queries += 1
+            self.counters.query_messages += messages
+            span.set(user=user, messages=messages)
+        self.request_seconds.add(watch.seconds)
         return events, messages
 
     def handle(self, request: Request) -> int:

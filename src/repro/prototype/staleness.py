@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from repro.core.schedule import RequestSchedule
 from repro.errors import SimulationError
 from repro.graph.digraph import Node, SocialGraph
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricNode
 from repro.workload.requests import Request, RequestKind
 
 
@@ -71,6 +73,11 @@ class StalenessSimulator:
         Per-operation service-time bound ``Δ``; the audited staleness bound
         is ``Θ = 2Δ`` (piggybacking's worst case).  With ``delta=0`` the
         audit is exact: a query must see every strictly earlier event.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricNode` mirroring the
+        report into registry cells (``events_shared``,
+        ``queries_checked``, ``violations``, ``max_observed_staleness``)
+        as the replay progresses; a private node is used when omitted.
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class StalenessSimulator:
         graph: SocialGraph,
         schedule: RequestSchedule,
         delta: float = 0.0,
+        metrics: MetricNode | None = None,
     ) -> None:
         if delta < 0:
             raise SimulationError(f"delta must be non-negative, got {delta}")
@@ -93,6 +101,11 @@ class StalenessSimulator:
             u: [] for u in graph.nodes()
         }
         self.report = StalenessReport()
+        node = metrics if metrics is not None else MetricNode("staleness")
+        self._m_shared = node.counter("events_shared")
+        self._m_queries = node.counter("queries_checked")
+        self._m_violations = node.counter("violations")
+        self._m_max_staleness = node.gauge("max_observed_staleness")
 
     # ------------------------------------------------------------------
     def share(self, user: Node, event_id: int, time: float) -> None:
@@ -105,6 +118,7 @@ class StalenessSimulator:
                 self._views[target][event_id] = visible_at
         self._shared[user].append((event_id, time))
         self.report.events_shared += 1
+        self._m_shared.inc()
 
     def query(self, user: Node, time: float) -> set[int]:
         """Process a feed query: read own view + pull set, audit staleness."""
@@ -115,6 +129,7 @@ class StalenessSimulator:
                 if visible_at <= time:
                     visible.add(event_id)
         self.report.queries_checked += 1
+        self._m_queries.inc()
         for producer in self.graph.predecessors_view(user):
             for event_id, shared_at in self._shared[producer]:
                 if shared_at < time - self.theta or (
@@ -130,10 +145,18 @@ class StalenessSimulator:
                                 queried_at=time,
                             )
                         )
+                        self._m_violations.inc()
+                        obs_trace.instant(
+                            "serve.staleness_violation",
+                            consumer=user,
+                            producer=producer,
+                            lag=time - shared_at,
+                        )
                     else:
                         lag = time - shared_at
                         if lag > self.report.max_observed_staleness:
                             self.report.max_observed_staleness = lag
+                            self._m_max_staleness.set(lag)
         return visible
 
     # ------------------------------------------------------------------

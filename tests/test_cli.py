@@ -229,3 +229,94 @@ class TestCompareAndStats:
         missing.write_text("not an edge list\n")
         assert main(["stats", str(missing)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_optimize_trace_writes_valid_chrome_trace(
+        self, graph_file, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path, _graph = graph_file
+        out = tmp_path / "s.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "optimize",
+                str(path),
+                "-o",
+                str(out),
+                "--algorithm",
+                "chitchat",
+                "--oracle",
+                "exact",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert f"wrote Chrome trace to {trace_path}" in capsys.readouterr().out
+        document = json.loads(trace_path.read_text())
+        problems = validate_chrome_trace(
+            document, require_categories=("scheduler", "oracle", "flow")
+        )
+        assert problems == []
+
+    def test_optimize_profile_prints_phase_table(
+        self, graph_file, tmp_path, capsys
+    ):
+        path, _graph = graph_file
+        out = tmp_path / "s.json"
+        code = main(
+            [
+                "optimize",
+                str(path),
+                "-o",
+                str(out),
+                "--algorithm",
+                "chitchat",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "phase" in printed and "total_s" in printed
+        assert "scheduler.run" in printed
+
+    def test_compare_trace_and_profile(self, graph_file, tmp_path, capsys):
+        import json
+
+        path, _graph = graph_file
+        trace_path = tmp_path / "compare-trace.json"
+        code = main(
+            [
+                "compare",
+                str(path),
+                "--iterations",
+                "5",
+                "--trace",
+                str(trace_path),
+                "--profile",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "scheduler.run" in printed
+        names = {
+            event["name"]
+            for event in json.loads(trace_path.read_text())["traceEvents"]
+        }
+        assert "scheduler.run" in names
+
+    def test_tracer_left_disabled_after_traced_run(self, graph_file, tmp_path):
+        from repro.obs import get_tracer
+
+        path, _graph = graph_file
+        out = tmp_path / "s.json"
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["optimize", str(path), "-o", str(out), "--trace", str(trace_path)]
+        ) == 0
+        assert not get_tracer().enabled

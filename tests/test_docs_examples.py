@@ -29,6 +29,7 @@ DOC_FILES = (
     "PAPER.md",
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKS.md",
+    "docs/OBSERVABILITY.md",
 )
 
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

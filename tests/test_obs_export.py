@@ -1,0 +1,167 @@
+"""Exporters: Chrome-trace documents, profile tables, JSON summaries.
+
+The acceptance test of ISSUE 8 lives here too: a traced exact-oracle
+scheduler run must emit a structurally valid Chrome trace whose span
+tree covers the scheduler, oracle and flow-kernel phases.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.chitchat import ChitchatScheduler
+from repro.graph.digraph import SocialGraph
+from repro.obs import (
+    MetricsRegistry,
+    chrome_trace,
+    json_summary,
+    profile_rows,
+    profile_table,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import Tracer
+from repro.workload.rates import uniform_workload
+
+
+def recorded_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.start()
+    with tracer.span("outer") as outer:
+        outer.set(size=2)
+        with tracer.span("outer.inner"):
+            pass
+        tracer.instant("outer.marker", kind="hub")
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        document = chrome_trace(recorded_tracer())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 3
+        by_name = {event["name"]: event for event in events}
+        outer = by_name["outer"]
+        assert outer["ph"] == "X" and outer["cat"] == "outer"
+        assert outer["ts"] >= 0 and outer["dur"] >= 0
+        assert outer["args"] == {"size": 2}
+        inner = by_name["outer.inner"]
+        assert inner["args"]["parent"] == "outer"
+        marker = by_name["outer.marker"]
+        assert marker["ph"] == "i" and marker["s"] == "t"
+        assert marker["args"] == {"parent": "outer", "kind": "hub"}
+
+    def test_timestamps_normalized_to_origin(self):
+        document = chrome_trace(recorded_tracer())
+        assert min(event["ts"] for event in document["traceEvents"]) == 0.0
+
+    def test_empty_tracer_yields_empty_document(self):
+        document = chrome_trace(Tracer())
+        assert document["traceEvents"] == []
+        assert validate_chrome_trace(document) == []
+
+    def test_write_chrome_trace_roundtrips(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", recorded_tracer())
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded, require_categories=("outer",)) == []
+
+
+class TestValidate:
+    def test_rejects_non_dict(self):
+        assert validate_chrome_trace([]) == ["document is list, not a dict"]
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_flags_malformed_events(self):
+        document = {
+            "traceEvents": [
+                "not-a-dict",
+                {"name": "a", "ph": "Z", "ts": -1.0, "pid": 0, "tid": 0},
+                {"name": "b", "ph": "X", "ts": 0.0, "pid": 0, "tid": 0},
+            ]
+        }
+        problems = validate_chrome_trace(document)
+        assert "event 0 is not a dict" in problems
+        assert "event 1 has unexpected ph 'Z'" in problems
+        assert "event 1 has negative ts" in problems
+        assert "event 2 has missing/negative dur" in problems
+
+    def test_flags_missing_categories(self):
+        document = chrome_trace(recorded_tracer())
+        problems = validate_chrome_trace(
+            document, require_categories=("outer", "flow")
+        )
+        assert problems == ["no complete span in category 'flow'"]
+
+
+class TestProfile:
+    def test_rows_aggregate_and_self_time(self):
+        tracer = recorded_tracer()
+        rows = {row["phase"]: row for row in profile_rows(tracer)}
+        assert rows["outer"]["count"] == 1
+        assert rows["outer.inner"]["count"] == 1
+        outer = rows["outer"]
+        assert outer["self_s"] <= outer["total_s"]
+
+    def test_rows_sorted_by_total_descending(self):
+        rows = profile_rows(recorded_tracer())
+        totals = [row["total_s"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_table_renders_and_handles_empty(self):
+        table = profile_table(recorded_tracer())
+        lines = table.splitlines()
+        assert lines[0].split() == ["phase", "count", "total_s", "self_s"]
+        assert any("outer.inner" in line for line in lines)
+        assert profile_table(Tracer()) == "(no spans recorded)"
+
+
+class TestJsonSummary:
+    def test_combines_snapshot_and_profile(self):
+        registry = MetricsRegistry()
+        registry.node("scheduler").counter("oracle_calls").inc(3)
+        summary = json_summary(registry, recorded_tracer())
+        assert summary["metrics"]["scheduler"]["oracle_calls"] == 3
+        phases = {row["phase"] for row in summary["profile"]}
+        assert {"outer", "outer.inner"} <= phases
+        json.dumps(summary)  # JSON-ready
+
+
+class TestAcceptanceSpanTree:
+    """ISSUE 8 acceptance: a traced run covers the whole stack."""
+
+    def small_instance(self):
+        graph = SocialGraph()
+        for u, v in [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (3, 0)]:
+            graph.add_edge(u, v)
+        return graph, uniform_workload(graph, 2.0, 1.0)
+
+    def test_traced_scheduler_run_covers_all_categories(self):
+        from repro.obs import get_tracer
+
+        graph, workload = self.small_instance()
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.start()
+        try:
+            scheduler = ChitchatScheduler(graph, workload, oracle="exact")
+            scheduler.run()
+        finally:
+            tracer.stop()
+        document = chrome_trace(tracer)
+        problems = validate_chrome_trace(
+            document, require_categories=("scheduler", "oracle", "flow")
+        )
+        assert problems == []
+        names = {event["name"] for event in document["traceEvents"]}
+        assert "scheduler.run" in names
+        assert "scheduler.bootstrap" in names
+        # per-hub or batched oracle sessions, depending on batch_k
+        assert names & {"oracle.solve", "oracle.batch"}
+        assert any(name.startswith("flow.") for name in names)
+        # the scheduler phases nest under scheduler.run
+        by_name = {e["name"]: e for e in document["traceEvents"]}
+        assert by_name["scheduler.bootstrap"]["args"]["parent"] == "scheduler.run"
+        tracer.clear()

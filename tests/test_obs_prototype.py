@@ -1,0 +1,124 @@
+"""Serving-tier observability: ClientCounters as a registry view.
+
+ISSUE 8 satellite: the prototype's request counters are a
+:class:`~repro.obs.metrics.StatsView`, so batched request paths feed the
+same message counts into a metrics registry that throughput math
+(:mod:`repro.prototype.metrics`) reads off the counters — and traced
+requests open ``serve.update`` / ``serve.query`` spans.
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import hybrid_schedule
+from repro.graph.generators import social_copying_graph
+from repro.obs import MetricsRegistry, get_tracer
+from repro.prototype.appserver import ApplicationServer, ClientCounters
+from repro.prototype.cluster import StoreCluster
+from repro.prototype.metrics import actual_throughput
+from repro.prototype.staleness import StalenessSimulator
+from repro.workload.rates import log_degree_workload
+from repro.workload.requests import RequestKind, fixed_count_trace
+
+
+def instance():
+    graph = social_copying_graph(60, out_degree=4, copy_fraction=0.6, seed=3)
+    workload = log_degree_workload(graph)
+    schedule = hybrid_schedule(graph, workload)
+    return graph, workload, schedule
+
+
+def kind_counts(trace) -> tuple[int, int]:
+    updates = sum(1 for r in trace if r.kind is RequestKind.SHARE)
+    return updates, len(trace) - updates
+
+
+class TestClientCountersView:
+    def test_standalone_counters_behave_like_the_old_dataclass(self):
+        counters = ClientCounters()
+        assert counters.requests == 0
+        assert counters.messages_per_request == 0.0
+        counters.updates += 2
+        counters.update_messages += 6
+        counters.queries += 2
+        counters.query_messages += 2
+        assert counters.requests == 4
+        assert counters.messages == 8
+        assert counters.messages_per_request == 2.0
+
+    def test_batched_requests_feed_the_registry(self):
+        graph, workload, schedule = instance()
+        registry = MetricsRegistry()
+        server = ApplicationServer(
+            graph,
+            schedule,
+            StoreCluster(num_servers=4, seed=0),
+            metrics=registry.node("serve"),
+        )
+        trace = fixed_count_trace(workload, 60, seed=5)
+        updates, queries = kind_counts(trace)
+        counters = server.run_trace(trace)
+        snap = registry.snapshot()["serve"]
+        # the view and the registry read the same cells
+        assert snap["updates"] == counters.updates == updates
+        assert snap["queries"] == counters.queries == queries
+        assert snap["update_messages"] == counters.update_messages
+        assert snap["query_messages"] == counters.query_messages
+        # batching: each request costs one message per distinct server
+        assert counters.messages >= counters.requests
+        assert counters.update_messages <= updates * 4
+        # the latency timer counted every request once
+        assert snap["request_seconds"]["entries"] == 60
+        assert snap["request_seconds"]["seconds"] > 0
+
+    def test_throughput_math_reads_the_shared_cells(self):
+        graph, workload, schedule = instance()
+        registry = MetricsRegistry()
+        server = ApplicationServer(
+            graph,
+            schedule,
+            StoreCluster(num_servers=2, seed=0),
+            metrics=registry.node("serve"),
+        )
+        server.run_trace(fixed_count_trace(workload, 20, seed=1))
+        measurement = actual_throughput(server.counters, num_servers=2)
+        snap = registry.snapshot()["serve"]
+        assert measurement.messages == (
+            snap["update_messages"] + snap["query_messages"]
+        )
+        assert measurement.requests == snap["updates"] + snap["queries"]
+        assert measurement.requests_per_second > 0
+
+    def test_traced_requests_open_serve_spans(self):
+        graph, workload, schedule = instance()
+        server = ApplicationServer(
+            graph, schedule, StoreCluster(num_servers=2, seed=0)
+        )
+        trace = fixed_count_trace(workload, 5, seed=2)
+        updates, queries = kind_counts(trace)
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.start()
+        try:
+            server.run_trace(trace)
+        finally:
+            tracer.stop()
+        names = [event[1] for event in tracer.events()]
+        assert names.count("serve.update") == updates
+        assert names.count("serve.query") == queries
+        tracer.clear()
+
+
+class TestStalenessMetrics:
+    def test_simulator_mirrors_report_into_registry(self):
+        graph, workload, schedule = instance()
+        registry = MetricsRegistry()
+        simulator = StalenessSimulator(
+            graph, schedule, metrics=registry.node("staleness")
+        )
+        trace = fixed_count_trace(workload, 40, seed=7)
+        updates, queries = kind_counts(trace)
+        report = simulator.replay(trace)
+        snap = registry.snapshot()["staleness"]
+        assert snap["events_shared"] == report.events_shared == updates
+        assert snap["queries_checked"] == report.queries_checked == queries
+        assert snap["violations"] == len(report.violations)

@@ -1,0 +1,169 @@
+"""Span tracer: nesting, threads, retroactive records, disabled path."""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+from repro.obs import get_tracer
+from repro.obs.trace import _NULL_SPAN, Tracer
+
+
+def events_by_name(tracer: Tracer) -> dict:
+    return {event[1]: event for event in tracer.events()}
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_singleton(self):
+        tracer = Tracer()
+        assert tracer.span("a") is tracer.span("b")
+        assert tracer.span("a") is _NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        tracer = Tracer()
+        with tracer.span("phase") as span:
+            span.set(key="value")
+            span.add("bumps")
+            span.add("bumps", 2)
+        tracer.instant("marker", note=1)
+        tracer.complete("region", perf_counter(), 0.5)
+        assert tracer.events() == []
+
+    def test_traced_calls_through_directly(self):
+        tracer = Tracer()
+
+        @tracer.traced("phase.fn")
+        def fn(x):
+            return x * 2
+
+        assert fn(21) == 42
+        assert tracer.events() == []
+
+
+class TestEnabledRecording:
+    def test_nested_spans_record_parents(self):
+        tracer = Tracer()
+        tracer.start()
+        with tracer.span("outer") as outer:
+            outer.set(size=3)
+            with tracer.span("outer.inner"):
+                pass
+        events = events_by_name(tracer)
+        phase, _name, ts, dur, tid, parent, attrs = events["outer"]
+        assert phase == "X" and parent is None and attrs == {"size": 3}
+        assert dur >= 0 and tid == threading.get_ident()
+        _, _, inner_ts, _, _, inner_parent, inner_attrs = events["outer.inner"]
+        assert inner_parent == "outer" and inner_attrs is None
+        assert inner_ts >= ts
+
+    def test_span_add_accumulates(self):
+        tracer = Tracer()
+        tracer.start()
+        with tracer.span("phase") as span:
+            span.add("hits")
+            span.add("hits")
+            span.add("weight", 2.5)
+        (_, _, _, _, _, _, attrs), = tracer.events()
+        assert attrs == {"hits": 2, "weight": 2.5}
+
+    def test_instant_records_marker_with_parent(self):
+        tracer = Tracer()
+        tracer.start()
+        with tracer.span("outer"):
+            tracer.instant("outer.event", kind="hub")
+        event = events_by_name(tracer)["outer.event"]
+        assert event[0] == "i" and event[3] == 0.0
+        assert event[5] == "outer" and event[6] == {"kind": "hub"}
+
+    def test_complete_records_retroactive_region(self):
+        tracer = Tracer()
+        tracer.start()
+        started = perf_counter()
+        with tracer.span("outer"):
+            tracer.complete("outer.region", started, 0.25, blocks=4)
+        phase, name, ts, dur, _tid, parent, attrs = events_by_name(tracer)[
+            "outer.region"
+        ]
+        assert phase == "X" and ts == started and dur == 0.25
+        assert parent == "outer" and attrs == {"blocks": 4}
+
+    def test_traced_decorator_named_and_bare(self):
+        tracer = Tracer()
+        tracer.start()
+
+        @tracer.traced("phase.named")
+        def named():
+            return 1
+
+        @tracer.traced
+        def bare():
+            return 2
+
+        assert named() == 1 and bare() == 2
+        names = {event[1] for event in tracer.events()}
+        assert "phase.named" in names
+        assert any("bare" in name for name in names - {"phase.named"})
+
+
+class TestLifecycle:
+    def test_stop_preserves_events_start_resumes(self):
+        tracer = Tracer()
+        tracer.start()
+        with tracer.span("first"):
+            pass
+        tracer.stop()
+        with tracer.span("invisible"):
+            pass
+        tracer.start()
+        with tracer.span("second"):
+            pass
+        names = [event[1] for event in tracer.events()]
+        assert names == ["first", "second"]
+
+    def test_clear_drops_events_keeps_recording(self):
+        tracer = Tracer()
+        tracer.start()
+        with tracer.span("old"):
+            pass
+        tracer.clear()
+        assert tracer.events() == []
+        with tracer.span("new"):
+            pass
+        assert [event[1] for event in tracer.events()] == ["new"]
+
+    def test_events_merge_threads_sorted_by_start(self):
+        tracer = Tracer()
+        tracer.start()
+        with tracer.span("main.phase"):
+            pass
+
+        def worker():
+            with tracer.span("worker.phase"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        events = tracer.events()
+        assert {event[1] for event in events} == {"main.phase", "worker.phase"}
+        assert len({event[4] for event in events}) == 2
+        starts = [event[2] for event in events]
+        assert starts == sorted(starts)
+
+
+class TestGlobalTracer:
+    def test_module_conveniences_feed_the_global_tracer(self):
+        from repro.obs import trace
+
+        tracer = get_tracer()
+        assert trace.get_tracer() is tracer
+        tracer.clear()
+        tracer.start()
+        try:
+            with trace.span("global.phase"):
+                trace.instant("global.marker")
+        finally:
+            tracer.stop()
+        names = {event[1] for event in tracer.events()}
+        assert names == {"global.phase", "global.marker"}
+        tracer.clear()
