@@ -15,12 +15,14 @@ from repro.core.baselines import hybrid_schedule
 from repro.core.batched import batched_chitchat_with_stats
 from repro.core.chitchat import ChitchatScheduler
 from repro.core.cost import schedule_cost
+from repro.core.delta import DeltaScheduler
 from repro.core.parallelnosy import parallel_nosy_schedule
 from repro.experiments.datasets import e10_twitter_sample
 from repro.graph.generators import social_copying_graph
 from repro.graph.view import as_graph_view
 from repro.obs import chrome_trace, get_tracer, validate_chrome_trace
-from repro.workload.rates import log_degree_workload
+from repro.workload.churn import churn_stream
+from repro.workload.rates import Workload, log_degree_workload
 
 #: E12 instance at bench scale 1.0 (default scale 0.25 gives the n=3000
 #: acceptance instance).  Dense enough that eager invalidation's wedge
@@ -38,6 +40,16 @@ E12_READ_WRITE_RATIO = 8.0
 E13_BASE_NODES = 12_000
 E13_OUT_DEGREE = 10
 E13_READ_WRITE_RATIO = 5.0
+
+#: E16 churn instance (scale 0.25 gives the acceptance point: n=3000
+#: with a 10k-event stream).  The event volume scales with the instance
+#: so the churn fraction — roughly a third of the edge set turned over —
+#: stays comparable across tiers.
+E16_BASE_NODES = 12_000
+E16_BASE_EVENTS = 40_000
+E16_OUT_DEGREE = 10
+E16_READ_WRITE_RATIO = 5.0
+E16_CHECKPOINTS = 5
 
 
 def _schedules_equal(a, b) -> bool:
@@ -710,6 +722,107 @@ def e20_obs_overhead(scale: float) -> dict:
     }
 
 
+def e16_churn(scale: float) -> dict:
+    """E16 — delta scheduling under churn (ISSUE 9).
+
+    Runs CHITCHAT once from scratch, wraps the completed run in a
+    :class:`~repro.core.delta.DeltaScheduler`, and drives a seeded
+    LDBC-style churn stream through it with per-event repair.  At
+    :data:`E16_CHECKPOINTS` evenly spaced points the maintained cost is
+    compared against a fresh from-scratch CHITCHAT run on a snapshot of
+    the churned instance (graph copy + *frozen* workload copy — the
+    delta's own workload is a live mutable view and must never be handed
+    to another scheduler).
+
+    Headlines:
+
+    * ``refresh_ratio`` — the from-scratch run's oracle calls over the
+      delta's *mean per-event* hub refreshes: how much oracle work one
+      event costs relative to re-running the optimizer.  The acceptance
+      bar is >=10x; the measured value at n=3000 is in the thousands —
+      the locality certificate (only endpoint/wedge hubs of re-opened
+      elements are candidates) is what's being priced.
+    * ``max_cost_ratio`` — worst checkpoint ratio of maintained cost to
+      the fresh run's; must stay within
+      ``1 + repro.core.tolerances.DELTA_QUALITY_EPSILON``.
+    * ``equal`` — the final maintained schedule is feasible and its
+      incrementally tracked cost matches the full rescan.
+    """
+    n = max(600, int(E16_BASE_NODES * scale))
+    num_events = max(800, int(E16_BASE_EVENTS * scale))
+    graph = social_copying_graph(
+        num_nodes=n,
+        out_degree=E16_OUT_DEGREE,
+        copy_fraction=0.7,
+        reciprocity=0.2,
+        seed=16,
+    )
+    workload = log_degree_workload(graph, read_write_ratio=E16_READ_WRITE_RATIO)
+
+    started = time.perf_counter()
+    scratch = ChitchatScheduler(graph, workload, lazy=True)
+    scratch.run()
+    scratch_seconds = time.perf_counter() - started
+    scratch_calls = scratch.stats.oracle_calls
+
+    events = churn_stream(graph, workload, num_events, seed=16)
+    delta = DeltaScheduler.from_scheduler(scratch)
+    checkpoint_every = max(1, num_events // E16_CHECKPOINTS)
+    rows = []
+    cost_ratios = []
+    delta_seconds = 0.0
+    for index, event in enumerate(events, start=1):
+        started = time.perf_counter()
+        delta.apply(event)
+        delta.repair()
+        delta_seconds += time.perf_counter() - started
+        if index % checkpoint_every == 0 or index == num_events:
+            snapshot_graph = delta.graph.copy()
+            snapshot_workload = Workload(
+                production=dict(delta.workload.production),
+                consumption=dict(delta.workload.consumption),
+            )
+            started = time.perf_counter()
+            fresh = ChitchatScheduler(snapshot_graph, snapshot_workload, lazy=True)
+            fresh_schedule = fresh.run()
+            fresh_seconds = time.perf_counter() - started
+            fresh_cost = schedule_cost(fresh_schedule, snapshot_workload)
+            ratio = delta.cost() / fresh_cost
+            cost_ratios.append(ratio)
+            rows.append(
+                {
+                    "events": index,
+                    "nodes": n,
+                    "edges": snapshot_graph.num_edges,
+                    "refreshes": delta.stats.hub_refreshes,
+                    "reopened": delta.stats.elements_reopened,
+                    "covers_broken": delta.stats.covers_broken,
+                    "delta_cost": round(delta.cost(), 1),
+                    "fresh_cost": round(fresh_cost, 1),
+                    "cost_ratio": round(ratio, 4),
+                    "fresh_seconds": round(fresh_seconds, 2),
+                }
+            )
+    per_event_refreshes = delta.stats.hub_refreshes / max(1, num_events)
+    rescan = schedule_cost(delta.schedule, delta.workload)
+    tracked_ok = abs(delta.cost() - rescan) <= 1e-6 * max(1.0, rescan)
+    return {
+        "nodes": n,
+        "events": num_events,
+        "rows": rows,
+        "equal": delta.is_feasible() and tracked_ok,
+        "refresh_ratio": scratch_calls / max(1e-9, per_event_refreshes),
+        "per_event_refreshes": per_event_refreshes,
+        "scratch_calls": scratch_calls,
+        "cost_ratios": [round(r, 4) for r in cost_ratios],
+        "max_cost_ratio": max(cost_ratios),
+        "noop_events": delta.stats.noop_events,
+        "scratch_seconds": round(scratch_seconds, 2),
+        "delta_seconds": round(delta_seconds, 2),
+        "per_event_ms": round(1000.0 * delta_seconds / max(1, num_events), 3),
+    }
+
+
 COLLECTORS = {
     "E10": e10_scaling,
     "E11": e11_backends,
@@ -717,6 +830,7 @@ COLLECTORS = {
     "E13": e13_exact_vs_peel,
     "E14": e14_flow_kernel,
     "E15": e15_warm_oracle,
+    "E16": e16_churn,
     "E18": e18_batched_solve,
     "E19": e19_jit_kernel,
     "E20": e20_obs_overhead,

@@ -67,6 +67,7 @@ RATIO_HEADLINES = (
     "kernel_speedup",
     "jit_wall_speedup",
     "reeval_ratio",
+    "refresh_ratio",
 )
 
 #: Relative drop in a ratio headline that triggers a warning (wall-clock

@@ -12,6 +12,7 @@ The workflow the paper implies for a production deployment:
 Commands::
 
     repro-schedule optimize GRAPH -o schedule.json [--algorithm ...] [...]
+    repro-schedule update GRAPH schedule.json events.json -o new.json [...]
     repro-schedule validate GRAPH schedule.json
     repro-schedule cost GRAPH schedule.json [workload options]
     repro-schedule compare GRAPH [workload options]
@@ -32,8 +33,15 @@ from repro.core.baselines import hybrid_schedule, pull_all_schedule, push_all_sc
 from repro.core.chitchat import ChitchatScheduler, ChitchatStats
 from repro.core.cost import schedule_cost
 from repro.core.coverage import validate_schedule
+from repro.core.delta import DeltaScheduler
 from repro.core.parallelnosy import parallel_nosy_schedule
-from repro.core.serialize import load_schedule, load_workload, save_schedule
+from repro.core.serialize import (
+    load_events,
+    load_schedule,
+    load_workload,
+    save_delta_state,
+    save_schedule,
+)
 from repro.errors import ReproError
 from repro.flow.exact_oracle import ORACLE_MODES
 from repro.flow.maxflow import FLOW_METHODS
@@ -244,6 +252,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_options(opt)
     _add_workload_options(opt)
 
+    upd = sub.add_parser(
+        "update",
+        help="apply a churn-event script to a stored schedule "
+        "(delta repair, no full re-run)",
+    )
+    upd.add_argument("graph", help="edge-list file the schedule was computed on")
+    upd.add_argument("schedule", help="stored schedule to maintain")
+    upd.add_argument("events", help="churn script (repro-churn JSON)")
+    upd.add_argument(
+        "-o", "--output", required=True, help="maintained-schedule output path"
+    )
+    upd.add_argument(
+        "--repair-every",
+        type=int,
+        default=1,
+        dest="repair_every",
+        help="run the localized repair after every N events (default 1; "
+        "0 defers all repair to one pass at end of stream)",
+    )
+    upd.add_argument(
+        "--oracle",
+        choices=ORACLE_MODES,
+        default="peel",
+        help="repair-greedy densest-subgraph oracle (see optimize --oracle)",
+    )
+    upd.add_argument(
+        "--warm",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="warm flow sessions across repairs (see optimize --warm)",
+    )
+    upd.add_argument(
+        "--flow-method",
+        choices=FLOW_METHODS,
+        default="auto",
+        dest="flow_method",
+        help="exact-oracle flow kernel (see optimize --flow-method)",
+    )
+    upd.add_argument(
+        "--state-out",
+        default=None,
+        dest="state_out",
+        metavar="PATH",
+        help="also snapshot the full delta state (live edges, drifted "
+        "rates, residue) as repro-delta JSON, resumable by a later run",
+    )
+    upd.add_argument(
+        "--stats",
+        action="store_true",
+        help="print delta diagnostics: effective/no-op events, covers "
+        "broken, elements re-opened, oracle refreshes, greedy selections",
+    )
+    _add_obs_options(upd)
+    _add_workload_options(upd)
+
     val = sub.add_parser("validate", help="check Theorem 1 coverage of a schedule")
     val.add_argument("graph")
     val.add_argument("schedule")
@@ -346,6 +409,59 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def cmd_update(args) -> int:
+    """Maintain a stored schedule through a churn script (delta repair)."""
+    graph = read_edge_list(args.graph)
+    workload = _load_workload(graph, args)
+    schedule, schedule_meta = load_schedule(args.schedule)
+    events, _events_meta = load_events(args.events)
+    delta = DeltaScheduler(
+        graph,
+        workload,
+        schedule,
+        oracle=args.oracle,
+        warm=args.warm,
+        method=args.flow_method,
+    )
+    tracing = _start_tracing(args)
+    with Stopwatch() as watch:
+        delta.apply_events(events, repair_every=args.repair_every)
+    elapsed = watch.seconds
+    _finish_tracing(args, tracing)
+    validate_schedule(delta.graph, delta.schedule)
+    metadata = {
+        "algorithm": "delta-update",
+        "base_schedule": str(args.schedule),
+        "base_algorithm": schedule_meta.get("algorithm"),
+        "events": len(events),
+        "oracle": args.oracle,
+        "cost": delta.cost(),
+    }
+    records = save_schedule(delta.schedule, args.output, metadata=metadata)
+    print(
+        f"delta-update: {len(events)} events, cost={delta.cost():.1f} "
+        f"({records} records -> {args.output}, {elapsed:.1f}s)"
+    )
+    if args.state_out:
+        save_delta_state(delta, args.state_out, metadata=metadata)
+        print(f"delta state -> {args.state_out}")
+    if args.stats:
+        stats = delta.stats
+        print(
+            f"delta: events={stats.events_applied} noops={stats.noop_events} "
+            f"added={stats.edges_added} removed={stats.edges_removed} "
+            f"rates={stats.rate_changes} covers_broken={stats.covers_broken} "
+            f"legs_freed={stats.legs_freed} repairs={stats.repairs} "
+            f"reopened={stats.elements_reopened} "
+            f"refreshes={stats.hub_refreshes} "
+            f"exact={stats.exact_refreshes} "
+            f"invalidated={stats.sessions_invalidated} "
+            f"hubs={stats.hub_selections} "
+            f"singletons={stats.singleton_selections}"
+        )
+    return 0
+
+
 def cmd_validate(args) -> int:
     """Check Theorem 1 coverage of a stored schedule."""
     graph = read_edge_list(args.graph)
@@ -419,6 +535,7 @@ def cmd_stats(args) -> int:
 
 COMMANDS = {
     "optimize": cmd_optimize,
+    "update": cmd_update,
     "validate": cmd_validate,
     "cost": cmd_cost,
     "compare": cmd_compare,

@@ -73,6 +73,11 @@ class IncrementalMaintainer:
         self._rc_floor = min(
             (r for r in workload.consumption.values() if r > 0), default=1.0
         )
+        # running schedule cost, maintained across events so ``cost()``
+        # is O(1) instead of an O(|schedule|) rescan per call
+        self._cost = sum(self._rp(u) for u, _v in schedule.push) + sum(
+            self._rc(v) for _u, v in schedule.pull
+        )
 
     # ------------------------------------------------------------------
     # Rate access tolerant to users outside the original workload
@@ -92,9 +97,13 @@ class IncrementalMaintainer:
     def _serve_directly(self, edge: Edge) -> None:
         u, v = edge
         if self._rp(u) <= self._rc(v):
-            self.schedule.add_push(edge)
+            if edge not in self.schedule.push:
+                self.schedule.add_push(edge)
+                self._cost += self._rp(u)
         else:
-            self.schedule.add_pull(edge)
+            if edge not in self.schedule.pull:
+                self.schedule.add_pull(edge)
+                self._cost += self._rc(v)
 
     # ------------------------------------------------------------------
     # Update rules
@@ -119,8 +128,12 @@ class IncrementalMaintainer:
         self.edges_removed += 1
 
         # The edge itself no longer needs service.
-        self.schedule.remove_push(edge)
-        self.schedule.remove_pull(edge)
+        if edge in self.schedule.push:
+            self.schedule.remove_push(edge)
+            self._cost -= self._rp(producer)
+        if edge in self.schedule.pull:
+            self.schedule.remove_pull(edge)
+            self._cost -= self._rc(consumer)
         hub = self.schedule.hub_cover.pop(edge, None)
         if hub is not None:
             self._by_hub[hub].discard(edge)
@@ -149,13 +162,34 @@ class IncrementalMaintainer:
         """Bulk :meth:`add_edge`; returns how many were new."""
         return sum(1 for u, v in edges if self.add_edge(u, v))
 
+    def remove_edges(self, edges) -> int:
+        """Bulk :meth:`remove_edge`; returns how many covers it repaired.
+
+        Mirrors :meth:`add_edges`' duplicate tolerance: edges already gone
+        (including duplicates within ``edges``) are skipped instead of
+        raising, so a batch diffed against a stale snapshot applies
+        cleanly.  The return value counts the covers downgraded to direct
+        service — the repair work the batch caused.
+        """
+        before = self.covers_broken
+        for u, v in edges:
+            if self.graph.has_edge(u, v):
+                self.remove_edge(u, v)
+        return self.covers_broken - before
+
     # ------------------------------------------------------------------
     def cost(self) -> float:
-        """Current schedule cost under the maintainer's workload.
+        """Current schedule cost under the maintainer's workload, O(1).
 
-        Users added after construction are priced with the floor rates, so
-        costs remain comparable across a batch of insertions.
+        Maintained incrementally across events (equals
+        :meth:`recompute_cost` up to float summation order).  Users added
+        after construction are priced with the floor rates, so costs
+        remain comparable across a batch of insertions.
         """
+        return self._cost
+
+    def recompute_cost(self) -> float:
+        """Full O(|schedule|) rescan of :meth:`cost`, for verification."""
         total = 0.0
         for u, _v in self.schedule.push:
             total += self._rp(u)

@@ -68,6 +68,20 @@ BATCH_K = 16
 #: per-hub path (arena assembly would cost more than it saves).
 BATCH_MIN_BLOCKS = 2
 
+#: Quality bar of the delta-repair tier (``repro.core.delta``): the E16
+#: churn bench and the differential suite assert that a schedule
+#: maintained by per-event :meth:`DeltaScheduler.repair` stays within
+#: ``(1 + DELTA_QUALITY_EPSILON)`` of a from-scratch CHITCHAT run on the
+#: mutated instance.  The repair is *provably* never worse than serving
+#: the re-opened edges directly (each greedy step is charged at most the
+#: cheapest remaining singleton), but closeness to the global greedy is
+#: empirical: the localized repair only re-optimizes the dirtied region,
+#: so drift accumulates with churn volume.  0.25 holds with wide margin
+#: on the measured streams (the E16 acceptance instance stays under
+#: 1.05x at every checkpoint); treat a bench breach as a quality
+#: regression, not a tolerance to widen.
+DELTA_QUALITY_EPSILON = 0.25
+
 #: Recommended production setting for the ``epsilon=`` approximately-
 #: greedy relaxation, chosen by the ε sweep on the E10 Twitter-sample
 #: workload (``examples/epsilon_tradeoff.py --dataset twitter``; the

@@ -1,5 +1,6 @@
-"""Workload substrate: per-user rates and timed request traces."""
+"""Workload substrate: per-user rates, request traces, and churn streams."""
 
+from repro.workload.churn import ChurnEvent, churn_stream, event_mix, replay
 from repro.workload.rates import (
     REFERENCE_READ_WRITE_RATIO,
     Workload,
@@ -20,10 +21,14 @@ from repro.workload.requests import (
 
 __all__ = [
     "REFERENCE_READ_WRITE_RATIO",
+    "ChurnEvent",
     "Request",
     "RequestKind",
     "Workload",
+    "churn_stream",
     "empirical_read_write_ratio",
+    "event_mix",
+    "replay",
     "fixed_count_trace",
     "generate_trace",
     "iter_windows",

@@ -5,10 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import main
-from repro.core.serialize import load_schedule, save_schedule, save_workload
+from repro.core.serialize import (
+    load_delta_state,
+    load_schedule,
+    save_events,
+    save_schedule,
+    save_workload,
+)
 from repro.core.schedule import RequestSchedule
 from repro.graph.generators import social_copying_graph
 from repro.graph.io import write_edge_list
+from repro.workload.churn import ChurnEvent, churn_stream, replay
 from repro.workload.rates import log_degree_workload
 
 
@@ -168,6 +175,113 @@ class TestOptimize:
             ["optimize", str(path), "-o", str(out), "--algorithm", "hybrid", "--stats"]
         ) == 0
         assert "no oracle stats" in capsys.readouterr().out
+
+
+class TestUpdate:
+    @pytest.fixture
+    def churn_setup(self, graph_file, tmp_path):
+        """Optimized schedule + a 30-event churn script on disk."""
+        path, graph = graph_file
+        schedule_path = tmp_path / "schedule.json"
+        assert main(
+            ["optimize", str(path), "-o", str(schedule_path),
+             "--algorithm", "chitchat"]
+        ) == 0
+        workload = log_degree_workload(graph)
+        events = churn_stream(graph, workload, 30, seed=6)
+        events_path = tmp_path / "events.json"
+        save_events(events, events_path)
+        return path, graph, workload, schedule_path, events, events_path
+
+    def test_update_maintains_feasible_schedule(
+        self, churn_setup, tmp_path, capsys
+    ):
+        path, graph, workload, schedule_path, events, events_path = churn_setup
+        out = tmp_path / "maintained.json"
+        capsys.readouterr()
+        code = main(
+            ["update", str(path), str(schedule_path), str(events_path),
+             "-o", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "delta-update: 30 events" in printed
+        maintained, metadata = load_schedule(out)
+        assert metadata["algorithm"] == "delta-update"
+        assert metadata["events"] == 30
+        churned_graph, _ = replay(graph, workload, events)
+        assert maintained.is_feasible(churned_graph)
+
+    def test_update_stats_line(self, churn_setup, tmp_path, capsys):
+        path, _graph, _workload, schedule_path, _events, events_path = churn_setup
+        out = tmp_path / "maintained.json"
+        capsys.readouterr()
+        assert main(
+            ["update", str(path), str(schedule_path), str(events_path),
+             "-o", str(out), "--stats", "--oracle", "exact",
+             "--repair-every", "5"]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "delta: events=30" in printed
+        assert "refreshes=" in printed and "repairs=" in printed
+
+    def test_update_state_out_resumes(self, churn_setup, tmp_path, capsys):
+        path, _graph, _workload, schedule_path, _events, events_path = churn_setup
+        out = tmp_path / "maintained.json"
+        state = tmp_path / "state.json"
+        capsys.readouterr()
+        assert main(
+            ["update", str(path), str(schedule_path), str(events_path),
+             "-o", str(out), "--state-out", str(state)]
+        ) == 0
+        assert f"delta state -> {state}" in capsys.readouterr().out
+        resumed, metadata = load_delta_state(state)
+        assert metadata["algorithm"] == "delta-update"
+        assert resumed.is_feasible()
+        maintained, _ = load_schedule(out)
+        assert resumed.schedule.push == maintained.push
+        assert resumed.schedule.pull == maintained.pull
+        assert resumed.schedule.hub_cover == maintained.hub_cover
+
+    def test_update_noop_stream_preserves_schedule_bytes(
+        self, graph_file, tmp_path, capsys
+    ):
+        path, graph = graph_file
+        schedule_path = tmp_path / "schedule.json"
+        assert main(
+            ["optimize", str(path), "-o", str(schedule_path),
+             "--algorithm", "chitchat"]
+        ) == 0
+        existing = sorted(graph.edges())[0]
+        events_path = tmp_path / "noops.json"
+        save_events(
+            [ChurnEvent(kind="add", edge=existing),
+             ChurnEvent(kind="remove", edge=(9001, 9002))],
+            events_path,
+        )
+        out = tmp_path / "maintained.json"
+        capsys.readouterr()
+        assert main(
+            ["update", str(path), str(schedule_path), str(events_path),
+             "-o", str(out)]
+        ) == 0
+        before, _ = load_schedule(schedule_path)
+        after, _ = load_schedule(out)
+        assert after.push == before.push
+        assert after.pull == before.pull
+        assert after.hub_cover == before.hub_cover
+
+    def test_update_bad_events_file_errors_cleanly(
+        self, churn_setup, tmp_path, capsys
+    ):
+        path, _graph, _workload, schedule_path, _events, _ = churn_setup
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("")
+        assert main(
+            ["update", str(path), str(schedule_path), str(bogus),
+             "-o", str(tmp_path / "out.json")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestValidateAndCost:

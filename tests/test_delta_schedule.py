@@ -1,0 +1,304 @@
+"""Differential test suite for delta scheduling under churn.
+
+The contract under test (``repro.core.delta``):
+
+* after ANY event script the maintained schedule is feasible;
+* its cost stays within ``(1 + DELTA_QUALITY_EPSILON)`` of a from-scratch
+  CHITCHAT run on the replayed post-churn instance;
+* the incrementally tracked cost equals the full rescan;
+* a no-op/duplicate event stream leaves the schedule byte-identical to
+  the wrapped from-scratch run;
+* repair never increases the maintained cost (each greedy step is
+  charged at most the cheapest remaining singleton);
+
+parametrized over adjacency backends × oracles × warm/cold × flow
+methods (the jit leg falls back to the interpreted kernels when numba
+is absent — the kernels are valid plain Python).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chitchat import ChitchatScheduler
+from repro.core.cost import schedule_cost
+from repro.core.coverage import validate_schedule
+from repro.core.delta import DeltaScheduler
+from repro.core.serialize import save_schedule
+from repro.core.tolerances import DELTA_QUALITY_EPSILON
+from repro.errors import ScheduleError
+from repro.flow import jit_kernel
+from repro.flow.jit_kernel import jit_available
+from repro.graph.generators import social_copying_graph
+from repro.workload import ChurnEvent, churn_stream, log_degree_workload, replay
+
+#: oracle stacks the repair greedy must uphold the contract on:
+#: (oracle, warm, flow method)
+ORACLE_STACKS = [
+    pytest.param("peel", True, "auto", id="peel"),
+    pytest.param("exact", True, "auto", id="exact-warm"),
+    pytest.param("exact", False, "auto", id="exact-cold"),
+    pytest.param("exact", True, "jit", id="exact-jit"),
+]
+
+
+@pytest.fixture
+def force_jit_fallback(monkeypatch):
+    """Let ``method="jit"`` run without numba (kernels are plain Python)."""
+    if not jit_available():
+        monkeypatch.setattr(jit_kernel, "_NUMBA_OK", True)
+
+
+def make_instance(seed: int, nodes: int = 50):
+    graph = social_copying_graph(
+        nodes, out_degree=4, copy_fraction=0.6, seed=seed
+    )
+    return graph, log_degree_workload(graph)
+
+
+def completed_run(graph, workload, backend: str = "dict"):
+    scheduler = ChitchatScheduler(graph, workload, backend=backend)
+    scheduler.run()
+    return scheduler
+
+
+def absent_edge(graph):
+    """A deterministic (u, v) not currently in the (sparse) graph."""
+    nodes = sorted(graph.nodes())
+    return next(
+        (a, b)
+        for a in nodes
+        for b in reversed(nodes)
+        if a != b and not graph.has_edge(a, b)
+    )
+
+
+def assert_contract(delta: DeltaScheduler, base_graph, base_workload, events):
+    """The three differential invariants, checked against a fresh run."""
+    assert delta.is_feasible()
+    validate_schedule(delta.graph, delta.schedule)
+    rescan = schedule_cost(delta.schedule, delta.workload)
+    assert delta.cost() == pytest.approx(rescan)
+    churned_graph, churned_workload = replay(base_graph, base_workload, events)
+    fresh = ChitchatScheduler(churned_graph, churned_workload).run()
+    fresh_cost = schedule_cost(fresh, churned_workload)
+    assert delta.cost() <= (1.0 + DELTA_QUALITY_EPSILON) * fresh_cost + 1e-9
+
+
+class TestDifferential:
+    """Hypothesis-driven: random scripts, every invariant, every time."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_events=st.integers(min_value=0, max_value=40),
+        fractions=st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+            st.floats(min_value=0.0, max_value=1.0),
+        ).filter(lambda f: sum(f) > 0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_script_upholds_contract(self, seed, num_events, fractions):
+        graph, workload = make_instance(seed % 7)
+        scheduler = completed_run(graph, workload)
+        add_f, remove_f, rate_f = fractions
+        events = churn_stream(
+            graph,
+            workload,
+            num_events,
+            add_fraction=add_f,
+            remove_fraction=remove_f,
+            rate_fraction=rate_f,
+            seed=seed,
+        )
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        delta.apply_events(events)
+        assert_contract(delta, graph, workload, events)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_deferred_repair_upholds_contract(self, seed):
+        """One repair at end of stream must satisfy the same contract as
+        repair-per-event (the residue accumulates, the greedy is one)."""
+        graph, workload = make_instance(seed % 5)
+        scheduler = completed_run(graph, workload)
+        events = churn_stream(graph, workload, 30, seed=seed)
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        delta.apply_events(events, repair_every=0)
+        assert_contract(delta, graph, workload, events)
+
+
+class TestOracleMatrix:
+    """The contract holds on every oracle stack and adjacency backend."""
+
+    @pytest.mark.parametrize("oracle,warm,method", ORACLE_STACKS)
+    @pytest.mark.parametrize("backend", ["dict", "csr"])
+    def test_contract_across_stacks(
+        self, backend, oracle, warm, method, force_jit_fallback
+    ):
+        graph, workload = make_instance(3)
+        scheduler = completed_run(graph, workload, backend=backend)
+        events = churn_stream(graph, workload, 25, seed=17)
+        delta = DeltaScheduler.from_scheduler(
+            scheduler, oracle=oracle, warm=warm, method=method
+        )
+        delta.apply_events(events)
+        assert_contract(delta, graph, workload, events)
+        if oracle == "exact":
+            assert delta.stats.exact_refreshes > 0
+            assert delta.stats.sessions_invalidated > 0
+
+    @pytest.mark.parametrize("oracle,warm,method", ORACLE_STACKS)
+    def test_warm_and_cold_repairs_agree(
+        self, oracle, warm, method, force_jit_fallback
+    ):
+        """Every stack repairs the same stream to the same maintained
+        cost as the reference peel stack does feasibly — and the exact
+        stacks must never do worse than peel on the repairs they price
+        (the oracle is a lower-level choice, not a quality knob beyond
+        the factor-2)."""
+        graph, workload = make_instance(5)
+        scheduler = completed_run(graph, workload)
+        events = churn_stream(graph, workload, 20, seed=23)
+        delta = DeltaScheduler.from_scheduler(
+            scheduler, oracle=oracle, warm=warm, method=method
+        )
+        delta.apply_events(events)
+        reference = DeltaScheduler.from_scheduler(scheduler)
+        reference.apply_events(events)
+        assert delta.is_feasible() and reference.is_feasible()
+        if oracle == "exact":
+            assert delta.cost() <= reference.cost() * 2.0 + 1e-9
+
+
+class TestNoopByteIdentity:
+    def test_noop_stream_leaves_schedule_byte_identical(self, tmp_path):
+        """Duplicate adds, removals of absent edges, and value-identical
+        rate events must not perturb the schedule at all: the serialized
+        file is byte-for-byte the wrapped from-scratch run's."""
+        graph, workload = make_instance(2)
+        scheduler = completed_run(graph, workload)
+        before = tmp_path / "before.json"
+        save_schedule(scheduler.schedule, before)
+        existing = sorted(graph.edges())[0]
+        user = existing[0]
+        noops = [
+            ChurnEvent(kind="add", edge=existing),
+            ChurnEvent(kind="remove", edge=(8001, 8002)),
+            ChurnEvent(
+                kind="rate", user=user, rp=workload.rp(user), rc=workload.rc(user)
+            ),
+        ] * 3
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        cost_before = delta.cost()
+        for event in noops:
+            assert delta.apply(event) is False
+        assert delta.repair() == 0
+        after = tmp_path / "after.json"
+        save_schedule(delta.schedule, after)
+        assert after.read_bytes() == before.read_bytes()
+        assert delta.cost() == cost_before
+        assert delta.stats.noop_events == len(noops)
+        assert delta.stats.hub_refreshes == 0
+
+    def test_add_then_remove_round_trips_schedule(self, tmp_path):
+        """An edge added and removed again restores the exact schedule:
+        the add only direct-serves, the remove strips that service."""
+        graph, workload = make_instance(4)
+        scheduler = completed_run(graph, workload)
+        before = tmp_path / "before.json"
+        save_schedule(scheduler.schedule, before)
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        edge = absent_edge(graph)
+        assert delta.apply(ChurnEvent(kind="add", edge=edge)) is True
+        assert delta.apply(ChurnEvent(kind="remove", edge=edge)) is True
+        assert delta.repair() == 0  # residue edge no longer exists
+        after = tmp_path / "after.json"
+        save_schedule(delta.schedule, after)
+        assert after.read_bytes() == before.read_bytes()
+
+
+class TestMonotoneRepair:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_repair_never_increases_cost(self, seed):
+        """Each greedy step is charged at most the cheapest remaining
+        singleton — the direct-service price repair replaces — so a
+        repair can only lower the maintained cost."""
+        graph, workload = make_instance(seed % 6)
+        scheduler = completed_run(graph, workload)
+        events = churn_stream(graph, workload, 24, seed=seed)
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        for event in events:
+            delta.apply(event)
+            cost_before = delta.cost()
+            delta.repair()
+            assert delta.cost() <= cost_before + 1e-9
+
+
+class TestLocality:
+    def test_single_event_repair_is_local(self):
+        """One added edge re-opens one element: the repair's oracle work
+        is bounded by that edge's endpoint/wedge hubs, not the graph."""
+        graph, workload = make_instance(1, nodes=80)
+        scheduler = completed_run(graph, workload)
+        full_run_calls = scheduler.stats.oracle_calls
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        edge = absent_edge(graph)
+        delta.apply(ChurnEvent(kind="add", edge=edge))
+        delta.repair()
+        u, v = edge
+        candidates = {u, v} | (
+            graph.successors_view(u) & graph.predecessors_view(v)
+        )
+        # one champion evaluation per candidate hub, plus at most one
+        # eager re-evaluation after the single selection
+        assert delta.stats.hub_refreshes <= len(candidates) + 1
+        assert delta.stats.hub_refreshes < full_run_calls
+
+    def test_untouched_covers_survive(self):
+        """Events far from a cover leave its hub assignment in place."""
+        graph, workload = make_instance(6)
+        scheduler = completed_run(graph, workload)
+        covers_before = dict(scheduler.schedule.hub_cover)
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        events = churn_stream(
+            graph, workload, 10, add_fraction=0, remove_fraction=0,
+            rate_fraction=1.0, rate_jitter=0.01, seed=31,
+        )
+        delta.apply_events(events)
+        # tiny rate jitter never justifies restructuring: covers persist
+        # (repair only re-opens direct-served edges, never covers)
+        for edge, hub in covers_before.items():
+            assert delta.schedule.hub_cover.get(edge) == hub
+
+
+class TestConstruction:
+    def test_rejects_infeasible_schedule(self):
+        graph, workload = make_instance(0)
+        scheduler = completed_run(graph, workload)
+        schedule = scheduler.schedule.copy()
+        victim = next(iter(schedule.push))
+        schedule.remove_push(victim)
+        with pytest.raises(ScheduleError):
+            DeltaScheduler(graph.copy(), workload, schedule)
+
+    def test_from_scheduler_csr_backend(self):
+        graph, workload = make_instance(0)
+        scheduler = completed_run(graph, workload, backend="csr")
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        assert delta.is_feasible()
+        # the wrap copies: mutating the delta never touches the run
+        delta.apply(ChurnEvent(kind="remove", edge=sorted(graph.edges())[0]))
+        assert scheduler.schedule.is_feasible(graph)
+
+    def test_negative_repair_every_rejected(self):
+        graph, workload = make_instance(0)
+        scheduler = completed_run(graph, workload)
+        delta = DeltaScheduler.from_scheduler(scheduler)
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            delta.apply_events([], repair_every=-1)

@@ -150,6 +150,68 @@ class TestChurn:
         assert m.cost() == pytest.approx(schedule_cost(schedule, workload))
 
 
+class TestRunningCost:
+    def test_running_cost_equals_rescan_across_churn(self):
+        """``cost()`` is maintained incrementally; it must agree with the
+        O(|schedule|) rescan after every kind of event, including broken
+        covers and floor-priced users added mid-stream."""
+        graph = social_copying_graph(80, out_degree=5, copy_fraction=0.7, seed=6)
+        workload = log_degree_workload(graph)
+        schedule = parallel_nosy_schedule(graph, workload, 5)
+        m = IncrementalMaintainer(graph, workload, schedule)
+        assert m.cost() == pytest.approx(m.recompute_cost())
+        import random
+
+        rng = random.Random(7)
+        nodes = list(graph.nodes())
+        for step in range(150):
+            if rng.random() < 0.5:
+                u, v = rng.choice(nodes), rng.choice(nodes + [900 + step])
+                if u != v:
+                    m.add_edge(u, v)
+            else:
+                edges = list(graph.edges())
+                if edges:
+                    m.remove_edge(*edges[rng.randrange(len(edges))])
+            assert m.cost() == pytest.approx(m.recompute_cost())
+
+    def test_recompute_cost_matches_schedule_cost(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        assert m.recompute_cost() == pytest.approx(
+            schedule_cost(schedule, workload)
+        )
+
+
+class TestRemoveEdges:
+    def test_bulk_remove_returns_repair_count(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        repaired = m.remove_edges([(CHARLIE, BILLIE)])  # breaks the cover
+        assert repaired == 1
+        assert m.covers_broken == 1
+        assert m.is_feasible()
+
+    def test_bulk_remove_skips_missing_and_duplicates(self):
+        """Mirrors ``add_edges``' duplicate tolerance: absent edges (and
+        duplicates within the batch) are skipped, not raised on."""
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        repaired = m.remove_edges(
+            [(BILLIE, CHARLIE), (ART, CHARLIE), (ART, CHARLIE)]
+        )
+        assert repaired == 1  # the push leg broke the cover, once
+        assert m.edges_removed == 1
+        assert m.is_feasible()
+
+    def test_bulk_remove_without_covers_repairs_nothing(self):
+        graph, workload, schedule = wedge_with_schedule()
+        m = IncrementalMaintainer(graph, workload, schedule)
+        repaired = m.remove_edges([(ART, BILLIE)])  # the covered edge itself
+        assert repaired == 0
+        assert m.is_feasible()
+
+
 class TestRateFloors:
     def test_floors_precomputed_once_at_construction(self):
         """The positive-rate floors are fixed at construction: mutating the
