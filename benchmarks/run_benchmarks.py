@@ -68,6 +68,7 @@ RATIO_HEADLINES = (
     "jit_wall_speedup",
     "reeval_ratio",
     "refresh_ratio",
+    "shard_wall_speedup",
 )
 
 #: Relative drop in a ratio headline that triggers a warning (wall-clock

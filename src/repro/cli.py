@@ -53,6 +53,31 @@ from repro.workload.rates import log_degree_workload
 
 def _run_chitchat(graph, workload, args):
     """CHITCHAT with the CLI's oracle selection; returns (schedule, stats)."""
+    if getattr(args, "shards", None):
+        from repro.shard import sharded_chitchat_schedule
+
+        execution = sharded_chitchat_schedule(
+            graph,
+            workload,
+            num_shards=args.shards,
+            num_workers=getattr(args, "workers", None),
+            oracle=getattr(args, "oracle", "auto"),
+            method=getattr(args, "flow_method", "auto"),
+            epsilon=getattr(args, "epsilon", 0.0),
+            batch_k=getattr(args, "batch_k", None),
+            max_cross_edges=args.cross_edge_bound,
+        )
+        recon = execution.reconciliation
+        print(
+            f"sharded: {execution.plan.num_shards} shards x "
+            f"{execution.num_workers} workers, "
+            f"cut={execution.plan.cut_fraction:.3f}, "
+            f"merged={execution.merged_cost:.1f} -> "
+            f"reconciled={execution.cost:.1f} "
+            f"(recovered {recon['elements_recovered']} elements over "
+            f"{recon['boundary_hubs']} boundary hubs)"
+        )
+        return execution.schedule, None
     scheduler = ChitchatScheduler(
         graph,
         workload,
@@ -242,6 +267,22 @@ def build_parser() -> argparse.ArgumentParser:
         "identical across kernels",
     )
     opt.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="CHITCHAT sharded execution tier: hash-shard the graph by "
+        "producer and run one lazy CHITCHAT per shard in parallel worker "
+        "processes over shared-memory slabs, then reconcile boundary "
+        "hubs (repro.shard; implies --algorithm chitchat)",
+    )
+    opt.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process count for --shards "
+        "(default min(shards, cpu_count))",
+    )
+    opt.add_argument(
         "--stats",
         action="store_true",
         help="print oracle diagnostics (CHITCHAT only): full evaluations, "
@@ -375,6 +416,8 @@ def cmd_optimize(args) -> int:
     """Run an optimizer on an edge-list graph and save the schedule."""
     graph = read_edge_list(args.graph)
     workload = _load_workload(graph, args)
+    if getattr(args, "shards", None):
+        args.algorithm = "chitchat"  # --shards is a CHITCHAT execution tier
     tracing = _start_tracing(args)
     with Stopwatch() as watch:
         schedule, stats = ALGORITHMS[args.algorithm](graph, workload, args)
@@ -396,6 +439,10 @@ def cmd_optimize(args) -> int:
             metadata["batch_k"] = args.batch_k
         if args.flow_method != "auto":
             metadata["flow_method"] = args.flow_method
+        if getattr(args, "shards", None):
+            metadata["shards"] = args.shards
+            if args.workers is not None:
+                metadata["workers"] = args.workers
     records = save_schedule(schedule, args.output, metadata=metadata)
     print(
         f"{args.algorithm}: cost={schedule_cost(schedule, workload):.1f} "

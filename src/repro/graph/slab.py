@@ -1,0 +1,191 @@
+"""Shared-memory slabs: zero-copy array handoff to worker processes.
+
+The sharded execution tier (:mod:`repro.shard`) runs one lazy CHITCHAT
+per shard in ``multiprocessing`` workers.  Pickling a 10^6-node
+:class:`~repro.graph.csr.CSRGraph` into each worker would copy hundreds
+of megabytes per process; instead the parent packs the frozen CSR arrays
+(and the dense rate vectors) into one
+:class:`multiprocessing.shared_memory.SharedMemory` block per shard and
+ships only a tiny picklable :class:`SlabManifest`.  Workers attach
+read-only ``numpy`` views over the same physical pages — zero copies,
+any start method.
+
+Layout: named arrays are packed back to back, each aligned to 64 bytes;
+the manifest records ``(name, dtype, shape, offset)`` per field.  The
+parent owns the block (:class:`Slab`) and must :meth:`Slab.unlink` it
+after the workers finish; workers hold an :class:`AttachedSlab` for the
+lifetime of the views they took (closing a mapping with live exported
+views is a ``BufferError``, so :meth:`AttachedSlab.close` degrades to a
+no-op in that case and lets process exit reclaim the mapping).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "SlabManifest",
+    "Slab",
+    "AttachedSlab",
+    "export_arrays",
+    "export_csr",
+    "attach_arrays",
+    "attach_csr",
+]
+
+_ALIGN = 64
+
+#: CSRGraph array fields in manifest order.
+_CSR_FIELDS = ("out_indptr", "out_indices", "in_indptr", "in_indices")
+
+
+@dataclass(frozen=True)
+class SlabManifest:
+    """Picklable description of one shared-memory block's packed arrays.
+
+    ``fields`` maps array name to ``(dtype string, shape tuple, byte
+    offset)``; ``meta`` carries small scalars the attach side needs
+    (e.g. ``num_nodes`` for a CSR slab).
+    """
+
+    shm_name: str
+    nbytes: int
+    fields: tuple[tuple[str, str, tuple[int, ...], int], ...]
+    meta: tuple[tuple[str, int], ...] = ()
+
+    def meta_dict(self) -> dict[str, int]:
+        return dict(self.meta)
+
+
+class Slab:
+    """Parent-side handle: the owned block plus its manifest."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: SlabManifest) -> None:
+        self.shm = shm
+        self.manifest = manifest
+
+    def unlink(self) -> None:
+        """Close the mapping and remove the block from the system."""
+        try:
+            self.shm.close()
+        except BufferError:  # live views in this process; freed at exit
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+
+class AttachedSlab:
+    """Worker-side handle: keeps the mapping alive behind the views."""
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, arrays: dict[str, np.ndarray]
+    ) -> None:
+        self.shm = shm
+        self.arrays = arrays
+
+    def close(self) -> None:
+        """Release the mapping if no exported views remain."""
+        try:
+            self.shm.close()
+        except BufferError:  # views still alive; the OS reclaims at exit
+            pass
+
+
+def _pack_offsets(arrays: dict[str, np.ndarray]) -> tuple[list[int], int]:
+    offsets: list[int] = []
+    cursor = 0
+    for array in arrays.values():
+        cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+        offsets.append(cursor)
+        cursor += array.nbytes
+    return offsets, max(cursor, 1)
+
+
+def export_arrays(
+    arrays: dict[str, np.ndarray],
+    meta: dict[str, int] | None = None,
+    name: str | None = None,
+) -> Slab:
+    """Pack named arrays into one owned shared-memory block."""
+    normalized = {
+        key: np.ascontiguousarray(value) for key, value in arrays.items()
+    }
+    offsets, total = _pack_offsets(normalized)
+    shm = shared_memory.SharedMemory(
+        create=True,
+        size=total,
+        name=name or f"repro_slab_{secrets.token_hex(8)}",
+    )
+    fields = []
+    for (key, array), offset in zip(normalized.items(), offsets):
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset)
+        view[...] = array
+        fields.append((key, array.dtype.str, tuple(array.shape), offset))
+    manifest = SlabManifest(
+        shm_name=shm.name,
+        nbytes=total,
+        fields=tuple(fields),
+        meta=tuple(sorted((meta or {}).items())),
+    )
+    return Slab(shm, manifest)
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing block without adopting cleanup responsibility.
+
+    Python 3.13 grew ``track=False`` for exactly this (attachers should
+    not register blocks they do not own).  On older interpreters the
+    attach re-registers the name, which is harmless here: worker
+    processes share the parent's resource-tracker process and the
+    tracker's cache is a name-keyed set, so the parent's own
+    registration absorbs the duplicate and its ``unlink`` retires it.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_arrays(manifest: SlabManifest) -> AttachedSlab:
+    """Zero-copy read-only views over a block exported by :func:`export_arrays`."""
+    shm = _attach_block(manifest.shm_name)
+    arrays: dict[str, np.ndarray] = {}
+    for key, dtype, shape, offset in manifest.fields:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        arrays[key] = view
+    return AttachedSlab(shm, arrays)
+
+
+def export_csr(csr: CSRGraph, name: str | None = None) -> Slab:
+    """Export a frozen :class:`CSRGraph`'s four arrays as one slab."""
+    return export_arrays(
+        {field: getattr(csr, field) for field in _CSR_FIELDS},
+        meta={"num_nodes": csr.num_nodes},
+        name=name,
+    )
+
+
+def attach_csr(manifest: SlabManifest) -> tuple[CSRGraph, AttachedSlab]:
+    """Rebuild a :class:`CSRGraph` over shared pages exported by :func:`export_csr`.
+
+    The returned graph's arrays alias the block; keep the
+    :class:`AttachedSlab` alive as long as the graph is in use.
+    """
+    attached = attach_arrays(manifest)
+    meta = manifest.meta_dict()
+    if "num_nodes" not in meta or set(_CSR_FIELDS) - set(attached.arrays):
+        raise GraphError(f"manifest {manifest.shm_name!r} is not a CSR slab")
+    graph = CSRGraph(
+        meta["num_nodes"], *(attached.arrays[field] for field in _CSR_FIELDS)
+    )
+    return graph, attached

@@ -29,6 +29,30 @@ Reducer = Callable[[Any, list[Any]], Iterable[Any]]
 Combiner = Callable[[Any, list[Any]], Iterable[Any]]
 
 
+def _canonical_order(items: Iterable[Any]) -> list[Any]:
+    """Sort by natural ordering, with a deterministic typed fallback.
+
+    Integer keys must emit numerically (2 before 10), not by ``repr``
+    (which put "10" before "2").  Mixed-type key sets — where ``<`` raises
+    ``TypeError`` — fall back to grouping by type name and ordering by
+    ``repr`` within each group, which is still deterministic run to run.
+    """
+    items = list(items)
+    try:
+        return sorted(items)
+    except TypeError:
+        groups: defaultdict[str, list[Any]] = defaultdict(list)
+        for item in items:
+            groups[type(item).__name__].append(item)
+        ordered: list[Any] = []
+        for name in sorted(groups):
+            try:
+                ordered.extend(sorted(groups[name]))
+            except TypeError:  # same-named types that still won't compare
+                ordered.extend(sorted(groups[name], key=repr))
+        return ordered
+
+
 @dataclass
 class JobCounters:
     """Hadoop-style counters describing one job execution."""
@@ -36,6 +60,7 @@ class JobCounters:
     input_records: int = 0
     map_output_records: int = 0
     combine_output_records: int = 0
+    shuffled_records: int = 0
     shuffle_keys: int = 0
     reduce_output_records: int = 0
 
@@ -44,6 +69,7 @@ class JobCounters:
             "input_records": self.input_records,
             "map_output_records": self.map_output_records,
             "combine_output_records": self.combine_output_records,
+            "shuffled_records": self.shuffled_records,
             "shuffle_keys": self.shuffle_keys,
             "reduce_output_records": self.reduce_output_records,
         }
@@ -102,12 +128,13 @@ class MapReduceEngine:
                 for key, values in local.items():
                     shuffle[key].extend(values)
 
+        counters.shuffled_records = sum(len(values) for values in shuffle.values())
         counters.shuffle_keys = len(shuffle)
         output: list[Any] = []
-        for key in sorted(shuffle, key=repr):
+        for key in _canonical_order(shuffle):
             values = shuffle[key]
             if self.sort_values:
-                values = sorted(values, key=repr)
+                values = _canonical_order(values)
             for item in reducer(key, values):
                 counters.reduce_output_records += 1
                 output.append(item)
@@ -130,10 +157,10 @@ class MapReduceEngine:
         shuffle: defaultdict[Any, list[Any]] = defaultdict(list)
         for key, value in pairs:
             shuffle[key].append(value)
-        for key in sorted(shuffle, key=repr):
+        for key in _canonical_order(shuffle):
             values = shuffle[key]
             if self.sort_values:
-                values = sorted(values, key=repr)
+                values = _canonical_order(values)
             yield key, values
 
     @property
@@ -144,5 +171,11 @@ class MapReduceEngine:
         return self.history[-1]
 
     def total_shuffled_records(self) -> int:
-        """Sum of map-output records across all jobs (network-volume proxy)."""
-        return sum(c.map_output_records for c in self.history)
+        """Records that actually crossed the shuffle, summed over all jobs.
+
+        When a combiner runs, the shuffle carries the combiner's outputs —
+        not the raw map outputs — so this network-volume proxy counts the
+        post-combine volume (``shuffled_records``), which equals
+        ``map_output_records`` only for combiner-less jobs.
+        """
+        return sum(c.shuffled_records for c in self.history)

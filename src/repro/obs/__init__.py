@@ -20,6 +20,7 @@ and measured overhead numbers (gated by the E20 bench).
 from .export import (
     chrome_trace,
     json_summary,
+    merge_trace_streams,
     profile_rows,
     profile_table,
     validate_chrome_trace,
@@ -53,6 +54,7 @@ __all__ = [
     "StatsView",
     "global_registry",
     "chrome_trace",
+    "merge_trace_streams",
     "write_chrome_trace",
     "profile_rows",
     "profile_table",

@@ -29,6 +29,7 @@ from .trace import Tracer, get_tracer
 
 __all__ = [
     "chrome_trace",
+    "merge_trace_streams",
     "write_chrome_trace",
     "profile_rows",
     "profile_table",
@@ -39,6 +40,62 @@ __all__ = [
 
 def _category(name: str) -> str:
     return name.split(".", 1)[0]
+
+
+def merge_trace_streams(streams: list[dict]) -> dict:
+    """Splice span streams from several processes into one Chrome trace.
+
+    Each stream is ``{"label": str, "anchor": (perf_counter, wall_clock),
+    "events": [...]}`` — the tuples a :class:`Tracer` records plus a
+    clock anchor taken inside that process.  ``perf_counter`` readings
+    are not comparable across processes, so each stream's timestamps are
+    rebased onto the wall clock through its own anchor before the merge;
+    the earliest rebased event becomes the document origin.  Streams get
+    consecutive ``pid`` values (listed order) and a ``process_name``
+    metadata event carrying the label, so Perfetto shows one named track
+    group per worker.
+    """
+    rebased: list[tuple[float, int, tuple]] = []
+    for pid, stream in enumerate(streams):
+        pc_anchor, wall_anchor = stream["anchor"]
+        for event in stream["events"]:
+            rebased.append((wall_anchor + (event[2] - pc_anchor), pid, event))
+    origin = min((wall for wall, _pid, _event in rebased), default=0.0)
+    trace_events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": str(stream.get("label", f"process-{pid}"))},
+        }
+        for pid, stream in enumerate(streams)
+    ]
+    tids: dict[tuple[int, int], int] = {}
+    for wall, pid, (phase, name, _ts, dur, tid, parent, attrs) in sorted(
+        rebased, key=lambda item: item[0]
+    ):
+        entry = {
+            "name": name,
+            "cat": _category(name),
+            "ph": phase,
+            "ts": round((wall - origin) * 1e6, 1),
+            "pid": pid,
+            "tid": tids.setdefault((pid, tid), len(tids)),
+        }
+        if phase == "X":
+            entry["dur"] = round(dur * 1e6, 1)
+        else:
+            entry["s"] = "t"
+        args = {}
+        if parent is not None:
+            args["parent"] = parent
+        if attrs:
+            args.update(attrs)
+        if args:
+            entry["args"] = args
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
 def chrome_trace(tracer: Tracer | None = None) -> dict:
@@ -172,10 +229,15 @@ def validate_chrome_trace(
         if not isinstance(event, dict):
             problems.append(f"event {index} is not a dict")
             continue
+        phase = event.get("ph")
+        if phase == "M":  # metadata (e.g. process_name from merged streams)
+            for key in ("name", "pid"):
+                if key not in event:
+                    problems.append(f"event {index} missing {key!r}")
+            continue
         for key in ("name", "ph", "ts", "pid", "tid"):
             if key not in event:
                 problems.append(f"event {index} missing {key!r}")
-        phase = event.get("ph")
         if phase not in ("X", "i"):
             problems.append(f"event {index} has unexpected ph {phase!r}")
         if isinstance(event.get("ts"), (int, float)) and event["ts"] < 0:

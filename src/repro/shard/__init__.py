@@ -1,0 +1,29 @@
+"""Sharded multi-process scheduling over shared-memory CSR slabs.
+
+The execution tier for paper-scale instances: hash-partition the edge
+set by producer, run one lazy CHITCHAT per shard in parallel worker
+processes over zero-copy shared-memory slabs, merge the disjoint
+per-shard schedules, and reconcile boundary hubs with a bounded
+sequential fix-up.  See :mod:`repro.shard.driver` for the dataflow and
+docs/ARCHITECTURE.md ("Sharded tier") for the invariants.
+"""
+
+from repro.shard.driver import (
+    DEFAULT_WORKER_TIMEOUT,
+    ShardExecution,
+    ShardPlan,
+    plan_shards,
+    sharded_chitchat_schedule,
+)
+from repro.shard.reconcile import reconcile_boundary_hubs
+from repro.shard.worker import run_shard_task
+
+__all__ = [
+    "DEFAULT_WORKER_TIMEOUT",
+    "ShardExecution",
+    "ShardPlan",
+    "plan_shards",
+    "reconcile_boundary_hubs",
+    "run_shard_task",
+    "sharded_chitchat_schedule",
+]

@@ -1,0 +1,210 @@
+"""Boundary-hub reconciliation: the sequential fix-up after a sharded run.
+
+Shard workers only see the edges their shard owns (an edge ``u -> v``
+lives with ``shard(u)``), so an element's wedge hubs in *other* shards
+are invisible to the worker that scheduled it — with ``k`` shards,
+roughly ``(k-1)/k`` of each cross-shard element's hub candidates.  The
+merged schedule is feasible by construction (shards own disjoint element
+sets, and hub legs are real graph edges), but it direct-serves elements
+a hub in another shard could have relayed.
+
+This pass recovers exactly those: it walks the **boundary hubs** — hubs
+the workers already selected whose in-neighborhood spans shards — in
+ascending order of their CELF-certified cost-per-element lower bounds
+(cheapest certified relays first) and re-covers direct-served elements
+through them.  Three rules keep it sound and bounded:
+
+* **survival** — per-shard selections are never stripped.  Each worker's
+  CELF heap certified its hub's price at selection time *within its
+  shard*; merging only unions disjoint element sets and deduplicates
+  legs, which can lower a selection's realized cost but never raise it,
+  so every certificate survives the merge.
+* **monotonicity** — an element moves onto a hub only when the move
+  strictly reduces total cost: its direct edge must be droppable (not
+  refcounted as another cover's leg) and any missing leg must pay for
+  itself across the batch of elements it unlocks.  Total cost only ever
+  decreases.
+* **bounded work** — at most ``hub_budget`` hubs and ``wedge_budget``
+  wedge probes are examined; the driver reports what the budget left on
+  the table instead of silently truncating.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.core.schedule import RequestSchedule
+from repro.graph.csr import CSRGraph
+from repro.graph.view import sorted_array_intersect
+from repro.obs import trace
+
+__all__ = ["reconcile_boundary_hubs"]
+
+#: Default caps: hubs examined, and total (element, hub) wedge probes.
+DEFAULT_HUB_BUDGET = 4096
+DEFAULT_WEDGE_BUDGET = 2_000_000
+
+
+def _leg_refcounts(schedule: RequestSchedule) -> tuple[Counter, Counter]:
+    """How many hub covers rely on each push/pull leg."""
+    need_push: Counter = Counter()
+    need_pull: Counter = Counter()
+    for (u, v), hub in schedule.hub_cover.items():
+        need_push[(u, hub)] += 1
+        need_pull[(hub, v)] += 1
+    return need_push, need_pull
+
+
+def reconcile_boundary_hubs(
+    graph: CSRGraph,
+    rp: np.ndarray,
+    rc: np.ndarray,
+    schedule: RequestSchedule,
+    owner: np.ndarray,
+    hub_bounds: dict[int, float],
+    hub_budget: int | None = None,
+    wedge_budget: int | None = None,
+) -> dict:
+    """Re-cover direct-served elements through already-selected hubs.
+
+    Mutates ``schedule`` in place (cost monotonically decreasing) and
+    returns a report dict.  ``owner`` maps node id to owning shard;
+    ``hub_bounds`` carries each selected hub's certified cost-per-element
+    lower bound from its worker's CELF heap.
+    """
+    hub_budget = DEFAULT_HUB_BUDGET if hub_budget is None else hub_budget
+    wedge_budget = DEFAULT_WEDGE_BUDGET if wedge_budget is None else wedge_budget
+    need_push, need_pull = _leg_refcounts(schedule)
+    push, pull, cover = schedule.push, schedule.pull, schedule.hub_cover
+
+    selected = sorted(
+        set(cover.values()),
+        key=lambda hub: (hub_bounds.get(int(hub), float("inf")), int(hub)),
+    )
+    report = {
+        "selected_hubs": len(selected),
+        "boundary_hubs": 0,
+        "hubs_examined": 0,
+        "elements_recovered": 0,
+        "legs_added": 0,
+        "cost_recovered": 0.0,
+        "wedge_probes": 0,
+        "budget_exhausted": False,
+    }
+
+    def direct_saving(edge: tuple) -> float:
+        """Droppable direct-service cost of ``edge`` (0 when not droppable).
+
+        The merged schedule can serve one edge both ways — a direct push
+        from the producer's shard and a pull leg another shard's covers
+        rely on — so each side is priced (and later dropped)
+        independently, guarded by its own leg refcount.
+        """
+        if edge in cover:
+            return 0.0
+        saving = 0.0
+        if edge in push and not need_push[edge]:
+            saving += float(rp[edge[0]])
+        if edge in pull and not need_pull[edge]:
+            saving += float(rc[edge[1]])
+        return saving
+
+    def drop_direct(edge: tuple) -> None:
+        if not need_push[edge]:
+            push.discard(edge)
+        if not need_pull[edge]:
+            pull.discard(edge)
+
+    with trace.span("shard.reconcile") as span:
+        for hub in selected:
+            if report["hubs_examined"] >= hub_budget or (
+                report["wedge_probes"] >= wedge_budget
+            ):
+                report["budget_exhausted"] = True
+                break
+            hub = int(hub)
+            producers = graph.predecessors(hub)
+            if producers.size == 0:
+                continue
+            if not bool((owner[producers] != owner[hub]).any()):
+                continue  # interior hub: every candidate producer co-sharded
+            report["boundary_hubs"] += 1
+            report["hubs_examined"] += 1
+            consumers = graph.successors(hub)
+            # elements (u, v) with u -> hub -> v wedges, grouped by which
+            # leg (if any) the merged schedule is still missing
+            missing_pull: defaultdict[int, list] = defaultdict(list)
+            missing_push: defaultdict[int, list] = defaultdict(list)
+            for u in producers.tolist():
+                if report["wedge_probes"] >= wedge_budget:
+                    report["budget_exhausted"] = True
+                    break
+                if u == hub:
+                    continue
+                push_leg_ready = (u, hub) in push
+                targets = sorted_array_intersect(graph.successors(u), consumers)
+                report["wedge_probes"] += len(targets)
+                for v in targets:
+                    if v == u or v == hub:
+                        continue
+                    edge = (u, v)
+                    saving = direct_saving(edge)
+                    if saving <= 0.0:
+                        continue
+                    pull_leg_ready = (hub, v) in pull
+                    if push_leg_ready and pull_leg_ready:
+                        # both legs already paid: the move is pure profit
+                        drop_direct(edge)
+                        cover[edge] = hub
+                        need_push[(u, hub)] += 1
+                        need_pull[(hub, v)] += 1
+                        report["elements_recovered"] += 1
+                        report["cost_recovered"] += saving
+                    elif push_leg_ready:
+                        missing_pull[v].append((edge, saving))
+                    elif pull_leg_ready:
+                        missing_push[u].append((edge, saving))
+            # one-leg-missing batches: add the leg when the elements it
+            # unlocks save more than the leg costs
+            for v, batch in missing_pull.items():
+                batch = [(e, direct_saving(e)) for e, _ in batch]
+                total = sum(saving for _, saving in batch if saving > 0.0)
+                if total <= float(rc[v]):
+                    continue
+                pull.add((hub, v))
+                report["legs_added"] += 1
+                report["cost_recovered"] -= float(rc[v])
+                for edge, saving in batch:
+                    if saving <= 0.0:
+                        continue
+                    drop_direct(edge)
+                    cover[edge] = hub
+                    need_push[(edge[0], hub)] += 1
+                    need_pull[(hub, v)] += 1
+                    report["elements_recovered"] += 1
+                    report["cost_recovered"] += saving
+            for u, batch in missing_push.items():
+                batch = [(e, direct_saving(e)) for e, _ in batch]
+                total = sum(saving for _, saving in batch if saving > 0.0)
+                if total <= float(rp[u]):
+                    continue
+                push.add((u, hub))
+                report["legs_added"] += 1
+                report["cost_recovered"] -= float(rp[u])
+                for edge, saving in batch:
+                    if saving <= 0.0:
+                        continue
+                    drop_direct(edge)
+                    cover[edge] = hub
+                    need_push[(u, hub)] += 1
+                    need_pull[(hub, edge[1])] += 1
+                    report["elements_recovered"] += 1
+                    report["cost_recovered"] += saving
+        span.set(
+            hubs=report["hubs_examined"],
+            recovered=report["elements_recovered"],
+        )
+    report["cost_recovered"] = float(report["cost_recovered"])
+    return report

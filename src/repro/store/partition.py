@@ -16,8 +16,13 @@ from __future__ import annotations
 import zlib
 from collections.abc import Iterable, Mapping
 
+import numpy as np
+
 from repro.errors import PartitionError
 from repro.graph.digraph import Node
+
+#: Weyl-sequence increment of SplitMix64 (the golden-ratio constant).
+_GOLDEN = 0x9E3779B97F4A7C15
 
 
 def _mix(value: int) -> int:
@@ -30,9 +35,59 @@ def _mix(value: int) -> int:
 def stable_hash(user: Node, seed: int = 0) -> int:
     """Process-independent hash of a user id (ints fast-pathed)."""
     if isinstance(user, int):
-        return _mix(user * 0x9E3779B97F4A7C15 + seed + 1)
+        return _mix(user * _GOLDEN + seed + 1)
     digest = zlib.crc32(repr(user).encode("utf-8"))
     return _mix(digest + seed + 1)
+
+
+def stable_hash_array(users: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`stable_hash` over an integer id array.
+
+    Bit-identical to the scalar integer fast path for every element (the
+    shard planner hashes millions of edge endpoints per plan, and the
+    placement must agree exactly with what ``server_of`` answers one id
+    at a time).  The scalar path feeds the *unreduced* product
+    ``user * golden + seed + 1`` into the mixer, whose first shift sees
+    bits above 2^64 — so this carries the product's high half through
+    schoolbook 32x32 multiplication before the first xor-shift.
+
+    Only non-negative ids and seeds are supported here (node ids are
+    dense ``0..n-1`` wherever arrays appear); anything else must go
+    through the scalar function.
+    """
+    users = np.asarray(users)
+    if users.dtype.kind not in "iu":
+        raise PartitionError(f"stable_hash_array needs integer ids, got {users.dtype}")
+    if users.size and int(users.min()) < 0:
+        raise PartitionError("stable_hash_array requires non-negative user ids")
+    if seed < 0:
+        raise PartitionError("stable_hash_array requires a non-negative seed")
+    u = users.astype(np.uint64)
+    golden = np.uint64(_GOLDEN)
+    mask32 = np.uint64(0xFFFFFFFF)
+    c32, c34, c30, c27, c31 = (np.uint64(k) for k in (32, 34, 30, 27, 31))
+    # 128-bit t = u * golden + (seed + 1) as (t_hi, t_lo) uint64 pairs
+    u_lo, u_hi = u & mask32, u >> c32
+    g_lo, g_hi = golden & mask32, golden >> c32
+    p_ll = u_lo * g_lo
+    mid1 = u_lo * g_hi
+    mid = mid1 + u_hi * g_lo
+    mid_carry = (mid < mid1).astype(np.uint64)  # sum of two 64-bit halves wrapped
+    lo = p_ll + (mid << c32)
+    hi = (
+        (u_hi * g_hi)
+        + (mid >> c32)
+        + (mid_carry << c32)
+        + (lo < p_ll)
+    )
+    s = np.uint64(seed + 1)
+    t_lo = lo + s
+    t_hi = hi + (t_lo < lo)
+    # SplitMix64 finalizer on the unreduced t (mod 2^64 after each multiply)
+    v = t_lo ^ ((t_lo >> c30) | (t_hi << c34))
+    v *= np.uint64(0xBF58476D1CE4E5B9)
+    v = (v ^ (v >> c27)) * np.uint64(0x94D049BB133111EB)
+    return v ^ (v >> c31)
 
 
 class HashPartitioner:
@@ -51,6 +106,15 @@ class HashPartitioner:
     def servers_of(self, users: Iterable[Node]) -> set[int]:
         """Distinct servers hosting any of the given views (batch size)."""
         return {self.server_of(u) for u in users}
+
+    def servers_of_array(self, users: np.ndarray) -> np.ndarray:
+        """Per-element server indexes for an integer id array.
+
+        Elementwise identical to :meth:`server_of`; this is the shard
+        planner's fast path (one call hashes every edge source).
+        """
+        hashed = stable_hash_array(users, self.seed)
+        return (hashed % np.uint64(self.num_servers)).astype(np.int64)
 
     def __repr__(self) -> str:
         return f"HashPartitioner(num_servers={self.num_servers}, seed={self.seed})"

@@ -138,6 +138,38 @@ class Workload:
             )
         return cached
 
+    @classmethod
+    def from_dense_arrays(
+        cls, production: "np.ndarray", consumption: "np.ndarray"
+    ) -> "Workload":
+        """Build a workload for dense user ids ``0..n-1`` from rate vectors.
+
+        The fast construction path for shard workers and the vectorized
+        generators: rates are validated in one vectorized pass (finite,
+        non-negative) instead of per item, and the dense-array cache that
+        :meth:`as_arrays` would build is pre-seeded with read-only views
+        of the inputs — so workers attaching shared-memory rate slabs
+        never copy the vectors, only materialize the id-keyed dicts the
+        scalar cost paths read.
+        """
+        rp = np.ascontiguousarray(production, dtype=np.float64)
+        rc = np.ascontiguousarray(consumption, dtype=np.float64)
+        if rp.ndim != 1 or rp.shape != rc.shape:
+            raise WorkloadError(
+                "production and consumption must be 1-d vectors of equal "
+                f"length; got shapes {rp.shape} and {rc.shape}"
+            )
+        for label, arr in (("production", rp), ("consumption", rc)):
+            if arr.size and (not np.isfinite(arr).all() or bool((arr < 0).any())):
+                raise WorkloadError(f"invalid {label} rates: must be finite and >= 0")
+        self = object.__new__(cls)
+        object.__setattr__(self, "production", dict(enumerate(rp.tolist())))
+        object.__setattr__(self, "consumption", dict(enumerate(rc.tolist())))
+        rp.flags.writeable = False
+        rc.flags.writeable = False
+        object.__setattr__(self, "_dense_arrays", (rp, rc))
+        return self
+
     # ------------------------------------------------------------------
     def scaled(self, read_write_ratio: float) -> "Workload":
         """A copy rescaled so :attr:`read_write_ratio` equals the target.

@@ -49,6 +49,33 @@ class TestOptimize:
             schedule, _ = load_schedule(out)
             assert schedule.is_feasible(graph)
 
+    def test_optimize_sharded(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        out = tmp_path / "sharded.json"
+        code = main(
+            [
+                "optimize",
+                str(path),
+                "-o",
+                str(out),
+                "--shards",
+                "2",
+                "--workers",
+                "1",
+                "--oracle",
+                "peel",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "sharded: 2 shards" in printed
+        schedule, metadata = load_schedule(out)
+        # --shards implies the chitchat execution tier
+        assert metadata["algorithm"] == "chitchat"
+        assert metadata["shards"] == 2
+        assert metadata["workers"] == 1
+        assert schedule.is_feasible(graph)
+
     def test_optimize_with_workload_file(self, graph_file, tmp_path):
         path, graph = graph_file
         wpath = tmp_path / "w.json"

@@ -1,0 +1,96 @@
+"""Tests for the vectorized LDBC-style instance generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graph.csr import CSRGraph
+from repro.workload.ldbc import ldbc_graph, ldbc_instance, ldbc_workload
+
+
+class TestLdbcGraph:
+    def test_deterministic_per_seed(self):
+        a = ldbc_graph(500, seed=4)
+        b = ldbc_graph(500, seed=4)
+        assert np.array_equal(a.out_indptr, b.out_indptr)
+        assert np.array_equal(a.out_indices, b.out_indices)
+
+    def test_seeds_differ(self):
+        a = ldbc_graph(500, seed=1)
+        b = ldbc_graph(500, seed=2)
+        assert not (
+            np.array_equal(a.out_indptr, b.out_indptr)
+            and np.array_equal(a.out_indices, b.out_indices)
+        )
+
+    def test_shape_and_simplicity(self):
+        graph = ldbc_graph(800, avg_out_degree=6.0, seed=9)
+        assert isinstance(graph, CSRGraph)
+        assert graph.num_nodes == 800
+        src, dst = graph.edge_arrays()
+        assert bool((src != dst).all())  # no self-loops
+        key = src * np.int64(graph.num_nodes) + dst
+        assert np.unique(key).shape[0] == key.shape[0]  # no duplicates
+
+    def test_average_degree_near_target(self):
+        graph = ldbc_graph(3000, avg_out_degree=8.0, seed=0)
+        realized = graph.num_edges / graph.num_nodes
+        # dedupe and self-loop removal shave the target slightly
+        assert 5.0 <= realized <= 8.5
+
+    def test_degree_distribution_is_heavy_tailed(self):
+        graph = ldbc_graph(3000, avg_out_degree=8.0, seed=0)
+        out = graph.out_degrees()
+        assert int(out.max()) >= 4 * int(np.median(out))
+
+    def test_reciprocity_produces_mutual_follows(self):
+        graph = ldbc_graph(600, reciprocity=0.5, seed=3)
+        src, dst = graph.edge_arrays()
+        edges = set(zip(src.tolist(), dst.tolist()))
+        mutual = sum(1 for u, v in edges if (v, u) in edges)
+        none = ldbc_graph(600, reciprocity=0.0, seed=3)
+        nsrc, ndst = none.edge_arrays()
+        nedges = set(zip(nsrc.tolist(), ndst.tolist()))
+        nmutual = sum(1 for u, v in nedges if (v, u) in nedges)
+        assert mutual > nmutual
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            ldbc_graph(1)
+        with pytest.raises(WorkloadError):
+            ldbc_graph(100, in_community_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            ldbc_graph(100, reciprocity=-0.1)
+        with pytest.raises(WorkloadError):
+            ldbc_graph(100, degree_exponent=1.0)
+
+
+class TestLdbcWorkload:
+    def test_ratio_is_exact(self):
+        graph = ldbc_graph(700, seed=5)
+        workload = ldbc_workload(graph, read_write_ratio=7.0)
+        assert workload.read_write_ratio == pytest.approx(7.0)
+
+    def test_matches_log_degree_law(self):
+        graph = ldbc_graph(400, seed=5)
+        workload = ldbc_workload(graph)
+        rp, rc = workload.as_arrays(graph.num_nodes)
+        followers = graph.out_degrees()
+        # rp follows log1p(followers) with the zero-follower floor
+        floor = np.log(2.0) / 4.0
+        expected = np.maximum(np.log1p(followers), floor)
+        assert np.allclose(rp, expected)
+        assert bool((rp > 0).all()) and bool((rc > 0).all())
+
+    def test_rejects_bad_ratio(self):
+        graph = ldbc_graph(100, seed=0)
+        with pytest.raises(WorkloadError):
+            ldbc_workload(graph, read_write_ratio=0.0)
+
+    def test_instance_pairs_graph_and_workload(self):
+        graph, workload = ldbc_instance(300, read_write_ratio=4.0, seed=2)
+        rp, _rc = workload.as_arrays(graph.num_nodes)
+        assert rp.shape[0] == graph.num_nodes
+        assert workload.read_write_ratio == pytest.approx(4.0)

@@ -33,6 +33,40 @@ class TestBasicJob:
         out = engine.run(["b a c"], word_count_mapper, sum_reducer)
         assert [k for k, _ in out] == ["a", "b", "c"]
 
+    def test_integer_keys_emit_in_numeric_order(self):
+        # regression: sorting by repr put 10 before 2
+        engine = MapReduceEngine()
+
+        def mapper(x):
+            yield (x, 1)
+
+        out = engine.run([10, 2, 1, 30, 3], mapper, sum_reducer)
+        assert [k for k, _ in out] == [1, 2, 3, 10, 30]
+
+    def test_mixed_type_keys_emit_deterministically(self):
+        # int < str raises TypeError; the typed fallback still gives one
+        # canonical order, stable across runs and worker counts
+        def mapper(x):
+            yield (x, 1)
+
+        outs = [
+            MapReduceEngine(num_workers=n).run([10, "b", 2, "a"], mapper, sum_reducer)
+            for n in (1, 3)
+        ]
+        assert outs[0] == outs[1]
+        assert [k for k, _ in outs[0]] == [2, 10, "a", "b"]
+
+    def test_integer_values_sorted_numerically(self):
+        engine = MapReduceEngine(num_workers=2)
+
+        def mapper(x):
+            yield ("k", x)
+
+        def reducer(key, values):
+            yield tuple(values)
+
+        assert engine.run([10, 2, 1], mapper, reducer) == [(1, 2, 10)]
+
     def test_empty_input(self):
         engine = MapReduceEngine()
         assert engine.run([], word_count_mapper, sum_reducer) == []
@@ -74,6 +108,28 @@ class TestCombiner:
         counters = engine.last_counters
         assert counters.combine_output_records < counters.map_output_records
 
+    def test_shuffled_records_counts_post_combine_volume(self):
+        # regression: the network-volume proxy summed map_output_records,
+        # overcounting exactly when a combiner shrank the shuffle
+        # round-robin over 4 workers makes each chunk single-key, so the
+        # combiner collapses every chunk to one record
+        lines = [f"w{i % 2}" for i in range(40)]
+        engine = MapReduceEngine(num_workers=4)
+        engine.run(lines, word_count_mapper, sum_reducer, combiner=sum_combiner)
+        c = engine.last_counters
+        assert c.map_output_records == 40
+        assert c.combine_output_records == 4
+        assert c.shuffled_records == 4
+        assert engine.total_shuffled_records() == 4
+
+    def test_shuffled_records_equals_map_output_without_combiner(self):
+        lines = [f"w{i % 2}" for i in range(40)]
+        engine = MapReduceEngine(num_workers=4)
+        engine.run(lines, word_count_mapper, sum_reducer)
+        c = engine.last_counters
+        assert c.shuffled_records == c.map_output_records == 40
+        assert engine.total_shuffled_records() == 40
+
 
 class TestCounters:
     def test_counters_populated(self):
@@ -107,3 +163,9 @@ class TestHelpers:
         engine = MapReduceEngine()
         grouped = list(engine.group_by_key([("b", 2), ("a", 1), ("a", 3)]))
         assert grouped == [("a", [1, 3]), ("b", [2])]
+
+    def test_group_by_key_integer_keys_numeric_order(self):
+        # mirror of the run() key-ordering fix
+        engine = MapReduceEngine()
+        grouped = list(engine.group_by_key([(10, "x"), (2, "y"), (2, "z")]))
+        assert [k for k, _ in grouped] == [2, 10]

@@ -15,6 +15,7 @@ from repro.obs import (
     MetricsRegistry,
     chrome_trace,
     json_summary,
+    merge_trace_streams,
     profile_rows,
     profile_table,
     validate_chrome_trace,
@@ -65,6 +66,50 @@ class TestChromeTrace:
         path = write_chrome_trace(tmp_path / "trace.json", recorded_tracer())
         loaded = json.loads(path.read_text())
         assert validate_chrome_trace(loaded, require_categories=("outer",)) == []
+
+
+class TestMergeTraceStreams:
+    def _stream(self, label, pc_anchor, wall_anchor, names_and_ts):
+        return {
+            "label": label,
+            "anchor": (pc_anchor, wall_anchor),
+            "events": [
+                ("X", name, ts, 0.5, 1, None, {}) for name, ts in names_and_ts
+            ],
+        }
+
+    def test_rebases_across_process_clocks(self):
+        # two processes whose perf_counter epochs are wildly different but
+        # whose wall anchors line up: stream b's event happens 1s later
+        streams = [
+            self._stream("a", 1000.0, 50.0, [("first", 1000.0)]),
+            self._stream("b", 7.0, 50.0, [("second", 8.0)]),
+        ]
+        document = merge_trace_streams(streams)
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["first"]["ts"] == 0.0
+        assert by_name["second"]["ts"] == 1e6  # one second, in microseconds
+        assert validate_chrome_trace(document) == []
+
+    def test_labels_become_process_metadata(self):
+        streams = [
+            self._stream("driver", 0.0, 10.0, [("plan", 0.0)]),
+            self._stream("shard-0", 0.0, 10.0, [("work", 0.1)]),
+        ]
+        document = merge_trace_streams(streams)
+        meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert [(e["pid"], e["args"]["name"]) for e in meta] == [
+            (0, "driver"),
+            (1, "shard-0"),
+        ]
+        spans = {e["name"]: e["pid"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert spans == {"plan": 0, "work": 1}
+
+    def test_empty_streams_yield_metadata_only(self):
+        document = merge_trace_streams([])
+        assert document["traceEvents"] == []
+        assert validate_chrome_trace(document) == []
 
 
 class TestValidate:

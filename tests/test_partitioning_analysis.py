@@ -88,6 +88,21 @@ class TestPlacementAwareParallelNosy:
         result = optimizer.run_iteration()
         assert result.iteration == 1
 
+    def test_single_server_degenerates_to_agnostic_hybrid(self, setting):
+        """§4.3 degenerate case: with one server everything is co-located,
+        every aware gain is zero, so no hub candidate ever applies and the
+        optimizer falls through to its hybrid completion — the schedule's
+        partitioned cost must equal the placement-agnostic hybrid's."""
+        graph, workload = setting
+        aware = placement_aware_schedule(graph, workload, num_servers=1)
+        validate_schedule(graph, aware)
+        agnostic = hybrid_schedule(graph, workload)
+        aware_cost = partitioned_cost(graph, aware, workload, 1).total
+        agnostic_cost = partitioned_cost(graph, agnostic, workload, 1).total
+        assert aware_cost == pytest.approx(agnostic_cost)
+        # and on one server no hub indirection survives at all
+        assert not aware.hub_cover
+
 
 class TestPlacementAdvantage:
     def test_advantage_positive_on_small_cluster(self, setting):

@@ -93,6 +93,45 @@ class TestAsArrays:
             assert rc[u] == w.rc(u)
 
 
+class TestFromDenseArrays:
+    def test_equivalent_to_dict_construction(self):
+        import numpy as np
+
+        rp = np.array([1.0, 2.0, 0.5])
+        rc = np.array([3.0, 4.0, 0.25])
+        fast = Workload.from_dense_arrays(rp, rc)
+        slow = Workload(
+            production=dict(enumerate(rp.tolist())),
+            consumption=dict(enumerate(rc.tolist())),
+        )
+        assert fast.production == slow.production
+        assert fast.consumption == slow.consumption
+        assert fast.rp(1) == 2.0 and fast.rc(2) == 0.25
+
+    def test_pre_seeds_dense_cache_zero_copy(self):
+        import numpy as np
+
+        rp = np.array([1.0, 2.0])
+        rc = np.array([3.0, 4.0])
+        w = Workload.from_dense_arrays(rp, rc)
+        cached_rp, cached_rc = w.as_arrays(2)
+        # contiguous float64 inputs are adopted, not copied
+        assert cached_rp is rp and cached_rc is rc
+        assert not cached_rp.flags.writeable
+
+    def test_validation_is_vectorized_but_equivalent(self):
+        import numpy as np
+
+        with pytest.raises(WorkloadError):
+            Workload.from_dense_arrays(np.array([1.0, -2.0]), np.array([1.0, 1.0]))
+        with pytest.raises(WorkloadError):
+            Workload.from_dense_arrays(
+                np.array([1.0, float("nan")]), np.array([1.0, 1.0])
+            )
+        with pytest.raises(WorkloadError):
+            Workload.from_dense_arrays(np.array([1.0]), np.array([1.0, 1.0]))
+
+
 class TestScaling:
     def test_scaled_hits_target_ratio(self):
         w = Workload(production={1: 1.0, 2: 3.0}, consumption={1: 2.0, 2: 2.0})

@@ -1,0 +1,113 @@
+"""Tests for shared-memory slab export/attach (:mod:`repro.graph.slab`)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.slab import (
+    SlabManifest,
+    attach_arrays,
+    attach_csr,
+    export_arrays,
+    export_csr,
+)
+
+
+class TestExportAttachArrays:
+    def test_round_trip_values(self):
+        arrays = {
+            "a": np.arange(10, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 7),
+            "c": np.array([], dtype=np.float64),
+        }
+        slab = export_arrays(arrays, meta={"n": 10})
+        try:
+            attached = attach_arrays(slab.manifest)
+            for key, expected in arrays.items():
+                assert np.array_equal(attached.arrays[key], expected)
+                assert attached.arrays[key].dtype == expected.dtype
+            assert slab.manifest.meta_dict() == {"n": 10}
+            attached.close()
+        finally:
+            slab.unlink()
+
+    def test_views_are_read_only(self):
+        slab = export_arrays({"a": np.arange(4, dtype=np.int64)})
+        try:
+            attached = attach_arrays(slab.manifest)
+            with pytest.raises(ValueError):
+                attached.arrays["a"][0] = 99
+            attached.close()
+        finally:
+            slab.unlink()
+
+    def test_fields_are_64_byte_aligned(self):
+        slab = export_arrays(
+            {"a": np.arange(3, dtype=np.int8), "b": np.arange(5, dtype=np.int64)}
+        )
+        try:
+            for _name, _dtype, _shape, offset in slab.manifest.fields:
+                assert offset % 64 == 0
+        finally:
+            slab.unlink()
+
+    def test_manifest_pickles(self):
+        slab = export_arrays({"a": np.arange(6, dtype=np.float64)}, meta={"k": 3})
+        try:
+            clone = pickle.loads(pickle.dumps(slab.manifest))
+            assert clone == slab.manifest
+            attached = attach_arrays(clone)
+            assert np.array_equal(attached.arrays["a"], np.arange(6, dtype=np.float64))
+            attached.close()
+        finally:
+            slab.unlink()
+
+    def test_unlink_is_idempotent(self):
+        slab = export_arrays({"a": np.arange(2, dtype=np.int64)})
+        slab.unlink()
+        slab.unlink()  # second call must not raise
+
+
+class TestExportAttachCsr:
+    def test_csr_round_trip(self):
+        src = np.array([0, 0, 1, 2, 3], dtype=np.int64)
+        dst = np.array([1, 2, 2, 3, 0], dtype=np.int64)
+        csr = CSRGraph.from_arrays(4, src, dst)
+        slab = export_csr(csr)
+        try:
+            clone, attached = attach_csr(slab.manifest)
+            assert clone.num_nodes == csr.num_nodes
+            assert clone.num_edges == csr.num_edges
+            a_src, a_dst = clone.edge_arrays()
+            c_src, c_dst = csr.edge_arrays()
+            assert np.array_equal(a_src, c_src)
+            assert np.array_equal(a_dst, c_dst)
+            assert np.array_equal(clone.in_indptr, csr.in_indptr)
+            attached.close()
+        finally:
+            slab.unlink()
+
+    def test_attach_csr_rejects_foreign_manifest(self):
+        slab = export_arrays({"a": np.arange(3, dtype=np.int64)})
+        try:
+            with pytest.raises(GraphError):
+                attach_csr(slab.manifest)
+        finally:
+            slab.unlink()
+
+    def test_manifest_records_block_name(self):
+        csr = CSRGraph.from_arrays(
+            2, np.array([0], dtype=np.int64), np.array([1], dtype=np.int64)
+        )
+        slab = export_csr(csr)
+        try:
+            assert isinstance(slab.manifest, SlabManifest)
+            assert slab.manifest.shm_name.startswith("repro_slab_")
+            assert slab.manifest.meta_dict()["num_nodes"] == 2
+        finally:
+            slab.unlink()

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import PartitionError, StoreError
 from repro.store.kvstore import ViewServer
-from repro.store.partition import ExplicitPartitioner, HashPartitioner, stable_hash
+from repro.store.partition import (
+    ExplicitPartitioner,
+    HashPartitioner,
+    stable_hash,
+    stable_hash_array,
+)
 from repro.store.views import (
     DEFAULT_FEED_SIZE,
     TUPLE_BYTES,
@@ -29,6 +35,32 @@ class TestStableHash:
         assert len(buckets) == 8
 
 
+class TestStableHashArray:
+    def test_bit_exact_parity_with_scalar(self):
+        ids = np.concatenate(
+            [
+                np.arange(512, dtype=np.int64),
+                np.array(
+                    [2**31 - 1, 2**31, 2**32 - 1, 2**32, 2**40 + 17, 2**62 - 3],
+                    dtype=np.int64,
+                ),
+            ]
+        )
+        for seed in (0, 1, 7, 12345):
+            hashed = stable_hash_array(ids, seed=seed)
+            assert hashed.dtype == np.uint64
+            expected = [stable_hash(int(u), seed=seed) for u in ids.tolist()]
+            assert hashed.tolist() == expected
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PartitionError):
+            stable_hash_array(np.array([1.5, 2.5]))
+        with pytest.raises(PartitionError):
+            stable_hash_array(np.array([-1], dtype=np.int64))
+        with pytest.raises(PartitionError):
+            stable_hash_array(np.array([1], dtype=np.int64), seed=-1)
+
+
 class TestHashPartitioner:
     def test_in_range(self):
         p = HashPartitioner(7)
@@ -44,6 +76,13 @@ class TestHashPartitioner:
     def test_servers_of_batches(self):
         p = HashPartitioner(1)
         assert p.servers_of([1, 2, 3]) == {0}
+
+    def test_servers_of_array_matches_server_of(self):
+        p = HashPartitioner(5, seed=3)
+        ids = np.arange(1000, dtype=np.int64)
+        placed = p.servers_of_array(ids)
+        assert placed.dtype == np.int64
+        assert placed.tolist() == [p.server_of(int(u)) for u in ids.tolist()]
 
     def test_invalid_server_count(self):
         with pytest.raises(PartitionError):
